@@ -1,0 +1,179 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Each ablation flips one IFP design decision and measures its effect on a
+small representative workload set, quantifying *why* the paper's design
+is shaped the way it is:
+
+* three metadata schemes vs. global-table-only (tag-bit pressure and
+  table-capacity pressure);
+* layout-table narrowing on/off (subobject detection vs. walker cost);
+* metadata MAC on/off (tamper detection vs. promote latency);
+* local-offset granule sizing;
+* callee-saved bounds spills on/off.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.compiler import CompilerOptions, compile_source
+from repro.eval.harness import run_workload
+from repro.ifp.config import IFPConfig
+from repro.vm import Machine, MachineConfig
+from repro.workloads import get
+
+_ABLATION_WORKLOADS = ("health", "treeadd", "anagram")
+
+
+def _run(workload_name, options):
+    workload = get(workload_name)
+    program = compile_source(workload.source(1), options)
+    config = MachineConfig(ifp=options.ifp,
+                           max_instructions=150_000_000)
+    result = Machine(program, config).run()
+    assert result.ok, result.trap
+    return result
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_single_scheme(benchmark):
+    """Global-table-only design: every object burns a table row, so the
+    4096-row capacity becomes the binding constraint — the reason the
+    paper builds three complementary schemes."""
+    gt_only = IFPConfig(schemes_enabled=("global_table",))
+    options = CompilerOptions.wrapped(ifp=gt_only)
+
+    def run():
+        return _run("anagram", options)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    gt_lookups = result.stats.ifp.lookups_global_table
+    full = _run("anagram", CompilerOptions.wrapped())
+    print(f"\nglobal-table-only: {gt_lookups} GT lookups vs "
+          f"{full.stats.ifp.lookups_global_table} in the full design")
+    assert gt_lookups > full.stats.ifp.lookups_global_table
+    assert full.stats.ifp.lookups_local_offset > 0
+
+    # Capacity pressure: a heap-churning workload exhausts the table.
+    from repro.errors import ResourceExhausted
+    source = """
+    int main(void) {
+        char *keep[5000];
+        int i;
+        for (i = 0; i < 5000; i++) { keep[i] = (char*)malloc(8); }
+        return 0;
+    }
+    """
+    program = compile_source(source, options)
+    result = Machine(program, MachineConfig(ifp=gt_only)).run()
+    assert isinstance(result.trap, ResourceExhausted)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_narrowing(benchmark):
+    """Narrowing off: intra-object overflows become invisible and the
+    walker cost disappears from promote."""
+    no_narrow = CompilerOptions.wrapped(narrowing=False)
+
+    def run():
+        return _run("health", no_narrow)
+
+    ablated = benchmark.pedantic(run, rounds=1, iterations=1)
+    full = _run("health", CompilerOptions.wrapped())
+    assert ablated.stats.ifp.narrow_success == 0
+    assert full.stats.ifp.narrow_success > 0
+    print(f"\nnarrowing ablation: cycles {ablated.stats.cycles:,} vs "
+          f"{full.stats.cycles:,} with narrowing")
+
+    intra = """
+    struct S { char a[12]; char b[12]; };
+    char *g;
+    int main(void) {
+        struct S *s = (struct S*)malloc(sizeof(struct S));
+        g = s->a;
+        char *q = g;
+        q[13] = 'X';
+        return 0;
+    }
+    """
+    detected = Machine(compile_source(
+        intra, CompilerOptions.wrapped())).run()
+    missed = Machine(compile_source(intra, no_narrow)).run()
+    assert detected.detected_violation and missed.ok
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_mac(benchmark):
+    """MAC off: promotes get cheaper, but metadata tampering becomes
+    invisible — the security/latency trade the MAC buys."""
+    no_mac = CompilerOptions.wrapped(
+        ifp=IFPConfig(mac_enabled=False))
+
+    def run():
+        return _run("treeadd", no_mac)
+
+    ablated = benchmark.pedantic(run, rounds=1, iterations=1)
+    full = _run("treeadd", CompilerOptions.wrapped())
+    print(f"\nmac ablation: cycles {ablated.stats.cycles:,} vs "
+          f"{full.stats.cycles:,} with MAC")
+    assert ablated.stats.cycles < full.stats.cycles
+    assert ablated.stats.ifp.mac_failures == 0
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_granule(benchmark):
+    """A 32-byte granule halves metadata reach per offset bit but wastes
+    padding; the paper's 16-byte granule maximises the size limit at
+    (2^6 - 1) * 16 = 1008 bytes."""
+    coarse = IFPConfig(granule=32)
+    assert coarse.local_max_object == 63 * 32
+    fine = IFPConfig()
+    assert fine.local_max_object == 1008
+
+    options = CompilerOptions.wrapped(ifp=coarse)
+
+    def run():
+        return _run("health", options)
+
+    coarse_run = benchmark.pedantic(run, rounds=1, iterations=1)
+    fine_run = _run("health", CompilerOptions.wrapped())
+    # Same protection outcome, more padding memory with a bigger granule.
+    assert coarse_run.stats.heap_objects == fine_run.stats.heap_objects
+    print(f"\ngranule 32 peak memory {coarse_run.stats.peak_mapped_bytes:,}"
+          f" vs granule 16 {fine_run.stats.peak_mapped_bytes:,}")
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_bounds_spills(benchmark):
+    """Callee-saved bounds spills off: removes the ldbnd/stbnd traffic
+    (Figure 11's third category) at the cost of ABI fidelity."""
+    no_spills = CompilerOptions.wrapped(bounds_spills=False)
+
+    def run():
+        return _run("tsp", no_spills)
+
+    ablated = benchmark.pedantic(run, rounds=1, iterations=1)
+    full = _run("tsp", CompilerOptions.wrapped())
+    assert ablated.stats.bounds_ls_instructions == 0
+    print(f"\nspill ablation: {full.stats.bounds_ls_instructions:,} "
+          f"bounds load/stores removed")
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_explicit_checks(benchmark):
+    """Implicit checking on bounds-checked IFPRs vs explicit ifpchk per
+    access — the paper's Section 4.1.1 instruction-overhead argument."""
+    explicit = CompilerOptions.wrapped(explicit_checks=True)
+
+    def run():
+        return _run("health", explicit)
+
+    explicit_run = benchmark.pedantic(run, rounds=1, iterations=1)
+    implicit_run = _run("health", CompilerOptions.wrapped())
+    extra = (explicit_run.stats.total_instructions
+             - implicit_run.stats.total_instructions)
+    print(f"\nexplicit ifpchk adds {extra:,} instructions "
+          f"({extra / implicit_run.stats.total_instructions * 100:.1f}% of "
+          f"the implicit build)")
+    assert extra > 0
+    assert explicit_run.output == implicit_run.output

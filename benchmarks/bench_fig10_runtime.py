@@ -1,0 +1,53 @@
+"""Figure 10 — runtime overhead of all benchmarks, four series
+(subheap / wrapped, each with and without promote)."""
+
+import pytest
+
+from repro.eval import figure10_series, format_figure, geomean
+
+
+@pytest.mark.benchmark(group="figure10")
+def test_figure10_regeneration(benchmark, sweep):
+    series = benchmark(figure10_series, sweep)
+    print("\n=== Figure 10 (reproduced): runtime overhead ===")
+    print(format_figure(series, "runtime overhead vs baseline"))
+
+    gm = {name: geomean([v for _n, v in points])
+          for name, points in series.items()}
+    print(f"\ngeo-means: subheap {gm['subheap']*100:.1f}% (paper ~12%), "
+          f"wrapped {gm['wrapped']*100:.1f}% (paper ~24%)")
+
+    # Paper shapes:
+    # 1. subheap beats wrapped in geo-mean.
+    assert gm["subheap"] < gm["wrapped"]
+    # 2. removing promote removes most of the remaining overhead.
+    assert gm["subheap-np"] < gm["subheap"]
+    assert gm["wrapped-np"] < gm["wrapped"]
+    # 3. treeadd/perimeter are net wins under the subheap allocator.
+    subheap = dict(series["subheap"])
+    assert subheap["treeadd"] < 0
+    assert subheap["perimeter"] < 0.05
+    # 4. overheads land in the paper's broad band (< 100% everywhere).
+    for name, points in series.items():
+        for bench, overhead in points:
+            assert overhead < 1.0, (name, bench, overhead)
+
+
+@pytest.mark.benchmark(group="figure10")
+def test_promote_is_largest_contributor(benchmark, sweep):
+    """Paper Section 5.2.2: "the largest contributing factor of the
+    overhead are promote instructions" — measured by comparing each full
+    build against its no-promote twin."""
+    def promote_share():
+        shares = []
+        for workload in sweep.workloads:
+            base = sweep.run(workload, "baseline").cycles
+            full = sweep.run(workload, "subheap").cycles
+            nop = sweep.run(workload, "subheap-np").cycles
+            if full > base:
+                shares.append((full - nop) / (full - base))
+        return sum(shares) / len(shares)
+
+    share = benchmark(promote_share)
+    print(f"\npromote share of subheap overhead: {share * 100:.0f}%")
+    assert share > 0.5

@@ -1,0 +1,38 @@
+"""Figure 12 — memory overhead of applicable benchmarks.
+
+Uses a larger input scale than the runtime figures: peak footprint is
+measured in pages, so tiny heaps quantise to zero overhead (the same
+reason the paper excludes its sub-6MB programs from this figure).
+"""
+
+import pytest
+
+from repro.eval import figure12_series, format_figure, geomean
+
+
+@pytest.mark.benchmark(group="figure12")
+def test_figure12_regeneration(benchmark, memory_sweep):
+    series = benchmark(figure12_series, memory_sweep, ())
+    print("\n=== Figure 12 (reproduced): memory overhead (scale 3) ===")
+    print(format_figure(series, "peak mapped memory vs baseline"))
+
+    subheap = dict(series["subheap"])
+    wrapped = dict(series["wrapped"])
+    gm_sub = geomean(list(subheap.values()))
+    gm_wrap = geomean(list(wrapped.values()))
+    print(f"\ngeo-means: subheap {gm_sub*100:.1f}% (paper -6%), "
+          f"wrapped {gm_wrap*100:.1f}% (paper +21%)")
+
+    # Paper shapes:
+    # 1. The subheap allocator *reduces* footprint on benchmarks that
+    #    allocate many same-size objects individually (paper: 6 of 15).
+    savers = [name for name, v in subheap.items() if v < 0]
+    assert {"treeadd", "perimeter"} <= set(savers)
+    assert len(savers) >= 3
+    # 2. em3d is the worst subheap case (array allocations of differing
+    #    sizes land in separate blocks).
+    assert subheap["em3d"] == max(subheap.values())
+    # 3. The wrapped allocator only ever adds memory (per-object
+    #    metadata) and its geo-mean exceeds the subheap's.
+    assert all(v >= 0 for v in wrapped.values())
+    assert gm_wrap > gm_sub

@@ -1,0 +1,47 @@
+"""Figure 13 — LUT increase decomposition in the modified processor."""
+
+import pytest
+
+from repro.hwmodel import AreaModel
+from repro.hwmodel.area import MODIFIED_LUTS, VANILLA_LUTS
+
+
+@pytest.mark.benchmark(group="figure13")
+def test_figure13_regeneration(benchmark):
+    model = AreaModel()
+    rows = benchmark(model.figure13_rows)
+    print("\n=== Figure 13 (reproduced): LUT decomposition ===")
+    print(model.report())
+
+    # The model is calibrated to the paper's reported totals.
+    assert model.total_luts() == MODIFIED_LUTS
+    assert round(model.lut_overhead() * 100) == 60
+    assert round(model.ff_overhead() * 100) == 48
+    # Execute stage dominates; IFP unit is its biggest piece.
+    stages = model.stage_breakdown()
+    assert stages["execute"][1] > stages["issue"][1] > stages["cache"][1]
+    growth = {name: g for name, _s, _v, g in rows}
+    assert growth["bounds_register_file"] > growth["ifp_unit.layout_walker"]
+
+
+@pytest.mark.benchmark(group="figure13")
+def test_area_what_if_sweep(benchmark):
+    """The paper's guidance: bounds registers are the first thing to cut
+    for a sub-30% area budget; the layout walker is the second."""
+    def sweep():
+        return {
+            "full": AreaModel().lut_overhead(),
+            "no-bounds-regs": AreaModel(
+                bounds_registers=False).lut_overhead(),
+            "no-walker": AreaModel(layout_walker=False).lut_overhead(),
+            "object-granularity-minimum": AreaModel(
+                bounds_registers=False, layout_walker=False,
+                schemes=("global_table",)).lut_overhead(),
+        }
+
+    overheads = benchmark(sweep)
+    print("\narea what-ifs:")
+    for name, value in overheads.items():
+        print(f"  {name:28s} +{value * 100:.1f}% LUTs")
+    assert overheads["full"] > overheads["no-bounds-regs"] \
+        > overheads["object-granularity-minimum"]

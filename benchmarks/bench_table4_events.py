@@ -1,0 +1,59 @@
+"""Table 4 — dynamic event counts on object instrumentation, promotion,
+and instructions executed.
+
+Run with ``pytest benchmarks/bench_table4_events.py --benchmark-only -s``
+to see the regenerated table.
+"""
+
+import pytest
+
+from repro.eval import format_table4, table4_rows
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_regeneration(benchmark, sweep):
+    rows = benchmark(table4_rows, sweep)
+    print("\n=== Table 4 (reproduced) ===")
+    print(format_table4(rows))
+
+    by_name = {r.benchmark: r for r in rows}
+    # Paper shapes that must hold:
+    # treeadd/perimeter faster than baseline under the subheap allocator.
+    assert by_name["treeadd"].subheap_ratio < 1.0
+    assert by_name["perimeter"].subheap_ratio < 1.0
+    # Wrapper-allocating programs carry no heap layout tables.
+    for name in ("treeadd", "bisort", "perimeter", "wolfcrypt-dh", "bzip2"):
+        assert by_name[name].heap_lt_pct == 0.0, name
+    # anagram's typed allocations all carry tables (paper: ~100%).
+    assert by_name["anagram"].heap_lt_pct == 100.0
+    # bh is the only massive local-object registerer.
+    assert by_name["bh"].local_objects == max(r.local_objects for r in rows)
+    # The wrapped build always costs at least as many instructions as
+    # the subheap build's allocator-adjusted count on alloc-heavy codes.
+    geo_sub = 1.0
+    geo_wrap = 1.0
+    for r in rows:
+        geo_sub *= r.subheap_ratio
+        geo_wrap *= r.wrapped_ratio
+    geo_sub **= 1 / len(rows)
+    geo_wrap **= 1 / len(rows)
+    print(f"geo-mean instruction ratio: subheap {geo_sub:.3f}x "
+          f"(paper 1.05x), wrapped {geo_wrap:.3f}x (paper 1.14x)")
+    assert geo_sub < geo_wrap
+
+
+@pytest.mark.benchmark(group="table4")
+def test_valid_promote_accounting(benchmark, sweep):
+    """Paper: >20% of promotes on average see NULL or legacy pointers."""
+    def bypass_share():
+        shares = []
+        for workload in sweep.workloads:
+            ifp = sweep.run(workload, "subheap").stats.ifp
+            if ifp.promotes_total:
+                shares.append(ifp.promotes_bypassed / ifp.promotes_total)
+        return sum(shares) / len(shares)
+
+    share = benchmark(bypass_share)
+    print(f"\nmean promote bypass share: {share * 100:.0f}% "
+          f"(paper: >20%)")
+    assert share > 0.20

@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark harness.
+
+The expensive artefact — the full 18-benchmark, five-configuration sweep
+— is computed once per session and shared by every table/figure bench.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import Sweep
+
+
+@pytest.fixture(scope="session")
+def sweep():
+    """The full evaluation sweep at scale 1 (runtime/instruction figures)."""
+    swept = Sweep(scale=1)
+    swept.all_runs()
+    swept.verify_outputs_agree()
+    return swept
+
+
+@pytest.fixture(scope="session")
+def memory_sweep():
+    """A larger-scale sweep for the memory figure: page-granularity
+    footprints need bigger heaps to resolve (the paper similarly excludes
+    its sub-6MB programs)."""
+    from repro.workloads import all_workloads
+    small = {"ks", "yacr2", "coremark"}
+    swept = Sweep(scale=3, workloads=[w for w in all_workloads()
+                                      if w.name not in small])
+    for workload in swept.workloads:
+        for config in ("baseline", "subheap", "wrapped"):
+            swept.run(workload, config)
+    return swept

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Head-to-head: In-Fat Pointer vs ASan-like vs MPX-like defenses.
+
+The paper argues for IFP against the shadow-memory and bounds-table
+families via Table 1 and overheads quoted from other papers.  Here all
+three run on the same workloads on the same machine, and their coverage
+differences (intra-object, use-after-free) are demonstrated live.
+
+Run:  python examples/defense_comparison.py
+"""
+
+from repro.compiler import CompilerOptions, compile_source
+from repro.debug import attach_tracer
+from repro.vm import Machine, MachineConfig
+from repro.workloads import get
+
+DEFENSES = [
+    ("baseline", CompilerOptions.baseline()),
+    ("ifp-subheap", CompilerOptions.subheap()),
+    ("ifp-wrapped", CompilerOptions.wrapped()),
+    ("asan", CompilerOptions.asan()),
+    ("mpx", CompilerOptions.mpx()),
+]
+
+CASES = {
+    "heap overflow": """
+        int main(void) {
+            char *p = (char*)malloc(16);
+            p[16] = 'x';
+            return 0;
+        }
+    """,
+    "intra-object overflow": """
+        struct S { char a[12]; char b[12]; };
+        char *g;
+        int main(void) {
+            struct S *s = (struct S*)malloc(sizeof(struct S));
+            g = s->a;
+            char *q = g;
+            q[13] = 'X';
+            return 0;
+        }
+    """,
+    "use-after-free": """
+        int *g;
+        int main(void) {
+            g = (int*)malloc(16);
+            free(g);
+            int *p = g;
+            *p = 1;
+            return 0;
+        }
+    """,
+}
+
+
+def main() -> None:
+    print("Performance on real workloads (overhead vs baseline)")
+    print("-" * 72)
+    print(f"{'benchmark':10s} {'defense':12s} {'instr':>8s} {'cycles':>8s} "
+          f"{'memory':>8s}")
+    for name in ("treeadd", "health", "ks"):
+        workload = get(name)
+        base = None
+        for label, options in DEFENSES:
+            program = compile_source(workload.source(1), options)
+            result = Machine(program, MachineConfig(
+                max_instructions=200_000_000)).run()
+            assert result.ok, (name, label, result.trap)
+            stats = result.stats
+            if base is None:
+                base = stats
+            print(f"{name:10s} {label:12s} "
+                  f"{stats.total_instructions / base.total_instructions:7.2f}x "
+                  f"{stats.cycles / base.cycles:7.2f}x "
+                  f"{stats.peak_mapped_bytes / base.peak_mapped_bytes:7.2f}x")
+        print()
+
+    print("Detection coverage (Table 1, demonstrated)")
+    print("-" * 72)
+    header = f"{'violation':24s}" + "".join(f"{label:>13s}"
+                                            for label, _o in DEFENSES[1:])
+    print(header)
+    for case_name, source in CASES.items():
+        row = [f"{case_name:24s}"]
+        for label, options in DEFENSES[1:]:
+            program = compile_source(source, options)
+            result = Machine(program).run()
+            row.append(f"{'DETECTED' if result.detected_violation else '—':>13s}")
+        print("".join(row))
+    print()
+    print("IFP and MPX (pointer-based) catch the intra-object case ASan")
+    print("cannot see; ASan's quarantine catches the use-after-free that")
+    print("MPX's stale bounds wave through. IFP costs the least.")
+
+
+if __name__ == "__main__":
+    main()

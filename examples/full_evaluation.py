@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's entire evaluation in one run.
+
+The script is the reproduction's analogue of the artifact appendix's
+terminal-log workflow: it runs every experiment and prints every table
+and figure, ready to diff against EXPERIMENTS.md.
+
+Run:  python examples/full_evaluation.py          (~2 minutes)
+      python examples/full_evaluation.py --quick  (3 benchmarks only)
+"""
+
+import sys
+import time
+
+from repro.compiler import CompilerOptions
+from repro.eval import (
+    Sweep, figure10_series, figure11_series, figure12_series,
+    format_figure, format_table4, table4_rows,
+)
+from repro.eval.related import format_table1, format_table2, format_table3
+from repro.hwmodel import AreaModel
+from repro.juliet import run_suite
+from repro.workloads import all_workloads, get
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    start = time.time()
+    workloads = ([get("treeadd"), get("health"), get("anagram")]
+                 if quick else None)
+
+    banner("Tables 1-3: design-space comparison, schemes, instructions")
+    print(format_table1())
+    print()
+    print(format_table2())
+    print()
+    print(format_table3())
+
+    banner("Section 5.1: Juliet-style functional evaluation")
+    report = run_suite(CompilerOptions.wrapped())
+    print(report.summary())
+
+    banner("Table 4: dynamic event counts")
+    sweep = Sweep(scale=1, workloads=workloads)
+    sweep.verify_outputs_agree()
+    print(format_table4(table4_rows(sweep)))
+
+    banner("Figure 10: runtime overhead")
+    print(format_figure(figure10_series(sweep), ""))
+
+    banner("Figure 11: new-instruction share of baseline")
+    print(format_figure(figure11_series(sweep), ""))
+
+    banner("Figure 12: memory overhead (scale 3)")
+    memory_workloads = [w for w in (workloads or all_workloads())
+                        if w.name not in ("ks", "yacr2", "coremark")]
+    memory_sweep = Sweep(scale=3, workloads=memory_workloads)
+    print(format_figure(figure12_series(memory_sweep, ()), ""))
+
+    banner("Figure 13: hardware area")
+    print(AreaModel().report())
+
+    print()
+    print(f"full evaluation regenerated in {time.time() - start:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Subobject-granularity protection: the paper's Listing 1 end-to-end.
+
+Shows (1) the layout table generated for a nested struct (the paper's
+Figure 9), (2) an intra-object overflow that coarse object-bounds schemes
+miss, caught by In-Fat Pointer's bounds narrowing, and (3) how the
+guarantee degrades gracefully to object granularity when no layout table
+exists (allocation through a wrapper).
+
+Run:  python examples/intra_object.py
+"""
+
+from repro import CompilerOptions, Machine, compile_source
+from repro.compiler.layout_gen import build_layout_table
+from repro.lang import analyze, parse
+
+SOURCE_TEMPLATE = """
+struct NestedTy {{
+    int v3;
+    int v4;
+}};
+
+struct S {{
+    int v1;
+    struct NestedTy array[2];
+    int v5;
+}};
+
+{alloc_helper}
+
+int *g_escape;
+
+int main(void) {{
+    struct S *s = (struct S*){alloc_call}(sizeof(struct S));
+    s->v5 = 99;
+    g_escape = &s->array[1].v3;   /* subobject pointer escapes */
+    int *q = g_escape;            /* reload: promote + narrowing */
+    q[{index}] = 7;               /* q[1] would write v4 */
+    printf("v5 = %d\\n", s->v5);
+    return 0;
+}}
+"""
+
+
+def build(index: int, wrapper: bool) -> str:
+    return SOURCE_TEMPLATE.format(
+        alloc_helper=("void *my_alloc(unsigned long n) "
+                      "{ return malloc(n); }" if wrapper else ""),
+        alloc_call="my_alloc" if wrapper else "malloc",
+        index=index)
+
+
+def show_layout_table() -> None:
+    program = analyze(parse(build(0, wrapper=False)))
+    table = build_layout_table(program.struct("S"), "S", 64)
+    print("layout table for struct S (paper Figure 9b):")
+    print(f"  {'#':>2s} {'parent':>6s} {'base':>5s} {'bound':>5s} "
+          f"{'size':>5s}  path")
+    for index, entry in enumerate(table.entries):
+        print(f"  {index:2d} {entry.parent:6d} {entry.base:5d} "
+              f"{entry.bound:5d} {entry.size:5d}  {table.names[index]}")
+    print()
+
+
+def run_case(label: str, source: str) -> None:
+    program = compile_source(source, CompilerOptions.wrapped())
+    result = Machine(program).run()
+    ifp = result.stats.ifp
+    verdict = ("ran clean" if result.ok
+               else f"DETECTED ({type(result.trap).__name__})")
+    print(f"{label:55s} {verdict}")
+    print(f"{'':55s} narrowing: {ifp.narrow_success}/{ifp.narrow_attempts}"
+          f" succeeded, {ifp.narrow_no_layout_table} without tables")
+
+
+def main() -> None:
+    print("Subobject-granularity protection (paper Listing 1 / Figure 9)")
+    print("=" * 72)
+    show_layout_table()
+    run_case("write s->array[1].v3 (in subobject bounds)",
+             build(0, wrapper=False))
+    run_case("write one past v3 into v4 (intra-object overflow)",
+             build(1, wrapper=False))
+    run_case("same overflow, allocation via wrapper (no layout table,"
+             " inside object)", build(1, wrapper=True))
+    run_case("wrapper allocation, write beyond the whole object",
+             build(8, wrapper=True))
+    print()
+    print("With the layout table, the overflow into the sibling member is")
+    print("caught; through the wrapper, protection degrades to object")
+    print("bounds exactly as Section 3 of the paper specifies.")
+
+
+if __name__ == "__main__":
+    main()

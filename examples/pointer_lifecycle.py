@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Trace one pointer through its In-Fat Pointer lifecycle.
+
+Uses the execution tracer to show the actual `ifp*` instructions a
+pointer's journey executes, and `explain_pointer` to decode the tagged
+values along the way.
+
+Run:  python examples/pointer_lifecycle.py
+"""
+
+from repro.compiler import CompilerOptions, compile_source
+from repro.debug import attach_tracer, explain_pointer
+from repro.vm import Machine
+
+SOURCE = """
+struct Packet {
+    int header;
+    char payload[24];
+    int checksum;
+};
+
+char *g_cursor;
+
+int main(void) {
+    struct Packet *p = (struct Packet*)malloc(sizeof(struct Packet));
+    p->header = 42;
+    g_cursor = p->payload;        /* subobject pointer escapes */
+    char *q = g_cursor;           /* reload: promote + narrowing */
+    q[5] = 'x';
+    p->checksum = 7;
+    free(p);
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    program = compile_source(SOURCE, CompilerOptions.wrapped())
+    machine = Machine(program)
+    tracer = attach_tracer(machine, ifp_only=True)
+    result = machine.run()
+    assert result.ok
+
+    print("IFP instructions executed by main() (tag maintenance,")
+    print("metadata registration, promote):")
+    print("-" * 64)
+    for event in tracer.events:
+        if event.function == "main":
+            print(f"  {event}")
+    print()
+
+    # Rebuild the pointer states to explain them.
+    machine2 = Machine(compile_source(SOURCE, CompilerOptions.wrapped()))
+    tagged, bounds, _c, _i = machine2.wrapped_allocator.malloc(
+        32, machine2.image.symbols.get("__IFP_LT_Packet", 0), 32)
+    print("anatomy of the allocation's tagged pointer:")
+    print(explain_pointer(machine2, tagged).describe())
+    print()
+
+    from repro.ifp.tag import unpack_tag
+    from repro.compiler.layout_gen import member_delta
+    payload_ptr = (tagged + 4)  # &p->payload, before tag maintenance
+    # Apply the ifpidx the compiler would emit (payload is entry 2).
+    tag = unpack_tag(tagged).with_subobject_index(2)
+    from repro.ifp.tag import with_tag
+    subobject = with_tag(payload_ptr, tag)
+    print("anatomy after ifpadd + ifpidx to &p->payload:")
+    print(explain_pointer(machine2, subobject).describe())
+    print()
+    print("Note the non-zero subobject index and the narrowed bounds the")
+    print("promote dry-run reports — that narrowing is what catches the")
+    print("paper's Listing-1 intra-object overflow.")
+
+
+if __name__ == "__main__":
+    main()

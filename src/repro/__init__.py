@@ -1,0 +1,39 @@
+"""In-Fat Pointer (ASPLOS 2021) — a full-system reproduction in Python.
+
+Public API tour:
+
+>>> from repro import compile_source, CompilerOptions, Machine
+>>> program = compile_source(SOURCE, CompilerOptions.subheap())
+>>> result = Machine(program).run()
+>>> result.ok, result.stats.total_instructions
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.ifp` — the paper's contribution: pointer tags, the three
+  object-metadata schemes, layout tables, promote;
+* :mod:`repro.lang` / :mod:`repro.compiler` — the mini-C frontend and the
+  instrumenting compiler;
+* :mod:`repro.vm` — the cycle-approximate machine (CVA6 stand-in);
+* :mod:`repro.runtime` — allocators and modelled libc;
+* :mod:`repro.juliet` — Juliet-style functional evaluation;
+* :mod:`repro.workloads` — the 18 application benchmarks;
+* :mod:`repro.eval` — Table 4 / Figures 10-13 harnesses;
+* :mod:`repro.hwmodel` — the FPGA-area model.
+"""
+
+from repro.compiler import CompilerOptions, compile_source
+from repro.ifp import (
+    Bounds, IFPConfig, IFPUnit, LayoutEntry, LayoutTable, Poison,
+    PointerTag, Scheme,
+)
+from repro.vm import Machine, MachineConfig, RunResult, RunStats
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompilerOptions", "compile_source",
+    "Bounds", "IFPConfig", "IFPUnit", "LayoutEntry", "LayoutTable",
+    "Poison", "PointerTag", "Scheme",
+    "Machine", "MachineConfig", "RunResult", "RunStats",
+    "__version__",
+]

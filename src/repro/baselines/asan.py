@@ -1,0 +1,248 @@
+"""ASan-like defense: shadow memory + redzones + inline checks.
+
+Faithful to AddressSanitizer's core design at the granularity this
+simulator models:
+
+* shadow mapping ``shadow(a) = SHADOW_BASE + (a >> 3)``;
+* shadow byte semantics: ``0`` = all 8 bytes addressable, ``1..7`` =
+  first *k* bytes addressable, ``>= 0x80`` = poisoned (redzone / freed);
+* 16-byte redzones around every heap allocation; freed memory is
+  poisoned and parked in a quarantine before reuse (the mechanism that
+  gives ASan its probabilistic use-after-free detection);
+* every application load/store is preceded by the inline check sequence
+  (fast path: one shadow load + branch).
+
+Implemented as an IR-to-IR pass over an *uninstrumented* compilation, so
+it composes with nothing from the IFP machinery — exactly the separation
+the paper's Table 1 taxonomy draws.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List
+
+from repro.compiler.ir import IRFunction, IRProgram, Instr, Op
+from repro.errors import BoundsTrap
+from repro.ifp.tag import address_of
+
+#: shadow(a) = ASAN_SHADOW_BASE + (a >> 3); sized for the 2 GiB of
+#: application address space the layout uses, placed far above it.
+ASAN_SHADOW_BASE = 0x1_0000_0000
+_SHADOW_SHIFT = 3
+
+#: redzone bytes on each side of a heap allocation
+REDZONE = 16
+#: shadow poison values (ASan's encoding)
+POISON_LEFT_RZ = 0xFA
+POISON_RIGHT_RZ = 0xFB
+POISON_FREED = 0xFD
+
+#: bytes of freed memory held back before actual reuse
+QUARANTINE_BYTES = 1 << 16
+
+_ALLOC_REWRITES = {
+    "malloc": "__asan_malloc",
+    "calloc": "__asan_calloc",
+    "realloc": "__asan_realloc",
+    "free": "__asan_free",
+}
+
+
+# ---------------------------------------------------------------------------
+# The instrumentation pass
+# ---------------------------------------------------------------------------
+
+def apply_asan_pass(program: IRProgram) -> IRProgram:
+    """Insert shadow checks before every load/store; rewrite allocator
+    calls.  Mutates and returns ``program``."""
+    for function in program.functions.values():
+        _instrument_function(function)
+    program.defense = "asan"
+    return program
+
+
+def _instrument_function(function: IRFunction) -> None:
+    original = function.instrs
+    out: List[Instr] = []
+    new_index: Dict[int, int] = {}
+    original_branches: List[Instr] = []
+
+    def reg() -> int:
+        function.num_regs += 1
+        return function.num_regs - 1
+
+    for index, ins in enumerate(original):
+        if ins.op in (Op.LOAD, Op.STORE):
+            _emit_check(out, ins, reg)
+        if ins.op == Op.CALL and ins.name in _ALLOC_REWRITES:
+            ins.name = _ALLOC_REWRITES[ins.name]
+        if ins.op in (Op.JMP, Op.BZ, Op.BNZ):
+            original_branches.append(ins)
+        new_index[index] = len(out)
+        out.append(ins)
+
+    for branch in original_branches:
+        branch.target = new_index[branch.target]
+    function.instrs = out
+
+
+def _emit_check(out: List[Instr], access: Instr, reg) -> None:
+    """The inline ASan check for one memory access.
+
+    Fast path (shadow byte zero): 4 instructions + the shadow load.
+    Slow path handles partial (1..7) shadow bytes; anything else reports.
+    """
+    size = access.size
+    addr = reg()
+    if access.imm:
+        out.append(Instr(Op.BINI, dst=addr, a=access.a, imm=access.imm,
+                         name="add"))
+    else:
+        out.append(Instr(Op.MV, dst=addr, a=access.a))
+    shifted = reg()
+    out.append(Instr(Op.BINI, dst=shifted, a=addr, imm=_SHADOW_SHIFT,
+                     name="shr"))
+    shadow_addr = reg()
+    out.append(Instr(Op.BINI, dst=shadow_addr, a=shifted,
+                     imm=ASAN_SHADOW_BASE, name="add"))
+    shadow = reg()
+    out.append(Instr(Op.LOAD, dst=shadow, a=shadow_addr, size=1))
+    # Placeholder targets patched below once the block length is known.
+    fast = Instr(Op.BZ, a=shadow)
+    out.append(fast)
+    low_bits = reg()
+    out.append(Instr(Op.BINI, dst=low_bits, a=addr, imm=7, name="and"))
+    last = reg()
+    out.append(Instr(Op.BINI, dst=last, a=low_bits, imm=size - 1,
+                     name="add"))
+    in_partial = reg()
+    out.append(Instr(Op.BIN, dst=in_partial, a=last, b=shadow, name="slt"))
+    is_partial = reg()
+    out.append(Instr(Op.BINI, dst=is_partial, a=shadow, imm=7, name="sle"))
+    both = reg()
+    out.append(Instr(Op.BIN, dst=both, a=in_partial, b=is_partial,
+                     name="and"))
+    slow = Instr(Op.BNZ, a=both)
+    out.append(slow)
+    out.append(Instr(Op.CALL, dst=-1, name="__asan_report", args=[addr]))
+    after = len(out)
+    fast.target = after
+    slow.target = after
+
+
+# ---------------------------------------------------------------------------
+# Runtime support
+# ---------------------------------------------------------------------------
+
+def shadow_address(address: int) -> int:
+    return ASAN_SHADOW_BASE + (address >> _SHADOW_SHIFT)
+
+
+def poison_range(memory, start: int, size: int, value: int) -> None:
+    """Poison ``[start, start + size)``; both 8-aligned in practice."""
+    memory.fill(shadow_address(start), value, (size + 7) >> _SHADOW_SHIFT)
+
+
+def unpoison_object(memory, start: int, size: int) -> None:
+    """Mark an 8-aligned object of ``size`` bytes addressable, with the
+    correct partial value in the final shadow byte."""
+    full = size >> _SHADOW_SHIFT
+    memory.fill(shadow_address(start), 0, full)
+    partial = size & 7
+    if partial:
+        memory.store_int(shadow_address(start) + full, partial, 1)
+
+
+def install_asan_runtime(machine) -> Dict[str, callable]:
+    """Build the __asan_* builtins and map the shadow for the static
+    segments (globals, stack, metadata table)."""
+    memory = machine.memory
+    layout = machine.layout
+
+    def map_shadow_for(base: int, size: int) -> None:
+        memory.map_range(shadow_address(base), (size >> _SHADOW_SHIFT) + 1)
+
+    map_shadow_for(layout.globals_base,
+                   machine.image.globals_end - layout.globals_base)
+    map_shadow_for(layout.stack_limit, layout.stack_top - layout.stack_limit)
+
+    quarantine = deque()
+    state = {"quarantined_bytes": 0}
+    machine.asan_quarantine = quarantine
+
+    def asan_malloc(mach, args, bounds):
+        size = max(args[0], 1)
+        footprint = REDZONE + ((size + 7) & ~7) + REDZONE
+        base, cycles, instrs = mach.freelist.malloc(footprint)
+        if base == 0:
+            return 0, None, cycles, instrs
+        map_shadow_for(base, footprint)
+        user = base + REDZONE
+        poison_range(memory, base, REDZONE, POISON_LEFT_RZ)
+        unpoison_object(memory, user, size)
+        right = user + ((size + 7) & ~7)
+        poison_range(memory, right, REDZONE, POISON_RIGHT_RZ)
+        shadow_cycles = mach.hierarchy.access_cycles(
+            shadow_address(base), footprint >> _SHADOW_SHIFT, True)
+        extra = 14 + (footprint >> 6)
+        mach.stats.heap_objects += 1
+        return user, None, cycles + shadow_cycles + extra, instrs + extra
+
+    def asan_free(mach, args, bounds):
+        user = address_of(args[0])
+        if user == 0:
+            return 0, None, 2, 2
+        base = user - REDZONE
+        footprint = mach.freelist.usable_size(base)
+        poison_range(memory, base, footprint, POISON_FREED)
+        quarantine.append((base, footprint))
+        state["quarantined_bytes"] += footprint
+        instrs = 12 + (footprint >> 6)
+        cycles = instrs + mach.hierarchy.access_cycles(
+            shadow_address(base), footprint >> _SHADOW_SHIFT, True)
+        # Drain the quarantine once it exceeds its budget.
+        while state["quarantined_bytes"] > QUARANTINE_BYTES and quarantine:
+            old_base, old_footprint = quarantine.popleft()
+            state["quarantined_bytes"] -= old_footprint
+            free_cycles, free_instrs = mach.freelist.free(old_base)
+            cycles += free_cycles
+            instrs += free_instrs
+        mach.stats.heap_frees += 1
+        return 0, None, cycles, instrs
+
+    def asan_calloc(mach, args, bounds):
+        total = args[0] * args[1]
+        user, _b, cycles, instrs = asan_malloc(mach, [total], [None])
+        if user:
+            memory.fill(user, 0, total)
+            cycles += mach.hierarchy.access_cycles(user, total, True)
+            instrs += total >> 3
+        return user, None, cycles, instrs
+
+    def asan_realloc(mach, args, bounds):
+        old_user = address_of(args[0])
+        new_size = args[1]
+        new_user, _b, cycles, instrs = asan_malloc(mach, [new_size], [None])
+        if old_user and new_user:
+            old_size = mach.freelist.usable_size(old_user - REDZONE) \
+                - 2 * REDZONE
+            count = max(min(old_size, new_size), 0)
+            memory.copy(new_user, old_user, count)
+            free_result = asan_free(mach, [old_user], [None])
+            cycles += free_result[2] + (count >> 3)
+            instrs += free_result[3] + (count >> 3)
+        return new_user, None, cycles, instrs
+
+    def asan_report(mach, args, bounds):
+        address = args[0] if args else 0
+        raise BoundsTrap(
+            f"AddressSanitizer: invalid access at 0x{address:x}", address)
+
+    return {
+        "__asan_malloc": asan_malloc,
+        "__asan_free": asan_free,
+        "__asan_calloc": asan_calloc,
+        "__asan_realloc": asan_realloc,
+        "__asan_report": asan_report,
+    }

@@ -1,0 +1,120 @@
+"""A classic set-associative cache model with true-LRU replacement.
+
+Only hit/miss behaviour is modelled (no data storage — the backing
+:class:`~repro.mem.Memory` holds the data); this is the standard approach
+for trace-driven cache simulation and is all the evaluation needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, split by access kind."""
+
+    read_hits: int = 0
+    read_misses: int = 0
+    write_hits: int = 0
+    write_misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return (self.read_hits + self.read_misses
+                + self.write_hits + self.write_misses)
+
+    @property
+    def misses(self) -> int:
+        return self.read_misses + self.write_misses
+
+    @property
+    def hits(self) -> int:
+        return self.read_hits + self.write_hits
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+    def reset(self) -> None:
+        self.read_hits = self.read_misses = 0
+        self.write_hits = self.write_misses = 0
+
+
+class Cache:
+    """Set-associative, write-allocate, true-LRU cache.
+
+    Geometry mirrors CVA6's L1 data cache by default: 32 KiB, 8-way,
+    64-byte lines.
+    """
+
+    def __init__(self, size_bytes: int = 32 * 1024, ways: int = 8,
+                 line_bytes: int = 64, name: str = "L1D"):
+        if line_bytes <= 0 or line_bytes & (line_bytes - 1):
+            raise ValueError("line_bytes must be a power of two")
+        if size_bytes % (ways * line_bytes):
+            raise ValueError("size must be a multiple of ways * line size")
+        self.name = name
+        self.size_bytes = size_bytes
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self.num_sets = size_bytes // (ways * line_bytes)
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError("derived set count must be a power of two")
+        self._set_mask = self.num_sets - 1
+        self._line_shift = line_bytes.bit_length() - 1
+        # Per-set list of line tags, most-recently-used last.
+        self._sets: List[List[int]] = [[] for _ in range(self.num_sets)]
+        self.stats = CacheStats()
+
+    # -- access -----------------------------------------------------------
+
+    def access(self, address: int, size: int = 1, write: bool = False) -> int:
+        """Touch ``[address, address + size)``; return the number of misses.
+
+        Multi-line accesses (rare: misaligned or wide) touch each line.
+        """
+        first_line = address >> self._line_shift
+        last_line = (address + max(size, 1) - 1) >> self._line_shift
+        misses = 0
+        for line in range(first_line, last_line + 1):
+            if not self._touch_line(line):
+                misses += 1
+        if write:
+            self.stats.write_misses += misses
+            self.stats.write_hits += (last_line - first_line + 1) - misses
+        else:
+            self.stats.read_misses += misses
+            self.stats.read_hits += (last_line - first_line + 1) - misses
+        return misses
+
+    def _touch_line(self, line: int) -> bool:
+        """Touch one line; return True on hit."""
+        cache_set = self._sets[line & self._set_mask]
+        try:
+            cache_set.remove(line)
+        except ValueError:
+            # Miss: allocate, evicting LRU if the set is full.
+            if len(cache_set) >= self.ways:
+                cache_set.pop(0)
+            cache_set.append(line)
+            return False
+        cache_set.append(line)
+        return True
+
+    # -- maintenance ------------------------------------------------------
+
+    def flush(self) -> None:
+        """Invalidate all lines (stats are kept)."""
+        for cache_set in self._sets:
+            cache_set.clear()
+
+    def reset(self) -> None:
+        """Invalidate all lines and clear stats."""
+        self.flush()
+        self.stats.reset()
+
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self._sets)

@@ -1,0 +1,181 @@
+"""Static safety analysis: which objects need metadata registration.
+
+The paper's compiler "identifies all pointers whose safety cannot be
+statically determined" and instruments the *objects* those pointers may
+reference.  The reproduction uses the standard conservative criterion: an
+object needs registration exactly when its address *escapes* the
+statically-visible access paths — i.e. a pointer to it (or into it) is
+materialised as a first-class value:
+
+* ``&x`` anywhere (argument, assignment, arithmetic, ...);
+* an array (or struct member array) decaying to a pointer value;
+* a global/local aggregate passed to any call.
+
+Direct accesses by name (``x = 1``, ``arr[i]``, ``s.f.g``) never force
+registration: the compiler checks them against statically-known bounds
+(``ifpbnd``) without metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from repro.lang import astnodes as ast
+from repro.lang.sema import Program
+
+
+@dataclass
+class EscapeInfo:
+    """Escaping (address-taken) objects, per function and globally."""
+
+    locals_by_function: Dict[str, Set[str]] = field(default_factory=dict)
+    globals_escaping: Set[str] = field(default_factory=set)
+
+    def local_escapes(self, function: str, name: str) -> bool:
+        return name in self.locals_by_function.get(function, set())
+
+
+def analyze_escapes(program: Program) -> EscapeInfo:
+    """Run the escape analysis over every function body."""
+    info = EscapeInfo()
+    for name in program.function_order:
+        func = program.functions[name]
+        collector = _Collector(program)
+        collector.visit_stmt(func.body)
+        info.locals_by_function[name] = collector.locals_taken
+        info.globals_escaping |= collector.globals_taken
+    return info
+
+
+class _Collector:
+    def __init__(self, program: Program):
+        self.program = program
+        self.locals_taken: Set[str] = set()
+        self.globals_taken: Set[str] = set()
+
+    # -- escape events -----------------------------------------------------
+
+    def _mark_root(self, expr: ast.Expr) -> None:
+        """Mark the root object of an access path as escaping."""
+        node = expr
+        while True:
+            if isinstance(node, ast.Member):
+                if node.arrow:
+                    self.visit_expr(node.base)
+                    return  # rooted at a pointer, not a named object
+                node = node.base
+            elif isinstance(node, ast.Index):
+                self.visit_expr(node.index)
+                base_type = node.base.ctype
+                if base_type is not None and base_type.is_array:
+                    node = node.base
+                else:
+                    self.visit_expr(node.base)
+                    return
+            elif isinstance(node, ast.Deref):
+                self.visit_expr(node.pointer)
+                return
+            elif isinstance(node, ast.Ident):
+                if node.binding in ("local", "param"):
+                    self.locals_taken.add(node.name)
+                elif node.binding == "global":
+                    self.globals_taken.add(node.name)
+                return
+            else:
+                self.visit_expr(node)
+                return
+
+    def _value_use(self, expr: ast.Expr) -> None:
+        """Visit an expression used as a *value*; array-typed access paths
+        decay to pointers here, which is an escape of the root object."""
+        if expr is None:
+            return
+        if expr.ctype is not None and expr.ctype.is_array:
+            self._mark_root(expr)
+            return
+        self.visit_expr(expr)
+
+    # -- traversal ------------------------------------------------------------
+
+    def visit_expr(self, expr: Optional[ast.Expr]) -> None:
+        if expr is None:
+            return
+        if isinstance(expr, ast.AddressOf):
+            if isinstance(expr.operand, ast.Ident) \
+                    and expr.operand.binding == "function":
+                return
+            self._mark_root(expr.operand)
+        elif isinstance(expr, (ast.IntLit, ast.StrLit, ast.SizeofType)):
+            pass
+        elif isinstance(expr, ast.Ident):
+            pass  # plain name read; decay handled by _value_use
+        elif isinstance(expr, ast.Unary):
+            self._value_use(expr.operand)
+        elif isinstance(expr, ast.Deref):
+            self._value_use(expr.pointer)
+        elif isinstance(expr, ast.Binary):
+            self._value_use(expr.left)
+            self._value_use(expr.right)
+        elif isinstance(expr, ast.Conditional):
+            self._value_use(expr.cond)
+            self._value_use(expr.then)
+            self._value_use(expr.otherwise)
+        elif isinstance(expr, ast.Assign):
+            self.visit_expr(expr.target)
+            self._value_use(expr.value)
+        elif isinstance(expr, ast.IncDec):
+            self.visit_expr(expr.target)
+        elif isinstance(expr, ast.Call):
+            if not (isinstance(expr.func, ast.Ident)
+                    and expr.func.binding == "function"):
+                self._value_use(expr.func)
+            for arg in expr.args:
+                self._value_use(arg)
+        elif isinstance(expr, ast.Index):
+            self.visit_expr(expr.base)
+            self._value_use(expr.index)
+        elif isinstance(expr, ast.Member):
+            self.visit_expr(expr.base)
+        elif isinstance(expr, ast.Cast):
+            self._value_use(expr.operand)
+        elif isinstance(expr, ast.SizeofExpr):
+            pass  # unevaluated
+        else:  # pragma: no cover
+            raise TypeError(f"unknown expression {type(expr).__name__}")
+
+    def visit_stmt(self, stmt: Optional[ast.Stmt]) -> None:
+        if stmt is None:
+            return
+        if isinstance(stmt, ast.Block):
+            for inner in stmt.body:
+                self.visit_stmt(inner)
+        elif isinstance(stmt, ast.VarDecl):
+            self._value_use(stmt.init)
+            for item in stmt.init_list or []:
+                self._value_use(item)
+        elif isinstance(stmt, ast.ExprStmt):
+            self.visit_expr(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            self._value_use(stmt.cond)
+            self.visit_stmt(stmt.then)
+            self.visit_stmt(stmt.otherwise)
+        elif isinstance(stmt, ast.While):
+            self._value_use(stmt.cond)
+            self.visit_stmt(stmt.body)
+        elif isinstance(stmt, ast.For):
+            self.visit_stmt(stmt.init)
+            self._value_use(stmt.cond)
+            self._value_use(stmt.step)
+            self.visit_stmt(stmt.body)
+        elif isinstance(stmt, ast.Switch):
+            self._value_use(stmt.scrutinee)
+            for case in stmt.cases:
+                for inner in case.body:
+                    self.visit_stmt(inner)
+        elif isinstance(stmt, ast.Return):
+            self._value_use(stmt.value)
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            pass
+        else:  # pragma: no cover
+            raise TypeError(f"unknown statement {type(stmt).__name__}")

@@ -1,0 +1,15 @@
+"""Debugging aids: execution tracing and tagged-pointer anatomy.
+
+* :class:`Tracer` — attach to a machine to record a bounded window of
+  executed instructions (with register values for the interesting
+  operands), promote outcomes, and detection events;
+* :func:`explain_pointer` — decode a 64-bit pointer's tag fields and
+  dry-run its metadata lookup, producing the human-readable story of
+  what a ``promote`` of that pointer would do.
+"""
+
+from repro.debug.trace import Tracer, TraceEvent, attach_tracer
+from repro.debug.anatomy import explain_pointer, PointerAnatomy
+
+__all__ = ["Tracer", "TraceEvent", "attach_tracer",
+           "explain_pointer", "PointerAnatomy"]

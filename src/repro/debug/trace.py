@@ -1,0 +1,87 @@
+"""Bounded execution tracing for the VM.
+
+The interpreter consults ``machine.tracer`` once per instruction; with no
+tracer attached (the default) the cost is a single attribute test at call
+setup.  Traces are ring-buffered so tracing a long run keeps the tail.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, List, Optional
+
+from repro.compiler.ir import Instr, MNEMONICS, Op
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One executed instruction."""
+
+    function: str
+    index: int
+    op: int
+    mnemonic: str
+    dst: int
+    operand_a: Optional[int]   #: value of register `a` before execution
+    operand_b: Optional[int]
+
+    def __str__(self) -> str:
+        parts = [f"{self.function}:{self.index:<5d} {self.mnemonic:11s}"]
+        if self.dst >= 0:
+            parts.append(f"r{self.dst}")
+        if self.operand_a is not None:
+            parts.append(f"a=0x{self.operand_a:x}")
+        if self.operand_b is not None:
+            parts.append(f"b=0x{self.operand_b:x}")
+        return " ".join(parts)
+
+
+class Tracer:
+    """Ring-buffered instruction tracer with optional filtering.
+
+    ``only_ops`` restricts recording to an opcode subset (e.g. just the
+    IFP extension); ``capacity`` bounds memory.
+    """
+
+    def __init__(self, capacity: int = 4096,
+                 only_ops: Optional[set] = None):
+        self.capacity = capacity
+        self.only_ops = only_ops
+        self.events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self.recorded = 0
+
+    def record(self, function: str, index: int, ins: Instr,
+               regs: List[int]) -> None:
+        if self.only_ops is not None and ins.op not in self.only_ops:
+            return
+        operand_a = regs[ins.a] if 0 <= ins.a < len(regs) else None
+        operand_b = regs[ins.b] if 0 <= ins.b < len(regs) else None
+        self.events.append(TraceEvent(
+            function, index, int(ins.op), MNEMONICS[ins.op], ins.dst,
+            operand_a, operand_b))
+        self.recorded += 1
+
+    # -- queries -------------------------------------------------------------
+
+    def tail(self, count: int = 20) -> List[TraceEvent]:
+        return list(self.events)[-count:]
+
+    def by_mnemonic(self, mnemonic: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.mnemonic == mnemonic]
+
+    def format_tail(self, count: int = 20) -> str:
+        return "\n".join(str(e) for e in self.tail(count))
+
+
+#: ops worth watching when debugging IFP behaviour
+IFP_OPS = {Op.PROMOTE, Op.IFPADD, Op.IFPIDX, Op.IFPBND, Op.IFPCHK,
+           Op.IFPEXTRACT, Op.IFPMD, Op.IFPMAC, Op.LDBND, Op.STBND}
+
+
+def attach_tracer(machine, capacity: int = 4096,
+                  ifp_only: bool = False) -> Tracer:
+    """Create a tracer and attach it to a machine (before ``run``)."""
+    tracer = Tracer(capacity, IFP_OPS if ifp_only else None)
+    machine.tracer = tracer
+    return tracer

@@ -1,0 +1,135 @@
+"""Exception hierarchy for the In-Fat Pointer reproduction.
+
+Every failure mode in the simulated system maps to one of these exception
+types.  Exceptions that model *architectural* traps (the kind the paper's
+hardware would raise and the modified Linux kernel would deliver as a
+segmentation fault) derive from :class:`SimTrap`; programming errors in the
+host-side tooling (bad mini-C source, compiler misuse) derive from
+:class:`ReproError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+# ---------------------------------------------------------------------------
+# Host-side (tooling) errors
+# ---------------------------------------------------------------------------
+
+class SourceError(ReproError):
+    """Error in mini-C source code (lexing, parsing, or type checking).
+
+    Carries an optional ``line``/``col`` for diagnostics.
+    """
+
+    def __init__(self, message: str, line: int = 0, col: int = 0):
+        if line:
+            message = f"{line}:{col}: {message}"
+        super().__init__(message)
+        self.line = line
+        self.col = col
+
+
+class LexError(SourceError):
+    """Invalid token in mini-C source."""
+
+
+class ParseError(SourceError):
+    """Syntax error in mini-C source."""
+
+
+class TypeError_(SourceError):
+    """Semantic / type error in mini-C source.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class CompileError(ReproError):
+    """Internal error while lowering or instrumenting a program."""
+
+
+class LinkError(ReproError):
+    """Error resolving symbols when assembling the final program image."""
+
+
+# ---------------------------------------------------------------------------
+# Architectural traps (simulated hardware exceptions)
+# ---------------------------------------------------------------------------
+
+class SimTrap(ReproError):
+    """A trap raised by the simulated machine.
+
+    ``pc`` identifies the faulting instruction (function, index) when known.
+    """
+
+    def __init__(self, message: str, pc: object = None):
+        super().__init__(message)
+        self.pc = pc
+
+
+class MemoryFault(SimTrap):
+    """Access to unmapped or otherwise invalid simulated memory (page fault)."""
+
+    def __init__(self, message: str, address: int = 0, pc: object = None):
+        super().__init__(message, pc)
+        self.address = address
+
+
+class PoisonTrap(SimTrap):
+    """Load/store through a pointer whose poison bits are not 'valid'.
+
+    This is the trap that signals a detected spatial memory-safety
+    violation: In-Fat Pointer poisons the pointer when a bounds check fails
+    and standard loads/stores trap on poisoned pointers.
+    """
+
+    def __init__(self, message: str, pointer: int = 0, pc: object = None):
+        super().__init__(message, pc)
+        self.pointer = pointer
+
+
+class BoundsTrap(SimTrap):
+    """Explicit bounds-check (``ifpchk``) failure configured to trap."""
+
+    def __init__(self, message: str, pointer: int = 0,
+                 lower: int = 0, upper: int = 0, pc: object = None):
+        super().__init__(message, pc)
+        self.pointer = pointer
+        self.lower = lower
+        self.upper = upper
+
+
+class MetadataError(SimTrap):
+    """Invalid or tampered object metadata discovered during promote.
+
+    Raised when a MAC check fails or a metadata encoding is malformed in a
+    way the hardware is specified to trap on (rather than poison).
+    """
+
+
+class SyscallError(SimTrap):
+    """Invalid syscall or syscall arguments from the guest program."""
+
+
+class GuestExit(ReproError):
+    """Non-error control-flow exception: the guest called ``exit``.
+
+    Not a :class:`SimTrap` because it is the normal way a guest program
+    terminates; the VM catches it internally.
+    """
+
+    def __init__(self, code: int):
+        super().__init__(f"guest exited with code {code}")
+        self.code = code
+
+
+class ResourceExhausted(SimTrap):
+    """A fixed-size architectural resource overflowed.
+
+    Examples: the global metadata table is full, or all 16 subheap control
+    registers are in use.
+    """

@@ -1,0 +1,27 @@
+"""Evaluation harness: regenerates every table and figure of Section 5.
+
+* Table 1/2/3 — static comparison/scheme/instruction tables
+  (:mod:`repro.eval.related`);
+* Table 4 — dynamic event counts (:mod:`repro.eval.table4`);
+* Figure 10/11/12 — runtime, new-instruction, and memory overheads
+  (:mod:`repro.eval.figures`);
+* Figure 13 — hardware area (:mod:`repro.hwmodel`).
+"""
+
+from repro.eval.configs import CONFIG_NAMES, build_options, build_machine_config
+from repro.eval.harness import WorkloadRun, run_workload, run_sweep, Sweep
+from repro.eval.table4 import table4_rows, format_table4
+from repro.eval.figures import (
+    figure10_series, figure11_series, figure12_series, format_figure,
+    geomean,
+)
+from repro.eval.related import TABLE1_ROWS, TABLE2_ROWS, TABLE3_ROWS
+
+__all__ = [
+    "CONFIG_NAMES", "build_options", "build_machine_config",
+    "WorkloadRun", "run_workload", "run_sweep", "Sweep",
+    "table4_rows", "format_table4",
+    "figure10_series", "figure11_series", "figure12_series",
+    "format_figure", "geomean",
+    "TABLE1_ROWS", "TABLE2_ROWS", "TABLE3_ROWS",
+]

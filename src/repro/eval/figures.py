@@ -1,0 +1,105 @@
+"""Figures 10-12: runtime overhead, new-instruction share, memory overhead.
+
+Each ``figure*_series`` function returns ``{series name: [(benchmark,
+value), ...]}`` with values as *fractions* (0.12 = 12 %), matching the
+paper's percentage axes.  ``format_figure`` renders an ASCII view with
+the geometric means the paper quotes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.eval.harness import Sweep
+
+Series = Dict[str, List[Tuple[str, float]]]
+
+#: programs the paper excludes from Figure 12 (footprints too small for
+#: `time -v` to resolve)
+FIGURE12_EXCLUDED = ("ks", "yacr2", "coremark")
+
+
+def geomean(values: List[float]) -> float:
+    """Geometric mean of (1 + overhead) values, returned as overhead."""
+    if not values:
+        return 0.0
+    log_sum = sum(math.log(max(1.0 + v, 1e-9)) for v in values)
+    return math.exp(log_sum / len(values)) - 1.0
+
+
+def figure10_series(sweep: Optional[Sweep] = None) -> Series:
+    """Runtime (cycle) overhead vs baseline, four series."""
+    sweep = sweep or Sweep()
+    series: Series = {"subheap": [], "wrapped": [],
+                      "subheap-np": [], "wrapped-np": []}
+    for workload in sweep.workloads:
+        base = sweep.run(workload, "baseline").cycles
+        for config in series:
+            cycles = sweep.run(workload, config).cycles
+            series[config].append((workload.name, cycles / base - 1.0))
+    return series
+
+
+def figure11_series(sweep: Optional[Sweep] = None) -> Series:
+    """New-instruction counts as a share of baseline instructions,
+    decomposed into promote / IFP arithmetic / bounds load-store."""
+    sweep = sweep or Sweep()
+    series: Series = {}
+    for config in ("subheap", "wrapped"):
+        promote, arith, bounds_ls = [], [], []
+        for workload in sweep.workloads:
+            base = sweep.run(workload, "baseline").instructions
+            stats = sweep.run(workload, config).stats
+            promote.append((workload.name,
+                            stats.promote_instructions / base))
+            arith.append((workload.name,
+                          stats.ifp_arith_instructions / base))
+            bounds_ls.append((workload.name,
+                              stats.bounds_ls_instructions / base))
+        series[f"{config}/promote"] = promote
+        series[f"{config}/ifp-arith"] = arith
+        series[f"{config}/bounds-ls"] = bounds_ls
+    return series
+
+
+def figure12_series(sweep: Optional[Sweep] = None,
+                    excluded: Tuple[str, ...] = FIGURE12_EXCLUDED) -> Series:
+    """Memory overhead (peak mapped bytes) vs baseline."""
+    sweep = sweep or Sweep()
+    series: Series = {"subheap": [], "wrapped": []}
+    for workload in sweep.workloads:
+        if workload.name in excluded:
+            continue
+        base = sweep.run(workload, "baseline").memory
+        for config in series:
+            memory = sweep.run(workload, config).memory
+            series[config].append((workload.name, memory / base - 1.0))
+    return series
+
+
+def format_figure(series: Series, title: str,
+                  as_percent: bool = True) -> str:
+    names = sorted({name for points in series.values()
+                    for name, _v in points})
+    lines = [title,
+             f"{'benchmark':13s} " + " ".join(f"{s:>12s}"
+                                              for s in sorted(series))]
+    by_series = {s: dict(points) for s, points in series.items()}
+    for name in names:
+        row = [f"{name:13s}"]
+        for s in sorted(series):
+            value = by_series[s].get(name)
+            if value is None:
+                row.append(f"{'—':>12s}")
+            elif as_percent:
+                row.append(f"{value * 100:11.1f}%")
+            else:
+                row.append(f"{value:12.3f}")
+        lines.append(" ".join(row))
+    gm_row = [f"{'geo-mean':13s}"]
+    for s in sorted(series):
+        gm = geomean([v for _n, v in series[s]])
+        gm_row.append(f"{gm * 100:11.1f}%" if as_percent else f"{gm:12.3f}")
+    lines.append(" ".join(gm_row))
+    return "\n".join(lines)

@@ -1,0 +1,103 @@
+"""Run benchmarks under evaluation configurations and cache results.
+
+A :class:`Sweep` memoises (workload, config, scale) runs so the table and
+figure generators — and the pytest-benchmark harnesses — can share one
+set of executions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.compiler import compile_source
+from repro.eval.configs import (
+    CONFIG_NAMES, build_machine_config, build_options,
+)
+from repro.vm import Machine, RunStats
+from repro.workloads import Workload, all_workloads
+
+
+@dataclass
+class WorkloadRun:
+    """One (workload, configuration) execution."""
+
+    workload: str
+    config: str
+    scale: int
+    stats: RunStats
+    output: str
+    exit_code: Optional[int]
+
+    @property
+    def instructions(self) -> int:
+        return self.stats.total_instructions
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+    @property
+    def memory(self) -> int:
+        return self.stats.peak_mapped_bytes
+
+
+def run_workload(workload: Workload, config: str,
+                 scale: int = 1) -> WorkloadRun:
+    """Compile and execute one workload under one configuration."""
+    options = build_options(config)
+    program = compile_source(workload.source(scale), options)
+    machine = Machine(program, build_machine_config(config))
+    result = machine.run()
+    if result.trap is not None:
+        raise RuntimeError(
+            f"{workload.name} [{config}] trapped: {result.trap}")
+    if workload.expected_output \
+            and workload.expected_output not in result.output:
+        raise RuntimeError(
+            f"{workload.name} [{config}] produced unexpected output "
+            f"{result.output!r}")
+    return WorkloadRun(workload.name, config, scale, result.stats,
+                       result.output, result.exit_code)
+
+
+class Sweep:
+    """Memoising runner over (workload, config) pairs."""
+
+    def __init__(self, scale: int = 1,
+                 workloads: Optional[List[Workload]] = None):
+        self.scale = scale
+        self.workloads = workloads if workloads is not None \
+            else all_workloads()
+        self._cache: Dict[Tuple[str, str], WorkloadRun] = {}
+
+    def run(self, workload: Workload, config: str) -> WorkloadRun:
+        key = (workload.name, config)
+        if key not in self._cache:
+            self._cache[key] = run_workload(workload, config, self.scale)
+        return self._cache[key]
+
+    def baseline(self, workload: Workload) -> WorkloadRun:
+        return self.run(workload, "baseline")
+
+    def all_runs(self, configs: Iterable[str] = CONFIG_NAMES
+                 ) -> List[WorkloadRun]:
+        return [self.run(w, c) for w in self.workloads for c in configs]
+
+    def verify_outputs_agree(self) -> None:
+        """Assert every configuration computes the same answer."""
+        for workload in self.workloads:
+            outputs = {self.run(workload, c).output
+                       for c in ("baseline", "subheap", "wrapped")}
+            if len(outputs) != 1:
+                raise AssertionError(
+                    f"{workload.name}: configurations disagree: {outputs}")
+
+
+def run_sweep(scale: int = 1,
+              configs: Iterable[str] = CONFIG_NAMES,
+              workloads: Optional[List[Workload]] = None) -> Sweep:
+    """Convenience: build a sweep and execute everything eagerly."""
+    sweep = Sweep(scale, workloads)
+    sweep.all_runs(configs)
+    return sweep

@@ -1,0 +1,76 @@
+"""Table 4: dynamic event counts on object instrumentation, promotion,
+and instructions executed."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.eval.harness import Sweep
+
+
+@dataclass
+class Table4Row:
+    benchmark: str
+    global_objects: int
+    global_lt_pct: float
+    local_objects: int
+    local_lt_pct: float
+    heap_objects: int
+    heap_lt_pct: float
+    valid_promotes: int
+    valid_promote_pct: float   #: valid / total promotes
+    baseline_instructions: int
+    subheap_ratio: float
+    wrapped_ratio: float
+
+
+def _pct(part: int, whole: int) -> float:
+    return 100.0 * part / whole if whole else 0.0
+
+
+def table4_rows(sweep: Optional[Sweep] = None) -> List[Table4Row]:
+    """Compute every row of Table 4 (layout-table stats from the subheap
+    build, exactly as the paper does)."""
+    sweep = sweep or Sweep()
+    rows: List[Table4Row] = []
+    for workload in sweep.workloads:
+        baseline = sweep.run(workload, "baseline")
+        subheap = sweep.run(workload, "subheap")
+        wrapped = sweep.run(workload, "wrapped")
+        stats = subheap.stats
+        ifp = stats.ifp
+        rows.append(Table4Row(
+            benchmark=workload.name,
+            global_objects=stats.global_objects,
+            global_lt_pct=_pct(stats.global_objects_lt,
+                               stats.global_objects),
+            local_objects=stats.local_objects,
+            local_lt_pct=_pct(stats.local_objects_lt, stats.local_objects),
+            heap_objects=stats.heap_objects,
+            heap_lt_pct=_pct(stats.heap_objects_lt, stats.heap_objects),
+            valid_promotes=ifp.promotes_valid if ifp else 0,
+            valid_promote_pct=_pct(ifp.promotes_valid,
+                                   ifp.promotes_total) if ifp else 0.0,
+            baseline_instructions=baseline.instructions,
+            subheap_ratio=subheap.instructions / baseline.instructions,
+            wrapped_ratio=wrapped.instructions / baseline.instructions,
+        ))
+    return rows
+
+
+def format_table4(rows: List[Table4Row]) -> str:
+    header = (f"{'benchmark':13s} {'glob':>6s} {'%LT':>4s} {'local':>8s} "
+              f"{'%LT':>4s} {'heap':>8s} {'%LT':>4s} {'v.promote':>10s} "
+              f"{'%tot':>5s} {'base instr':>12s} {'subheap':>8s} "
+              f"{'wrapped':>8s}")
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r.benchmark:13s} {r.global_objects:6d} "
+            f"{r.global_lt_pct:4.0f} {r.local_objects:8d} "
+            f"{r.local_lt_pct:4.0f} {r.heap_objects:8d} "
+            f"{r.heap_lt_pct:4.0f} {r.valid_promotes:10d} "
+            f"{r.valid_promote_pct:5.0f} {r.baseline_instructions:12,d} "
+            f"{r.subheap_ratio:7.2f}x {r.wrapped_ratio:7.2f}x")
+    return "\n".join(lines)

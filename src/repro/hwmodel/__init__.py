@@ -1,0 +1,7 @@
+"""Parametric FPGA-area model (paper Section 5.3, Figure 13)."""
+
+from repro.hwmodel.area import (
+    AreaModel, Component, VANILLA_LUTS, VANILLA_FFS,
+)
+
+__all__ = ["AreaModel", "Component", "VANILLA_LUTS", "VANILLA_FFS"]

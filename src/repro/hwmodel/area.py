@@ -1,0 +1,152 @@
+"""FPGA LUT/FF cost model calibrated to the paper's Vivado reports.
+
+Reported anchors (Section 5.3):
+
+* vanilla CVA6: 37,088 LUTs / 21,993 FFs;
+* modified:     59,261 LUTs / 32,545 FFs (+60 % LUTs, +48 % FFs);
+* ~62 % of the LUT increase is in the execute stage — the IFP unit alone
+  is 38 % and the load-store unit 19 %;
+* the issue stage contributes 29 % (bounds register file, operand
+  forwarding, extra writeback port);
+* inside the IFP unit, the layout-table walker is 3,059 LUTs (36 %) and
+  the three metadata schemes together 2,501 LUTs (30 %).
+
+The model decomposes the growth into components carrying those anchors
+and supports the paper's what-if analyses: dropping the bounds registers
+(the single biggest contributor — the paper's advice for sub-30 % area
+budgets), dropping the layout walker (object-granularity-only hardware),
+or building fewer metadata schemes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+#: Paper-reported vanilla CVA6 utilisation.
+VANILLA_LUTS = 37_088
+VANILLA_FFS = 21_993
+
+#: Paper-reported modified totals.
+MODIFIED_LUTS = 59_261
+MODIFIED_FFS = 32_545
+
+#: Total LUT growth implied by the anchors.
+TOTAL_LUT_GROWTH = MODIFIED_LUTS - VANILLA_LUTS  # 22,173
+
+
+@dataclass(frozen=True)
+class Component:
+    """One hardware component's vanilla size and IFP growth, in LUTs."""
+
+    name: str
+    stage: str
+    vanilla: int
+    growth: int
+
+
+#: Growth decomposition calibrated to the reported percentages.
+#: (IFP unit 8,433 = 38 %; LSU 4,551; issue total ≈ 29 %; remainder in
+#: decode/control/cache plumbing.)
+_COMPONENTS: Tuple[Component, ...] = (
+    # execute stage
+    Component("ifp_unit.layout_walker", "execute", 0, 3_059),
+    Component("ifp_unit.scheme_local_offset", "execute", 0, 700),
+    Component("ifp_unit.scheme_subheap", "execute", 0, 1_101),
+    Component("ifp_unit.scheme_global_table", "execute", 0, 700),
+    Component("ifp_unit.control", "execute", 0, 2_873),
+    Component("load_store_unit", "execute", 9_028, 4_551),
+    Component("execute.other", "execute", 6_030, 814),
+    # issue stage
+    Component("bounds_register_file", "issue", 0, 4_103),
+    Component("operand_forwarding", "issue", 7_032, 1_205),
+    Component("writeback_port", "issue", 2_500, 1_122),
+    # everything else
+    Component("frontend_decode", "frontend", 6_246, 980),
+    Component("cache_subsystem", "cache", 4_201, 483),
+    Component("control_registers", "other", 2_051, 482),
+)
+
+#: FF growth distributed proportionally to LUT growth.
+_FF_GROWTH = MODIFIED_FFS - VANILLA_FFS
+
+
+class AreaModel:
+    """Compute total area under feature selections."""
+
+    def __init__(self, bounds_registers: bool = True,
+                 layout_walker: bool = True,
+                 schemes: Tuple[str, ...] = ("local_offset", "subheap",
+                                             "global_table")):
+        self.bounds_registers = bounds_registers
+        self.layout_walker = layout_walker
+        self.schemes = tuple(schemes)
+
+    # -- feature gating ---------------------------------------------------------
+
+    def _included(self, component: Component) -> bool:
+        name = component.name
+        if name == "bounds_register_file":
+            return self.bounds_registers
+        if name == "ifp_unit.layout_walker":
+            return self.layout_walker
+        if name.startswith("ifp_unit.scheme_"):
+            return name[len("ifp_unit.scheme_"):] in self.schemes
+        return True
+
+    # -- queries -------------------------------------------------------------------
+
+    def components(self) -> List[Component]:
+        return [c for c in _COMPONENTS if self._included(c)]
+
+    def lut_growth(self) -> int:
+        return sum(c.growth for c in self.components())
+
+    def total_luts(self) -> int:
+        return VANILLA_LUTS + self.lut_growth()
+
+    def lut_overhead(self) -> float:
+        """Fractional LUT increase over vanilla."""
+        return self.lut_growth() / VANILLA_LUTS
+
+    def ff_growth(self) -> int:
+        """FF growth scaled with the included LUT growth."""
+        full = sum(c.growth for c in _COMPONENTS)
+        return round(_FF_GROWTH * self.lut_growth() / full)
+
+    def ff_overhead(self) -> float:
+        return self.ff_growth() / VANILLA_FFS
+
+    def stage_breakdown(self) -> Dict[str, Tuple[int, int]]:
+        """stage -> (vanilla LUTs, growth LUTs)."""
+        out: Dict[str, List[int]] = {}
+        for component in _COMPONENTS:
+            vanilla, growth = out.setdefault(component.stage, [0, 0])
+            out[component.stage][0] += component.vanilla
+            if self._included(component):
+                out[component.stage][1] += component.growth
+        return {stage: (v, g) for stage, (v, g) in out.items()}
+
+    def ifp_unit_luts(self) -> int:
+        return sum(c.growth for c in self.components()
+                   if c.name.startswith("ifp_unit"))
+
+    # -- Figure 13 -------------------------------------------------------------------
+
+    def figure13_rows(self) -> List[Tuple[str, str, int, int]]:
+        """(component, stage, vanilla, growth) rows for the figure."""
+        return [(c.name, c.stage, c.vanilla,
+                 c.growth if self._included(c) else 0)
+                for c in _COMPONENTS]
+
+    def report(self) -> str:
+        lines = [
+            f"{'component':32s} {'stage':9s} {'vanilla':>8s} {'growth':>8s}",
+        ]
+        for name, stage, vanilla, growth in self.figure13_rows():
+            lines.append(f"{name:32s} {stage:9s} {vanilla:8,d} {growth:8,d}")
+        lines.append(
+            f"TOTAL: {self.total_luts():,} LUTs "
+            f"(+{self.lut_overhead() * 100:.0f}% over vanilla "
+            f"{VANILLA_LUTS:,}); FFs +{self.ff_overhead() * 100:.0f}%")
+        return "\n".join(lines)

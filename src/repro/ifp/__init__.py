@@ -1,0 +1,45 @@
+"""In-Fat Pointer core: the paper's primary contribution.
+
+This package implements, faithfully to the ASPLOS 2021 paper:
+
+* the 16-bit pointer-tag layout (poison bits, scheme selector, scheme
+  metadata + subobject index) — :mod:`repro.ifp.tag`;
+* the three complementary object-metadata schemes (local offset, subheap,
+  global table) — :mod:`repro.ifp.schemes`;
+* per-type layout tables and the recursive subobject bounds-narrowing
+  walk — :mod:`repro.ifp.layout`, :mod:`repro.ifp.narrow`;
+* the ``promote`` operation that turns a tagged 64-bit pointer into an
+  internal fat pointer (bounds in an IFPR) — :mod:`repro.ifp.promote`;
+* the metadata MAC — :mod:`repro.ifp.mac`.
+"""
+
+from repro.ifp.config import IFPConfig, DEFAULT_CONFIG
+from repro.ifp.poison import Poison
+from repro.ifp.tag import (
+    Scheme,
+    PointerTag,
+    TAG_SHIFT,
+    pack_pointer,
+    unpack_tag,
+    address_of,
+    with_tag,
+    with_poison,
+    strip_tag,
+)
+from repro.ifp.bounds import Bounds
+from repro.ifp.layout import LayoutTable, LayoutEntry, LAYOUT_ENTRY_BYTES
+from repro.ifp.mac import compute_mac, MAC_BITS
+from repro.ifp.metadata import ObjectMetadata
+from repro.ifp.promote import PromoteOutcome, PromoteResult
+from repro.ifp.unit import ControlRegisters, MetadataPort, IFPUnit
+
+__all__ = [
+    "IFPConfig", "DEFAULT_CONFIG",
+    "Poison", "Scheme", "PointerTag", "TAG_SHIFT",
+    "pack_pointer", "unpack_tag", "address_of", "with_tag", "with_poison",
+    "strip_tag",
+    "Bounds", "LayoutTable", "LayoutEntry", "LAYOUT_ENTRY_BYTES",
+    "compute_mac", "MAC_BITS", "ObjectMetadata",
+    "PromoteOutcome", "PromoteResult",
+    "ControlRegisters", "MetadataPort", "IFPUnit",
+]

@@ -1,0 +1,71 @@
+"""Pointer bounds and the In-Fat Pointer Register (IFPR) model.
+
+An IFPR is the pairing of a general-purpose register holding a 64-bit
+pointer with a 96-bit bounds register holding two 48-bit addresses
+(lower inclusive, upper exclusive).  Bounds registers can also be
+*cleared* — the state legacy pointers get — in which case dereferences
+through the pointer are not bounds-checked.
+
+In the simulator a cleared bounds register is represented by ``None`` in
+the register file; a loaded one by a :class:`Bounds` instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mem.layout import ADDRESS_MASK
+
+#: Size of a bounds register when spilled with ``stbnd`` (2 x 48 bits,
+#: stored as two 8-byte words for alignment, matching ldbnd/stbnd width).
+BOUNDS_SPILL_BYTES = 16
+
+
+@dataclass(frozen=True)
+class Bounds:
+    """A half-open address interval ``[lower, upper)``."""
+
+    lower: int
+    upper: int
+
+    def __post_init__(self):
+        object.__setattr__(self, "lower", self.lower & ADDRESS_MASK)
+        object.__setattr__(self, "upper", self.upper & ADDRESS_MASK)
+
+    @property
+    def size(self) -> int:
+        return max(0, self.upper - self.lower)
+
+    def contains(self, address: int, access_size: int = 1) -> bool:
+        """Access-size check: ``lower <= address`` and
+        ``address + access_size <= upper`` (paper Section 4.1)."""
+        address &= ADDRESS_MASK
+        return self.lower <= address and address + access_size <= self.upper
+
+    def contains_or_one_past(self, address: int) -> bool:
+        """True for any address in bounds or exactly one past the end —
+        the C-legal recoverable state."""
+        address &= ADDRESS_MASK
+        return self.lower <= address <= self.upper
+
+    def narrowed(self, lower: int, upper: int) -> "Bounds":
+        """Intersect with ``[lower, upper)`` (used by ``ifpbnd``)."""
+        return Bounds(max(self.lower, lower & ADDRESS_MASK),
+                      min(self.upper, upper & ADDRESS_MASK))
+
+    def shifted(self, delta: int) -> "Bounds":
+        return Bounds(self.lower + delta, self.upper + delta)
+
+    # -- spill format -------------------------------------------------------
+
+    def to_words(self) -> tuple:
+        """Encode for ``stbnd`` as two 64-bit words (lower, upper)."""
+        return (self.lower, self.upper)
+
+    @classmethod
+    def from_words(cls, lower_word: int, upper_word: int) -> "Bounds":
+        """Decode the ``ldbnd`` spill format."""
+        return cls(lower_word & ADDRESS_MASK, upper_word & ADDRESS_MASK)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"[0x{self.lower:x}, 0x{self.upper:x})"

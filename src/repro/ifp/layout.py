@@ -1,0 +1,170 @@
+"""Per-type layout tables (paper Section 3.4, Figure 9).
+
+A layout table flattens a type's subobject tree into an array of entries
+``{parent, base, bound, size}``:
+
+* ``parent`` — index of the enclosing subobject's entry (entry 0 is the
+  whole object and is its own parent);
+* ``base``/``bound`` — the subobject's byte offsets *relative to the base
+  of one element of the parent subobject*;
+* ``size`` — the element size: for an array subobject, the size of one
+  array element; for anything else, ``bound - base``.  The element count
+  of an array is never stored — it is ``(bound - base) / size``.
+
+One table is shared by every object of the same type (the tables are
+generated at compile time and are read-only), which is what makes the
+scheme memory-efficient.
+
+In-memory encoding (16 bytes per entry, little-endian):
+
+======== ===== ==========================================
+offset   width field
+======== ===== ==========================================
+0        2     parent index (entry 0: total entry count)
+2        2     reserved (zero)
+4        4     base offset
+8        4     bound offset
+12       4     element size
+======== ===== ==========================================
+
+Entry 0 describes the whole object (``base = 0``, ``bound = size =
+sizeof(T)``); storing the entry count in its otherwise-unused parent field
+lets the hardware validate subobject indices without a separate header.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+#: Size of one serialized layout-table entry.
+LAYOUT_ENTRY_BYTES = 16
+
+
+@dataclass(frozen=True)
+class LayoutEntry:
+    """One row of a layout table."""
+
+    parent: int  #: index of the parent entry (0 for top-level members)
+    base: int    #: start offset within one parent element
+    bound: int   #: end offset within one parent element (exclusive)
+    size: int    #: element size (== bound - base unless this is an array)
+
+    def __post_init__(self):
+        if self.bound < self.base:
+            raise ValueError("layout entry bound precedes base")
+        if self.size <= 0:
+            raise ValueError("layout entry element size must be positive")
+
+    @property
+    def is_array(self) -> bool:
+        return self.bound - self.base != self.size
+
+    @property
+    def element_count(self) -> int:
+        return (self.bound - self.base) // self.size
+
+
+class LayoutTable:
+    """A flattened subobject tree for one type.
+
+    ``names`` optionally carries a human-readable path per entry (for
+    diagnostics and for the compiler to map member accesses to indices);
+    names never reach simulated memory.
+    """
+
+    def __init__(self, type_name: str, entries: Sequence[LayoutEntry],
+                 names: Optional[Sequence[str]] = None):
+        if not entries:
+            raise ValueError("layout table must have at least entry 0")
+        root = entries[0]
+        if root.parent != 0 or root.base != 0:
+            raise ValueError("entry 0 must be the whole object")
+        if root.bound != root.size:
+            raise ValueError("entry 0 must not be an array entry")
+        for index, entry in enumerate(entries):
+            if index and not (0 <= entry.parent < index):
+                raise ValueError(
+                    f"entry {index}: parent {entry.parent} must precede it")
+        self.type_name = type_name
+        self.entries: Tuple[LayoutEntry, ...] = tuple(entries)
+        self.names: Tuple[str, ...] = tuple(
+            names if names is not None else [""] * len(entries))
+        if len(self.names) != len(self.entries):
+            raise ValueError("names/entries length mismatch")
+        self._index_by_name: Dict[str, int] = {
+            name: i for i, name in enumerate(self.names) if name}
+
+    # -- queries ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __getitem__(self, index: int) -> LayoutEntry:
+        return self.entries[index]
+
+    @property
+    def object_size(self) -> int:
+        return self.entries[0].size
+
+    def index_of(self, path: str) -> int:
+        """Look up an entry by its generated path name (e.g. ``S.array[].v3``)."""
+        return self._index_by_name[path]
+
+    def depth_of(self, index: int) -> int:
+        """Nesting depth of an entry (entry 0 has depth 0)."""
+        depth = 0
+        while index != 0:
+            index = self.entries[index].parent
+            depth += 1
+        return depth
+
+    def chain_of(self, index: int) -> List[int]:
+        """Entry indices from the root (exclusive) down to ``index``."""
+        chain: List[int] = []
+        while index != 0:
+            chain.append(index)
+            index = self.entries[index].parent
+        chain.reverse()
+        return chain
+
+    # -- serialization --------------------------------------------------------
+
+    def serialize(self) -> bytes:
+        """Encode to the in-memory format described in the module docstring."""
+        out = bytearray()
+        for index, entry in enumerate(self.entries):
+            parent = len(self.entries) if index == 0 else entry.parent
+            out += parent.to_bytes(2, "little")
+            out += b"\x00\x00"
+            out += entry.base.to_bytes(4, "little")
+            out += entry.bound.to_bytes(4, "little")
+            out += entry.size.to_bytes(4, "little")
+        return bytes(out)
+
+    @classmethod
+    def deserialize(cls, data: bytes, type_name: str = "<anon>") -> "LayoutTable":
+        """Decode a serialized table (entry count from entry 0's parent field)."""
+        if len(data) < LAYOUT_ENTRY_BYTES:
+            raise ValueError("layout table data too short")
+        count = int.from_bytes(data[0:2], "little")
+        if count < 1 or len(data) < count * LAYOUT_ENTRY_BYTES:
+            raise ValueError("layout table data truncated")
+        entries: List[LayoutEntry] = []
+        for index in range(count):
+            off = index * LAYOUT_ENTRY_BYTES
+            parent = int.from_bytes(data[off:off + 2], "little")
+            base = int.from_bytes(data[off + 4:off + 8], "little")
+            bound = int.from_bytes(data[off + 8:off + 12], "little")
+            size = int.from_bytes(data[off + 12:off + 16], "little")
+            entries.append(LayoutEntry(
+                parent=0 if index == 0 else parent,
+                base=base, bound=bound, size=size))
+        return cls(type_name, entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        rows = ", ".join(
+            f"#{i}({e.parent},[{e.base},{e.bound}),{e.size})"
+            for i, e in enumerate(self.entries))
+        return f"LayoutTable({self.type_name}: {rows})"

@@ -1,0 +1,42 @@
+"""Poison-bit states for tagged pointers (paper Section 3.2).
+
+The top two bits of every pointer tag encode one of three states:
+
+* ``VALID`` — the pointer points within its bounds and may be dereferenced.
+* ``RECOVERABLE`` — out of bounds but recoverable (notably the legal
+  one-past-the-end state): dereferencing traps, but pointer arithmetic may
+  bring the pointer back in bounds and clear the state.
+* ``INVALID`` — an irrecoverable error was observed (invalid object
+  metadata, indexing after a failed check, ...); the pointer can never be
+  dereferenced again.
+
+All standard loads and stores check the poison bits and trap unless the
+state is ``VALID`` — this is what turns a failed bounds check into a fault
+at the (possibly later) dereference.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Poison(enum.IntEnum):
+    """Two-bit poison state.  Encodings 0b10 and 0b11 are both INVALID; the
+    canonical invalid encoding written by hardware is 0b10."""
+
+    VALID = 0b00
+    RECOVERABLE = 0b01
+    INVALID = 0b10
+    INVALID_ALT = 0b11
+
+    @property
+    def dereferenceable(self) -> bool:
+        return self is Poison.VALID
+
+    @property
+    def irrecoverable(self) -> bool:
+        return self in (Poison.INVALID, Poison.INVALID_ALT)
+
+    @classmethod
+    def from_bits(cls, bits: int) -> "Poison":
+        return cls(bits & 0b11)

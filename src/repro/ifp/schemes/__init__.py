@@ -1,0 +1,28 @@
+"""The three complementary object-metadata schemes (paper Section 3.3).
+
+==============  ==========================  ===============================
+scheme          tag payload (12 bits)       intended objects
+==============  ==========================  ===============================
+local offset    6-bit granule offset +      small objects, local variables
+                6-bit subobject index
+subheap         4-bit control-register      heap objects from a
+                index + 8-bit subobject     slab/pool-style allocator
+                index
+global table    12-bit table index          large globals; fallback
+==============  ==========================  ===============================
+
+Each module provides (a) helpers the *runtime* uses to write metadata and
+mint tagged pointers, and (b) the `lookup` routine the *hardware* (IFP
+unit) uses during ``promote``.
+"""
+
+from repro.ifp.schemes.local_offset import LocalOffsetScheme
+from repro.ifp.schemes.subheap import SubheapScheme, SubheapRegion
+from repro.ifp.schemes.global_table import GlobalTableScheme
+
+__all__ = [
+    "LocalOffsetScheme",
+    "SubheapScheme",
+    "SubheapRegion",
+    "GlobalTableScheme",
+]

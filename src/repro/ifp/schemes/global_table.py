@@ -1,0 +1,86 @@
+"""Global table scheme (paper Section 3.3.3, Figure 8).
+
+The fallback scheme: all 12 payload bits index into a single global
+metadata table whose base address lives in a control register.  With every
+tag bit spent on the index there is no room for a subobject index, so —
+exactly as in the paper's prototype — pointers under this scheme cannot
+have their bounds narrowed during ``promote``.
+
+Table row — 16 bytes:
+
+======== ===== ==============================================
+offset   width field
+======== ===== ==============================================
+0        6     object base address (48-bit); 0 = empty row
+6        4     object size
+10       6     layout-table pointer (48-bit address)
+======== ===== ==============================================
+
+The table lives in a reserved, runtime-managed region (never handed to the
+application allocators), so rows carry no MAC.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.ifp.config import IFPConfig, DEFAULT_CONFIG
+from repro.ifp.metadata import ObjectMetadata
+from repro.ifp.poison import Poison
+from repro.ifp.tag import PointerTag, Scheme, pack_pointer
+
+#: Size of one table row.
+ROW_BYTES = 16
+
+
+class GlobalTableScheme:
+    """Helpers for the global table scheme."""
+
+    name = "global_table"
+
+    def __init__(self, config: IFPConfig = DEFAULT_CONFIG):
+        self.config = config
+
+    # -- runtime side -----------------------------------------------------------
+
+    def row_address(self, table_base: int, index: int) -> int:
+        return table_base + index * ROW_BYTES
+
+    def write_row(self, memory, table_base: int, index: int,
+                  object_base: int, size: int, layout_ptr: int) -> None:
+        if index >= self.config.global_table_rows:
+            raise ValueError("global table index out of range")
+        if object_base == 0:
+            raise ValueError("object base 0 is the empty-row marker")
+        row = self.row_address(table_base, index)
+        memory.store_int(row, object_base, 6)
+        memory.store_int(row + 6, size, 4)
+        memory.store_int(row + 10, layout_ptr, 6)
+
+    def clear_row(self, memory, table_base: int, index: int) -> None:
+        memory.fill(self.row_address(table_base, index), 0, ROW_BYTES)
+
+    def make_pointer(self, address: int, index: int,
+                     poison: Poison = Poison.VALID) -> int:
+        if index >= self.config.global_table_rows:
+            raise ValueError("global table index out of range")
+        tag = PointerTag(poison, Scheme.GLOBAL_TABLE, index)
+        return pack_pointer(address, tag)
+
+    # -- hardware side ------------------------------------------------------------
+
+    def lookup(self, address: int, tag: PointerTag, port,
+               control_registers) -> Tuple[Optional[ObjectMetadata], bool]:
+        """Index into the table; empty rows are invalid metadata."""
+        config = self.config
+        table_base = control_registers.global_table_base
+        if table_base == 0:
+            return None, False
+        index = tag.global_table_index(config)
+        row = self.row_address(table_base, index)
+        object_base = port.load(row, 6)
+        size = port.load(row + 6, 4)
+        layout_ptr = port.load(row + 10, 6)
+        if object_base == 0 or size == 0:
+            return None, False
+        return ObjectMetadata(object_base, size, layout_ptr), False

@@ -1,0 +1,174 @@
+"""Pointer-tag layout: pack/unpack the top 16 bits of a 64-bit pointer.
+
+Bit layout (Figure 4 of the paper), from most to least significant:
+
+====== ====== =========================================================
+bits   width  field
+====== ====== =========================================================
+63..62   2    poison bits (:class:`~repro.ifp.poison.Poison`)
+61..60   2    scheme selector (:class:`Scheme`)
+59..48  12    scheme metadata + subobject index (scheme-dependent split)
+47..0   48    canonical virtual address
+====== ====== =========================================================
+
+Scheme payload splits (prototype parameters):
+
+* ``LOCAL_OFFSET``: ``payload[11:6]`` = granule offset to the appended
+  metadata, ``payload[5:0]`` = subobject index.
+* ``SUBHEAP``: ``payload[11:8]`` = control-register index,
+  ``payload[7:0]`` = subobject index.
+* ``GLOBAL_TABLE``: ``payload[11:0]`` = global metadata-table row index
+  (no subobject index — the paper's prototype cannot narrow under this
+  scheme).
+
+The all-zero selector (``LEGACY``) is the canonical-address pattern, so
+pointers produced by uninstrumented code naturally decode as legacy
+pointers carrying no metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import enum
+
+from repro.ifp.config import IFPConfig, DEFAULT_CONFIG
+from repro.ifp.poison import Poison
+from repro.mem.layout import ADDRESS_MASK
+
+#: Bit position where the tag starts.
+TAG_SHIFT = 48
+#: Width of the whole tag.
+TAG_BITS = 16
+#: 64-bit value mask.
+U64_MASK = (1 << 64) - 1
+
+_PAYLOAD_MASK = 0xFFF
+_SELECTOR_SHIFT = 60
+_POISON_SHIFT = 62
+
+
+class Scheme(enum.IntEnum):
+    """Two-bit scheme selector."""
+
+    LEGACY = 0b00
+    LOCAL_OFFSET = 0b01
+    SUBHEAP = 0b10
+    GLOBAL_TABLE = 0b11
+
+
+@dataclass(frozen=True)
+class PointerTag:
+    """Decoded view of a pointer's 16 tag bits."""
+
+    poison: Poison
+    scheme: Scheme
+    payload: int  # 12 bits, interpretation depends on scheme
+
+    # -- scheme-specific payload views -------------------------------------
+
+    def local_granule_offset(self, config: IFPConfig = DEFAULT_CONFIG) -> int:
+        """Local offset scheme: offset (in granules) to the metadata."""
+        return (self.payload >> config.local_subobj_bits) & (
+            (1 << config.local_offset_bits) - 1)
+
+    def local_subobject_index(self, config: IFPConfig = DEFAULT_CONFIG) -> int:
+        return self.payload & ((1 << config.local_subobj_bits) - 1)
+
+    def subheap_register_index(self, config: IFPConfig = DEFAULT_CONFIG) -> int:
+        return (self.payload >> config.subheap_subobj_bits) & (
+            (1 << config.subheap_reg_bits) - 1)
+
+    def subheap_subobject_index(self, config: IFPConfig = DEFAULT_CONFIG) -> int:
+        return self.payload & ((1 << config.subheap_subobj_bits) - 1)
+
+    def global_table_index(self, config: IFPConfig = DEFAULT_CONFIG) -> int:
+        return self.payload & ((1 << config.global_index_bits) - 1)
+
+    def subobject_index(self, config: IFPConfig = DEFAULT_CONFIG) -> int:
+        """The subobject index under whichever scheme is selected (0 when
+        the scheme has none)."""
+        if self.scheme is Scheme.LOCAL_OFFSET:
+            return self.local_subobject_index(config)
+        if self.scheme is Scheme.SUBHEAP:
+            return self.subheap_subobject_index(config)
+        return 0
+
+    def with_subobject_index(self, index: int,
+                             config: IFPConfig = DEFAULT_CONFIG) -> "PointerTag":
+        """Return a tag with the subobject-index field replaced (``ifpidx``)."""
+        if self.scheme is Scheme.LOCAL_OFFSET:
+            width = config.local_subobj_bits
+        elif self.scheme is Scheme.SUBHEAP:
+            width = config.subheap_subobj_bits
+        else:
+            raise ValueError(f"scheme {self.scheme.name} has no subobject index")
+        mask = (1 << width) - 1
+        if index > mask:
+            raise ValueError(
+                f"subobject index {index} exceeds {width}-bit field")
+        payload = (self.payload & ~mask) | (index & mask)
+        return PointerTag(self.poison, self.scheme, payload)
+
+    def with_poison(self, poison: Poison) -> "PointerTag":
+        return PointerTag(poison, self.scheme, self.payload)
+
+    # -- encoding -----------------------------------------------------------
+
+    def encode(self) -> int:
+        """Pack into a 16-bit tag value."""
+        return ((int(self.poison) << 14) | (int(self.scheme) << 12)
+                | (self.payload & _PAYLOAD_MASK))
+
+
+# ---------------------------------------------------------------------------
+# Module-level helpers operating directly on 64-bit pointer values.  These
+# are in the interpreter's hot path, hence plain functions.
+# ---------------------------------------------------------------------------
+
+def pack_pointer(address: int, tag: PointerTag) -> int:
+    """Combine a 48-bit address and a decoded tag into a 64-bit pointer."""
+    return ((tag.encode() << TAG_SHIFT) | (address & ADDRESS_MASK)) & U64_MASK
+
+
+def unpack_tag(pointer: int) -> PointerTag:
+    """Decode the tag fields of a 64-bit pointer."""
+    tag_bits = (pointer >> TAG_SHIFT) & 0xFFFF
+    return PointerTag(
+        poison=Poison.from_bits(tag_bits >> 14),
+        scheme=Scheme((tag_bits >> 12) & 0b11),
+        payload=tag_bits & _PAYLOAD_MASK,
+    )
+
+
+def address_of(pointer: int) -> int:
+    """The 48-bit canonical address portion of a pointer."""
+    return pointer & ADDRESS_MASK
+
+
+def strip_tag(pointer: int) -> int:
+    """Drop the whole tag — what ``ifpextract`` (demote) produces."""
+    return pointer & ADDRESS_MASK
+
+
+def with_tag(pointer: int, tag: PointerTag) -> int:
+    """Replace the tag of ``pointer`` while keeping its address."""
+    return pack_pointer(address_of(pointer), tag)
+
+
+def with_poison(pointer: int, poison: Poison) -> int:
+    """Replace only the poison bits of a 64-bit pointer."""
+    cleared = pointer & ~(0b11 << _POISON_SHIFT)
+    return (cleared | (int(poison) << _POISON_SHIFT)) & U64_MASK
+
+
+def poison_of(pointer: int) -> Poison:
+    return Poison.from_bits(pointer >> _POISON_SHIFT)
+
+
+def scheme_of(pointer: int) -> Scheme:
+    return Scheme((pointer >> _SELECTOR_SHIFT) & 0b11)
+
+
+def is_legacy(pointer: int) -> bool:
+    """True when the pointer carries no metadata (legacy / canonical)."""
+    return scheme_of(pointer) is Scheme.LEGACY

@@ -1,0 +1,232 @@
+"""The IFP execution unit: control registers, metadata port, promote engine.
+
+This is the module that corresponds to the new execution unit the paper
+adds to CVA6's execute stage.  It owns:
+
+* the *control registers* — 16 subheap region descriptors plus the global
+  metadata-table base (architectural state written by the runtime);
+* the *metadata port* — the path through which promote fetches metadata
+  from memory (sharing the L1 data cache with ordinary loads, which is
+  what couples metadata locality to application cache behaviour);
+* the *promote engine* implementing Figure 5;
+* per-unit statistics that feed Table 4 and Figures 10–11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import ResourceExhausted
+from repro.ifp.bounds import Bounds
+from repro.ifp.config import IFPConfig, DEFAULT_CONFIG
+from repro.ifp.narrow import narrow_bounds
+from repro.ifp.poison import Poison
+from repro.ifp.promote import PromoteOutcome, PromoteResult
+from repro.ifp.schemes.global_table import GlobalTableScheme
+from repro.ifp.schemes.local_offset import LocalOffsetScheme
+from repro.ifp.schemes.subheap import SubheapRegion, SubheapScheme
+from repro.ifp.tag import Scheme, address_of, unpack_tag, with_poison
+
+
+class ControlRegisters:
+    """Architectural control state for the metadata schemes."""
+
+    def __init__(self, config: IFPConfig = DEFAULT_CONFIG):
+        self.config = config
+        self._subheap: List[Optional[SubheapRegion]] = \
+            [None] * config.subheap_register_count
+        self.global_table_base: int = 0
+
+    # -- subheap registers ---------------------------------------------------
+
+    def subheap_region(self, index: int) -> Optional[SubheapRegion]:
+        if not (0 <= index < len(self._subheap)):
+            return None
+        return self._subheap[index]
+
+    def set_subheap_region(self, index: int, region: SubheapRegion) -> None:
+        if not (0 <= index < len(self._subheap)):
+            raise ValueError("subheap control register index out of range")
+        self._subheap[index] = region
+
+    def allocate_subheap_register(self, region: SubheapRegion) -> int:
+        """Find a free register (or one already holding ``region``)."""
+        for index, existing in enumerate(self._subheap):
+            if existing == region:
+                return index
+        for index, existing in enumerate(self._subheap):
+            if existing is None:
+                self._subheap[index] = region
+                return index
+        raise ResourceExhausted("all subheap control registers in use")
+
+
+class MetadataPort:
+    """Memory access path for the IFP unit's metadata fetches.
+
+    Loads go through the shared L1 data cache (when a hierarchy is
+    attached) and accumulate cycles in :attr:`cycles`; the promote engine
+    reads the delta to cost each operation.
+    """
+
+    def __init__(self, memory, hierarchy=None):
+        self.memory = memory
+        self.hierarchy = hierarchy
+        self.cycles = 0
+        self.loads = 0
+        # The IFP unit holds the last-fetched line in a line buffer, so
+        # decoding multiple fields of one metadata record costs a single
+        # cache access.
+        self._buffered_line = -1
+
+    def load(self, address: int, size: int) -> int:
+        self.loads += 1
+        line = address >> 6
+        last_line = (address + size - 1) >> 6
+        if line != self._buffered_line or last_line != line:
+            if self.hierarchy is not None:
+                self.cycles += self.hierarchy.access_cycles(
+                    address, size, False)
+            else:
+                self.cycles += 1
+            self._buffered_line = last_line
+        return self.memory.load_int(address, size)
+
+    def add_cycles(self, cycles: int) -> None:
+        self.cycles += cycles
+
+
+@dataclass
+class IFPUnitStats:
+    """Counters matching the paper's evaluation breakdowns."""
+
+    promotes_total: int = 0
+    promotes_valid: int = 0            #: performed a metadata lookup
+    promotes_null: int = 0
+    promotes_legacy: int = 0
+    promotes_poisoned: int = 0
+    promotes_metadata_invalid: int = 0
+    lookups_local_offset: int = 0
+    lookups_subheap: int = 0
+    lookups_global_table: int = 0
+    narrow_attempts: int = 0           #: promote with non-zero subobject index
+    narrow_success: int = 0
+    narrow_no_layout_table: int = 0    #: narrowing wanted but layout_ptr == 0
+    narrow_walk_failures: int = 0
+    mac_failures: int = 0
+    promote_cycles: int = 0
+
+    @property
+    def promotes_bypassed(self) -> int:
+        return (self.promotes_null + self.promotes_legacy
+                + self.promotes_poisoned)
+
+
+class IFPUnit:
+    """The promote engine (paper Figure 5 + Figure 2)."""
+
+    def __init__(self, memory, hierarchy=None,
+                 config: IFPConfig = DEFAULT_CONFIG, mac_key: int = 0x1F9A7):
+        config.validate()
+        self.config = config
+        self.mac_key = mac_key
+        self.port = MetadataPort(memory, hierarchy)
+        self.control = ControlRegisters(config)
+        self.local_offset = LocalOffsetScheme(config)
+        self.subheap = SubheapScheme(config)
+        self.global_table = GlobalTableScheme(config)
+        self.stats = IFPUnitStats()
+
+    # -- the promote instruction ----------------------------------------------
+
+    def promote(self, pointer: int) -> PromoteResult:
+        """Execute one promote; returns the resulting IFPR."""
+        stats = self.stats
+        config = self.config
+        stats.promotes_total += 1
+        start_cycles = self.port.cycles
+        tag = unpack_tag(pointer)
+        address = address_of(pointer)
+
+        # 1. Poison gate.
+        if tag.poison.irrecoverable:
+            stats.promotes_poisoned += 1
+            cycles = config.promote_base_cycles
+            stats.promote_cycles += cycles
+            return PromoteResult(pointer, None,
+                                 PromoteOutcome.BYPASS_POISONED,
+                                 cycles=cycles)
+
+        # 2. Legacy gate (includes NULL).
+        if tag.scheme is Scheme.LEGACY:
+            if address == 0:
+                stats.promotes_null += 1
+                outcome = PromoteOutcome.BYPASS_NULL
+            else:
+                stats.promotes_legacy += 1
+                outcome = PromoteOutcome.BYPASS_LEGACY
+            cycles = config.promote_base_cycles
+            stats.promote_cycles += cycles
+            return PromoteResult(pointer, None, outcome, cycles=cycles)
+
+        # 3. Scheme dispatch and metadata lookup.
+        narrow_attempted = False
+        if tag.scheme is Scheme.LOCAL_OFFSET:
+            stats.lookups_local_offset += 1
+            metadata, mac_checked = self.local_offset.lookup(
+                address, tag, self.port, self.mac_key)
+        elif tag.scheme is Scheme.SUBHEAP:
+            stats.lookups_subheap += 1
+            metadata, mac_checked = self.subheap.lookup(
+                address, tag, self.port, self.control, self.mac_key)
+        else:
+            stats.lookups_global_table += 1
+            metadata, mac_checked = self.global_table.lookup(
+                address, tag, self.port, self.control)
+
+        if metadata is None:
+            stats.promotes_metadata_invalid += 1
+            if mac_checked:
+                stats.mac_failures += 1
+            cycles = (config.promote_base_cycles
+                      + (self.port.cycles - start_cycles))
+            stats.promote_cycles += cycles
+            return PromoteResult(with_poison(pointer, Poison.INVALID), None,
+                                 PromoteOutcome.METADATA_INVALID,
+                                 cycles=cycles)
+
+        stats.promotes_valid += 1
+        bounds = metadata.bounds
+        narrowed = False
+
+        # 4. Subobject narrowing.
+        subobject_index = tag.subobject_index(config)
+        if subobject_index != 0:
+            narrow_attempted = True
+            stats.narrow_attempts += 1
+            if not config.narrowing_enabled or metadata.layout_ptr == 0:
+                stats.narrow_no_layout_table += 1
+            else:
+                result = narrow_bounds(self.port, config,
+                                       metadata.layout_ptr, bounds,
+                                       address, subobject_index)
+                if result.exact:
+                    stats.narrow_success += 1
+                    narrowed = True
+                else:
+                    stats.narrow_walk_failures += 1
+                bounds = result.bounds
+
+        # 5. Fused size check -> output poison bits.
+        if bounds.contains(address):
+            poison = Poison.VALID
+        else:
+            poison = Poison.RECOVERABLE
+        cycles = config.promote_base_cycles + (self.port.cycles - start_cycles)
+        stats.promote_cycles += cycles
+        return PromoteResult(with_poison(pointer, poison), bounds,
+                             PromoteOutcome.VALID,
+                             narrowed=narrowed,
+                             narrow_attempted=narrow_attempted,
+                             cycles=cycles)

@@ -1,0 +1,19 @@
+"""Juliet-style functional evaluation (paper Section 5.1).
+
+The paper runs the NIST Juliet 1.3 C buffer-overflow categories; since the
+suite itself cannot ship here, :mod:`repro.juliet.cases` *generates*
+equivalent test programs: each case has a *good* (in-bounds) and a *bad*
+(out-of-bounds) variant of the same code shape, across the same CWE
+families (stack/heap-based overflow, underwrite, overread, underread) and
+a set of Juliet-like data-flow variants.
+
+Scoring, as in the paper: every bad variant must trap (detection), every
+good variant must run to completion (no false positives).  Unlike the
+paper — whose compiler optimised the intra-object cases away — the
+intra-object (subobject) cases here execute and are detected.
+"""
+
+from repro.juliet.cases import JulietCase, generate_cases
+from repro.juliet.runner import JulietReport, run_suite
+
+__all__ = ["JulietCase", "generate_cases", "JulietReport", "run_suite"]

@@ -1,0 +1,17 @@
+"""Mini-C frontend: the language the reproduction's "Clang/LLVM" compiles.
+
+The subset covers what the paper's instrumentation cares about: structs
+(arbitrarily nested, including arrays of structs), arrays, pointers and
+pointer arithmetic, function pointers, globals with initialisers, and the
+usual statement forms.  Floating point is deliberately absent (see
+DESIGN.md — float-heavy benchmark kernels use scaled integers).
+
+Pipeline: :func:`tokenize` → :func:`parse` → :func:`analyze`, producing a
+typed AST consumed by :mod:`repro.compiler`.
+"""
+
+from repro.lang.lexer import tokenize, Token
+from repro.lang.parser import parse
+from repro.lang.sema import analyze, Program
+
+__all__ = ["tokenize", "Token", "parse", "analyze", "Program"]

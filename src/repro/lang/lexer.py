@@ -1,0 +1,169 @@
+"""Tokenizer for mini-C."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.errors import LexError
+
+KEYWORDS = frozenset({
+    "void", "char", "short", "int", "long", "unsigned", "signed", "const",
+    "struct", "union", "typedef", "if", "else", "while", "for", "do",
+    "return", "break", "continue", "sizeof", "static", "extern", "NULL",
+    "switch", "case", "default",
+})
+
+#: Multi-character operators, longest first so maximal munch works.
+_OPERATORS = [
+    "<<=", ">>=", "...",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "->",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^",
+    "(", ")", "{", "}", "[", "]", ";", ",", ".", "?", ":",
+]
+
+_ESCAPES = {"n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "'": 39, '"': 34}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str   #: 'ident' | 'keyword' | 'int' | 'string' | 'op' | 'eof'
+    text: str
+    value: int = 0      #: numeric value for 'int' tokens
+    line: int = 0
+    col: int = 0
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r} @{self.line}:{self.col})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize mini-C source into a token list ending with an 'eof' token."""
+    tokens: List[Token] = []
+    pos = 0
+    line = 1
+    col = 1
+    length = len(source)
+
+    def advance(count: int) -> None:
+        nonlocal pos, line, col
+        for _ in range(count):
+            if source[pos] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            pos += 1
+
+    while pos < length:
+        ch = source[pos]
+        # Whitespace.
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        # Comments.
+        if source.startswith("//", pos):
+            while pos < length and source[pos] != "\n":
+                advance(1)
+            continue
+        if source.startswith("/*", pos):
+            end = source.find("*/", pos + 2)
+            if end < 0:
+                raise LexError("unterminated block comment", line, col)
+            advance(end + 2 - pos)
+            continue
+        start_line, start_col = line, col
+        # Identifiers and keywords.
+        if ch.isalpha() or ch == "_":
+            end = pos
+            while end < length and (source[end].isalnum() or source[end] == "_"):
+                end += 1
+            text = source[pos:end]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, 0, start_line, start_col))
+            advance(end - pos)
+            continue
+        # Numbers.
+        if ch.isdigit():
+            end = pos
+            if source.startswith(("0x", "0X"), pos):
+                end = pos + 2
+                while end < length and source[end] in "0123456789abcdefABCDEF":
+                    end += 1
+                value = int(source[pos:end], 16)
+            else:
+                while end < length and source[end].isdigit():
+                    end += 1
+                value = int(source[pos:end])
+            # Integer suffixes (L/U/UL) are accepted and ignored.
+            while end < length and source[end] in "uUlL":
+                end += 1
+            tokens.append(Token("int", source[pos:end], value,
+                                start_line, start_col))
+            advance(end - pos)
+            continue
+        # Character literals become int tokens.
+        if ch == "'":
+            value, consumed = _read_char(source, pos, line, col)
+            tokens.append(Token("int", source[pos:pos + consumed], value,
+                                start_line, start_col))
+            advance(consumed)
+            continue
+        # String literals.
+        if ch == '"':
+            text, consumed = _read_string(source, pos, line, col)
+            tokens.append(Token("string", text, 0, start_line, start_col))
+            advance(consumed)
+            continue
+        # Operators / punctuation.
+        for op in _OPERATORS:
+            if source.startswith(op, pos):
+                tokens.append(Token("op", op, 0, start_line, start_col))
+                advance(len(op))
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", line, col)
+    tokens.append(Token("eof", "", 0, line, col))
+    return tokens
+
+
+def _read_char(source: str, pos: int, line: int, col: int) -> tuple:
+    """Parse a character literal at ``pos``; return (value, chars consumed)."""
+    cursor = pos + 1
+    if cursor >= len(source):
+        raise LexError("unterminated character literal", line, col)
+    if source[cursor] == "\\":
+        escape = source[cursor + 1] if cursor + 1 < len(source) else ""
+        if escape not in _ESCAPES:
+            raise LexError(f"unknown escape \\{escape}", line, col)
+        value = _ESCAPES[escape]
+        cursor += 2
+    else:
+        value = ord(source[cursor])
+        cursor += 1
+    if cursor >= len(source) or source[cursor] != "'":
+        raise LexError("unterminated character literal", line, col)
+    return value, cursor + 1 - pos
+
+
+def _read_string(source: str, pos: int, line: int, col: int) -> tuple:
+    """Parse a string literal; return (decoded text, chars consumed)."""
+    cursor = pos + 1
+    out: List[str] = []
+    while cursor < len(source):
+        ch = source[cursor]
+        if ch == '"':
+            return "".join(out), cursor + 1 - pos
+        if ch == "\n":
+            break
+        if ch == "\\":
+            escape = source[cursor + 1] if cursor + 1 < len(source) else ""
+            if escape not in _ESCAPES:
+                raise LexError(f"unknown escape \\{escape}", line, col)
+            out.append(chr(_ESCAPES[escape]))
+            cursor += 2
+            continue
+        out.append(ch)
+        cursor += 1
+    raise LexError("unterminated string literal", line, col)

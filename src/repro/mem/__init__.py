@@ -1,0 +1,24 @@
+"""Simulated 64-bit sparse paged memory.
+
+The machine addresses a 48-bit virtual address space (the paper's design
+point: the upper 16 bits of every pointer are a tag and never reach the
+memory system).  Memory is materialised lazily in fixed-size pages.
+"""
+
+from repro.mem.layout import (
+    ADDRESS_BITS,
+    ADDRESS_MASK,
+    PAGE_SIZE,
+    AddressSpaceLayout,
+    DEFAULT_LAYOUT,
+)
+from repro.mem.memory import Memory
+
+__all__ = [
+    "ADDRESS_BITS",
+    "ADDRESS_MASK",
+    "PAGE_SIZE",
+    "AddressSpaceLayout",
+    "DEFAULT_LAYOUT",
+    "Memory",
+]

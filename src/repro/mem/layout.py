@@ -1,0 +1,64 @@
+"""Virtual address-space layout constants for the simulated machine.
+
+The layout mirrors a conventional RISC-V Linux user process:
+
+* a read-only + read-write *globals* segment near the bottom,
+* a *heap* growing upward from the end of the globals,
+* a *stack* growing downward from near the top of the 48-bit space,
+* a reserved region for the In-Fat Pointer *global metadata table*
+  (allocated by the runtime at startup; see the global-table scheme).
+
+Addresses are "canonical user" addresses: bit 47 and everything above is
+zero, so an untagged pointer naturally has the ``00`` scheme selector the
+paper reserves for legacy pointers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Number of meaningful (non-tag) address bits.
+ADDRESS_BITS = 48
+
+#: Mask selecting the address portion of a 64-bit tagged pointer.
+ADDRESS_MASK = (1 << ADDRESS_BITS) - 1
+
+#: Size of a simulated page in bytes.
+PAGE_SIZE = 4096
+
+
+@dataclass(frozen=True)
+class AddressSpaceLayout:
+    """Base addresses and sizes of the standard segments.
+
+    All values are canonical 48-bit addresses.  The defaults leave generous
+    gaps so that out-of-segment accesses fault instead of silently landing
+    in a neighbouring segment.
+    """
+
+    globals_base: int = 0x0000_0001_0000
+    globals_limit: int = 0x0000_1000_0000
+    heap_base: int = 0x0000_2000_0000
+    heap_limit: int = 0x0000_6000_0000
+    metadata_table_base: int = 0x0000_7000_0000
+    metadata_table_limit: int = 0x0000_7100_0000
+    stack_top: int = 0x0000_8000_0000
+    #: stack grows down toward this; 8 MiB matches a typical Linux
+    #: default ulimit (and keeps host-interpreter recursion bounded)
+    stack_limit: int = 0x0000_7F80_0000
+
+    def segment_of(self, address: int) -> str:
+        """Return a human-readable segment name for diagnostics."""
+        if self.globals_base <= address < self.globals_limit:
+            return "globals"
+        if self.heap_base <= address < self.heap_limit:
+            return "heap"
+        if self.metadata_table_base <= address < self.metadata_table_limit:
+            return "metadata-table"
+        if self.stack_limit <= address < self.stack_top:
+            return "stack"
+        return "unmapped"
+
+
+#: The layout used by every machine unless overridden.
+DEFAULT_LAYOUT = AddressSpaceLayout()

@@ -1,0 +1,29 @@
+"""The In-Fat Pointer runtime library (paper Section 4.2).
+
+Provides, as VM builtins:
+
+* a glibc-model **free-list allocator** (the baseline `malloc`);
+* the **wrapped allocator** — libc malloc plus transparent over-allocation
+  for appended local-offset metadata, global-table fallback for oversize
+  objects;
+* the **subheap allocator** — a pool allocator over a buddy allocator
+  that groups same-size/same-type objects into power-of-two blocks with
+  shared metadata (the subheap scheme);
+* the **global metadata table** manager;
+* per-global ``getptr`` registration (lazy global-object metadata);
+* a modelled **libc** subset (mem*/str*/printf/ctype/rand/...), which is
+  *uninstrumented* code: its pointer results are legacy pointers and its
+  internal accesses are invisible to In-Fat Pointer — exactly the paper's
+  compatibility story.
+"""
+
+from repro.runtime.freelist import FreeListAllocator
+from repro.runtime.buddy import BuddyAllocator
+from repro.runtime.global_table import GlobalTableManager
+from repro.runtime.subheap_alloc import SubheapAllocator
+from repro.runtime.wrapped_alloc import WrappedAllocator
+
+__all__ = [
+    "FreeListAllocator", "BuddyAllocator", "GlobalTableManager",
+    "SubheapAllocator", "WrappedAllocator",
+]

@@ -1,0 +1,68 @@
+"""Runtime manager for the global metadata table (global table scheme).
+
+The table lives in a reserved region (never reachable through application
+allocators); its base address is installed in the IFP unit's control
+register at startup.  The runtime hands out rows for (a) escaping globals
+too large for the local-offset scheme, (b) oversize stack objects, and
+(c) oversize heap allocations from either allocator.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import ResourceExhausted
+from repro.ifp.poison import Poison
+from repro.ifp.schemes.global_table import GlobalTableScheme, ROW_BYTES
+from repro.ifp.tag import address_of, unpack_tag
+
+
+class GlobalTableManager:
+    def __init__(self, machine):
+        self.machine = machine
+        config = machine.config.ifp
+        self.scheme = GlobalTableScheme(config)
+        self.rows = config.global_table_rows
+        self.table_base = machine.layout.metadata_table_base
+        machine.memory.map_range(self.table_base, self.rows * ROW_BYTES)
+        machine.ifp.control.global_table_base = self.table_base
+        self._free_rows: List[int] = list(range(self.rows - 1, -1, -1))
+        self.live_rows = 0
+        self.peak_live_rows = 0
+
+    def register(self, address: int, size: int,
+                 layout_ptr: int) -> Tuple[int, int, int]:
+        """Claim a row; returns (tagged pointer, cycles, instrs)."""
+        if not self._free_rows:
+            raise ResourceExhausted("global metadata table full")
+        index = self._free_rows.pop()
+        memory = self.machine.memory
+        self.scheme.write_row(memory, self.table_base, index, address,
+                              size, layout_ptr)
+        row = self.scheme.row_address(self.table_base, index)
+        cycles = self.machine.hierarchy.access_cycles(row, ROW_BYTES, True)
+        self.live_rows += 1
+        self.peak_live_rows = max(self.peak_live_rows, self.live_rows)
+        tagged = self.scheme.make_pointer(address, index, Poison.VALID)
+        return tagged, cycles + 12, 12
+
+    def deregister(self, tagged_pointer: int) -> Tuple[int, int]:
+        """Release the row named by a tagged pointer; (cycles, instrs)."""
+        tag = unpack_tag(tagged_pointer)
+        index = tag.global_table_index(self.machine.config.ifp)
+        memory = self.machine.memory
+        self.scheme.clear_row(memory, self.table_base, index)
+        row = self.scheme.row_address(self.table_base, index)
+        cycles = self.machine.hierarchy.access_cycles(row, ROW_BYTES, True)
+        self._free_rows.append(index)
+        self.live_rows -= 1
+        return cycles + 8, 8
+
+    def row_info(self, tagged_pointer: int) -> Tuple[int, int, int]:
+        """(base, size, layout_ptr) for a tagged pointer's row."""
+        tag = unpack_tag(tagged_pointer)
+        index = tag.global_table_index(self.machine.config.ifp)
+        row = self.scheme.row_address(self.table_base, index)
+        memory = self.machine.memory
+        return (memory.load_int(row, 6), memory.load_int(row + 6, 4),
+                memory.load_int(row + 10, 6))

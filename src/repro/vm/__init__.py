@@ -1,0 +1,14 @@
+"""The simulated machine: a cycle-approximate functional simulator.
+
+Plays the role of the paper's modified CVA6 FPGA prototype plus its
+modified Linux: executes compiled IR programs, models an L1 data cache and
+per-instruction cycle costs, implements the In-Fat Pointer ISA extension
+(promote via :class:`repro.ifp.IFPUnit`, implicit poison/bounds checks in
+the load-store path), and collects the dynamic statistics the paper's
+evaluation reports.
+"""
+
+from repro.vm.machine import Machine, MachineConfig, RunResult
+from repro.vm.stats import RunStats
+
+__all__ = ["Machine", "MachineConfig", "RunResult", "RunStats"]

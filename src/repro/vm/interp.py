@@ -1,0 +1,538 @@
+"""The IR interpreter: executes compiled functions on the machine.
+
+Semantics notes:
+
+* Register values are unsigned 64-bit integers (two's-complement
+  representation for signed quantities); pointer tags live in the top 16
+  bits exactly as on the modelled hardware.
+* Every load/store checks the base pointer's *poison bits* (nonzero →
+  trap), then performs the *implicit bounds check* when the address
+  operand's IFPR carries bounds — the paper's zero-instruction-overhead
+  checking path.
+* ``promote`` delegates to the IFP unit; under the evaluation's
+  "no-promote" configuration it degenerates to a NOP of the same
+  instruction count.
+* Cycle costs: 1 cycle baseline per instruction; memory operations add the
+  cache-hierarchy cost; multiplies/divides and the IFP unit's multi-cycle
+  operations add their extra latencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import (
+    BoundsTrap, GuestExit, LinkError, PoisonTrap, SimTrap,
+)
+from repro.compiler.ir import IRFunction, Op
+from repro.ifp.bounds import Bounds
+from repro.ifp.mac import compute_mac
+from repro.mem.layout import ADDRESS_MASK
+
+U64 = (1 << 64) - 1
+_SIGN = 1 << 63
+
+# Integer codes for BIN/BINI variants (assigned at prepare time).
+_BIN_CODES: Dict[str, int] = {
+    "add": 0, "sub": 1, "mul": 2, "div": 3, "rem": 4, "and": 5, "or": 6,
+    "xor": 7, "shl": 8, "shr": 9, "sar": 10, "seq": 11, "sne": 12,
+    "slt": 13, "sle": 14, "neg": 15, "lnot": 16, "bnot": 17,
+    "pseq": 18, "psne": 19, "pslt": 20, "psle": 21, "psub": 22,
+}
+
+_MUL_EXTRA = 2   #: extra cycles for multiply
+_DIV_EXTRA = 7   #: extra cycles for divide/remainder
+_CALL_EXTRA = 1  #: extra cycles for call/return
+
+
+def _signed(value: int) -> int:
+    return value - (1 << 64) if value & _SIGN else value
+
+
+class Interpreter:
+    def __init__(self, machine):
+        self.machine = machine
+        self.program = machine.program
+        self.memory = machine.memory
+        self.hierarchy = machine.hierarchy
+        self.ifp = machine.ifp
+        self.stats = machine.stats
+        self.symbols = machine.image.symbols
+        self.functions_by_address = machine.image.functions_by_address
+        cfg = machine.config.ifp
+        self._granule_mask = cfg.granule - 1
+        self._granule_shift = cfg.granule.bit_length() - 1
+        self._local_off_bits = cfg.local_offset_bits
+        self._local_sub_bits = cfg.local_subobj_bits
+        self._subheap_sub_bits = cfg.subheap_subobj_bits
+        self.executed = 0
+        self._limit = machine.config.max_instructions
+        self._no_promote = machine.config.no_promote
+        self._mac_key = machine.config.mac_key
+        self._prepare()
+
+    def _prepare(self) -> None:
+        """Assign integer codes to BIN/BINI variants for fast dispatch."""
+        for func in self.program.functions.values():
+            for ins in func.instrs:
+                if ins.op in (Op.BIN, Op.BINI):
+                    try:
+                        ins.code = _BIN_CODES[ins.name]
+                    except KeyError:
+                        raise LinkError(f"unknown BIN variant {ins.name!r}")
+
+    # -- call entry --------------------------------------------------------------
+
+    def call_function(self, name: str, args: List[int],
+                      arg_bounds: List[Optional[Bounds]]
+                      ) -> Tuple[int, Optional[Bounds]]:
+        func = self.program.functions.get(name)
+        if func is None:
+            return self._call_builtin(name, args, arg_bounds)
+        return self._run(func, args, arg_bounds)
+
+    def _call_builtin(self, name: str, args: List[int],
+                      arg_bounds: List[Optional[Bounds]]
+                      ) -> Tuple[int, Optional[Bounds]]:
+        builtin = self.machine.builtins.get(name)
+        if builtin is None:
+            raise LinkError(f"undefined function {name!r}")
+        value, bounds, cycles, instructions = builtin(
+            self.machine, args, arg_bounds)
+        self.stats.base_instructions += instructions
+        self.stats.builtin_instructions += instructions
+        self.stats.cycles += cycles
+        return value & U64, bounds
+
+    # -- the main loop -------------------------------------------------------------
+
+    def _run(self, func: IRFunction, args: List[int],
+             arg_bounds: List[Optional[Bounds]]
+             ) -> Tuple[int, Optional[Bounds]]:
+        machine = self.machine
+        memory = self.memory
+        hierarchy = self.hierarchy
+        stats = self.stats
+        frame_base = machine.push_frame(func.frame_size)
+        regs: List[int] = [0] * func.num_regs
+        bnds: List[Optional[Bounds]] = [None] * func.num_regs
+        for index, preg in enumerate(func.param_regs):
+            if index < len(args):
+                regs[preg] = args[index] & U64
+                bnds[preg] = arg_bounds[index] \
+                    if index < len(arg_bounds) else None
+
+        instrs = func.instrs
+        count = len(instrs)
+        ip = 0
+        base_i = 0       # base-ISA instructions
+        promote_i = 0
+        arith_i = 0
+        bls_i = 0
+        cycles = 0
+        loads = 0
+        stores = 0
+        tracer = machine.tracer
+        try:
+            while ip < count:
+                ins = instrs[ip]
+                if tracer is not None:
+                    tracer.record(func.name, ip, ins, regs)
+                ip += 1
+                self.executed += 1
+                if self.executed > self._limit:
+                    raise SimTrap("instruction limit exceeded")
+                op = ins.op
+
+                if op == Op.BIN or op == Op.BINI:
+                    base_i += 1
+                    a = regs[ins.a]
+                    b = ins.imm if op == Op.BINI else regs[ins.b]
+                    code = ins.code
+                    if code == 0:
+                        regs[ins.dst] = (a + b) & U64
+                    elif code == 1:
+                        regs[ins.dst] = (a - b) & U64
+                    elif code == 2:
+                        cycles += _MUL_EXTRA + 1
+                        regs[ins.dst] = (a * b) & U64
+                    elif code == 13:   # slt
+                        if ins.signed:
+                            regs[ins.dst] = int(_signed(a) < _signed(b))
+                        else:
+                            regs[ins.dst] = int(a < b)
+                    elif code == 14:   # sle
+                        if ins.signed:
+                            regs[ins.dst] = int(_signed(a) <= _signed(b))
+                        else:
+                            regs[ins.dst] = int(a <= b)
+                    elif code == 11:
+                        regs[ins.dst] = int(a == b)
+                    elif code == 12:
+                        regs[ins.dst] = int(a != b)
+                    elif code == 3 or code == 4:   # div/rem
+                        cycles += _DIV_EXTRA + 1
+                        if b == 0:
+                            raise SimTrap("division by zero")
+                        sa, sb = (_signed(a), _signed(b)) if ins.signed \
+                            else (a, b)
+                        quotient = abs(sa) // abs(sb)
+                        if (sa < 0) != (sb < 0):
+                            quotient = -quotient
+                        if code == 3:
+                            regs[ins.dst] = quotient & U64
+                        else:
+                            regs[ins.dst] = (sa - quotient * sb) & U64
+                    elif code == 5:
+                        regs[ins.dst] = a & b
+                    elif code == 6:
+                        regs[ins.dst] = a | b
+                    elif code == 7:
+                        regs[ins.dst] = a ^ b
+                    elif code == 8:
+                        regs[ins.dst] = (a << (b & 63)) & U64
+                    elif code == 9:
+                        regs[ins.dst] = a >> (b & 63)
+                    elif code == 10:
+                        regs[ins.dst] = (_signed(a) >> (b & 63)) & U64
+                    elif code == 15:
+                        regs[ins.dst] = (-a) & U64
+                    elif code == 16:
+                        regs[ins.dst] = int(a == 0)
+                    elif code == 17:
+                        regs[ins.dst] = (~a) & U64
+                    elif code == 18:
+                        regs[ins.dst] = int((a & ADDRESS_MASK)
+                                            == (b & ADDRESS_MASK))
+                    elif code == 19:
+                        regs[ins.dst] = int((a & ADDRESS_MASK)
+                                            != (b & ADDRESS_MASK))
+                    elif code == 20:
+                        regs[ins.dst] = int((a & ADDRESS_MASK)
+                                            < (b & ADDRESS_MASK))
+                    elif code == 21:
+                        regs[ins.dst] = int((a & ADDRESS_MASK)
+                                            <= (b & ADDRESS_MASK))
+                    elif code == 22:
+                        regs[ins.dst] = ((a & ADDRESS_MASK)
+                                         - (b & ADDRESS_MASK)) & U64
+                    else:  # pragma: no cover
+                        raise SimTrap(f"bad BIN code {code}")
+                    bnds[ins.dst] = None
+                    cycles += 1
+
+                elif op == Op.LOAD:
+                    base_i += 1
+                    loads += 1
+                    base_val = regs[ins.a]
+                    if base_val >> 62:
+                        raise PoisonTrap(
+                            "load through poisoned pointer", base_val)
+                    ea = ((base_val & ADDRESS_MASK) + ins.imm) & ADDRESS_MASK
+                    bound = bnds[ins.a]
+                    size = ins.size
+                    if bound is not None:
+                        stats.implicit_checks += 1
+                        if not (bound.lower <= ea
+                                and ea + size <= bound.upper):
+                            stats.check_failures += 1
+                            raise BoundsTrap(
+                                "load out of bounds", base_val,
+                                bound.lower, bound.upper)
+                    cycles += 1 + hierarchy.access_cycles(ea, size, False)
+                    value = memory.load_int(ea, size, ins.signed)
+                    regs[ins.dst] = value & U64
+                    bnds[ins.dst] = None
+
+                elif op == Op.STORE:
+                    base_i += 1
+                    stores += 1
+                    base_val = regs[ins.a]
+                    if base_val >> 62:
+                        raise PoisonTrap(
+                            "store through poisoned pointer", base_val)
+                    ea = ((base_val & ADDRESS_MASK) + ins.imm) & ADDRESS_MASK
+                    bound = bnds[ins.a]
+                    size = ins.size
+                    if bound is not None:
+                        stats.implicit_checks += 1
+                        if not (bound.lower <= ea
+                                and ea + size <= bound.upper):
+                            stats.check_failures += 1
+                            raise BoundsTrap(
+                                "store out of bounds", base_val,
+                                bound.lower, bound.upper)
+                    cycles += 1 + hierarchy.access_cycles(ea, size, True)
+                    memory.store_int(ea, regs[ins.b], size)
+
+                elif op == Op.MV:
+                    base_i += 1
+                    cycles += 1
+                    regs[ins.dst] = regs[ins.a]
+                    bnds[ins.dst] = bnds[ins.a]
+
+                elif op == Op.LI:
+                    base_i += 1
+                    cycles += 1
+                    regs[ins.dst] = ins.imm & U64
+                    bnds[ins.dst] = None
+
+                elif op == Op.BZ:
+                    base_i += 1
+                    cycles += 1
+                    if regs[ins.a] == 0:
+                        ip = ins.target
+
+                elif op == Op.BNZ:
+                    base_i += 1
+                    cycles += 1
+                    if regs[ins.a] != 0:
+                        ip = ins.target
+
+                elif op == Op.JMP:
+                    base_i += 1
+                    cycles += 1
+                    ip = ins.target
+
+                elif op == Op.TRUNC:
+                    base_i += 1
+                    cycles += 1
+                    bits = ins.size * 8
+                    value = regs[ins.a] & ((1 << bits) - 1)
+                    if ins.signed and value >> (bits - 1):
+                        value |= (U64 >> bits << bits)
+                    regs[ins.dst] = value
+                    bnds[ins.dst] = None
+
+                elif op == Op.FRAME:
+                    base_i += 1
+                    cycles += 1
+                    regs[ins.dst] = frame_base + ins.imm
+                    bnds[ins.dst] = None
+
+                elif op == Op.GLOB:
+                    base_i += 1
+                    cycles += 1
+                    try:
+                        regs[ins.dst] = self.symbols[ins.name]
+                    except KeyError:
+                        raise LinkError(f"undefined symbol {ins.name!r}")
+                    bnds[ins.dst] = None
+
+                elif op == Op.CALL or op == Op.CALLPTR:
+                    base_i += 1
+                    cycles += 1 + _CALL_EXTRA
+                    call_args = [regs[r] for r in ins.args]
+                    call_bounds = [bnds[r] for r in ins.args]
+                    if op == Op.CALL:
+                        name = ins.name
+                    else:
+                        address = regs[ins.a] & ADDRESS_MASK
+                        name = self.functions_by_address.get(address)
+                        if name is None:
+                            raise SimTrap(
+                                f"indirect call to non-function address "
+                                f"0x{address:x}")
+                    # Flush local counters before recursing so nested
+                    # runs see consistent global stats.
+                    stats.base_instructions += base_i
+                    stats.promote_instructions += promote_i
+                    stats.ifp_arith_instructions += arith_i
+                    stats.bounds_ls_instructions += bls_i
+                    stats.cycles += cycles
+                    stats.loads += loads
+                    stats.stores += stores
+                    base_i = promote_i = arith_i = bls_i = 0
+                    cycles = loads = stores = 0
+                    value, rbounds = self.call_function(
+                        name, call_args, call_bounds)
+                    if ins.dst >= 0:
+                        regs[ins.dst] = value
+                        bnds[ins.dst] = rbounds
+                    else:
+                        pass
+
+                elif op == Op.RET:
+                    base_i += 1
+                    cycles += 1 + _CALL_EXTRA
+                    if ins.a >= 0:
+                        return_value = regs[ins.a]
+                        return_bounds = bnds[ins.a]
+                    else:
+                        return_value, return_bounds = 0, None
+                    return return_value, return_bounds
+
+                elif op == Op.PROMOTE:
+                    promote_i += 1
+                    if self._no_promote:
+                        cycles += 1
+                        regs[ins.dst] = regs[ins.a]
+                        bnds[ins.dst] = None
+                    else:
+                        result = self.ifp.promote(regs[ins.a])
+                        cycles += result.cycles
+                        regs[ins.dst] = result.pointer
+                        bnds[ins.dst] = result.bounds
+
+                elif op == Op.IFPADD:
+                    arith_i += 1
+                    cycles += 1
+                    value = regs[ins.a]
+                    delta = ins.imm if ins.b < 0 else _signed(regs[ins.b])
+                    address = ((value & ADDRESS_MASK) + delta) & ADDRESS_MASK
+                    tag = value >> 48
+                    if tag == 0:
+                        regs[ins.dst] = address
+                    else:
+                        regs[ins.dst] = self._ifpadd_tagged(
+                            value, address, tag, bnds[ins.a])
+                    bnds[ins.dst] = bnds[ins.a]
+
+                elif op == Op.IFPBND:
+                    arith_i += 1
+                    cycles += 1
+                    value = regs[ins.a]
+                    size = ins.imm if ins.b < 0 else regs[ins.b]
+                    address = value & ADDRESS_MASK
+                    regs[ins.dst] = value
+                    bnds[ins.dst] = Bounds(address, address + size)
+
+                elif op == Op.IFPIDX:
+                    arith_i += 1
+                    cycles += 1
+                    value = regs[ins.a]
+                    scheme = (value >> 60) & 3
+                    if scheme == 1:
+                        width = self._local_sub_bits
+                    elif scheme == 2:
+                        width = self._subheap_sub_bits
+                    else:
+                        width = 0
+                    if width:
+                        mask = (1 << width) - 1
+                        field_val = (value >> 48) & mask
+                        field_val = (field_val + ins.imm) & mask
+                        value = (value & ~(mask << 48)) | (field_val << 48)
+                    regs[ins.dst] = value
+                    bnds[ins.dst] = bnds[ins.a]
+
+                elif op == Op.IFPCHK:
+                    arith_i += 1
+                    cycles += 1
+                    value = regs[ins.a]
+                    bound = bnds[ins.a]
+                    if bound is not None:
+                        address = value & ADDRESS_MASK
+                        stats.implicit_checks += 1
+                        if not (bound.lower <= address
+                                and address + ins.imm <= bound.upper):
+                            stats.check_failures += 1
+                            value = (value & ~(3 << 62)) | (1 << 62)
+                    regs[ins.dst] = value
+                    bnds[ins.dst] = bound
+
+                elif op == Op.IFPEXTRACT:
+                    arith_i += 1
+                    cycles += 1
+                    value = regs[ins.a]
+                    bound = bnds[ins.a]
+                    if bound is not None:
+                        address = value & ADDRESS_MASK
+                        if bound.lower <= address < bound.upper:
+                            poison = 0
+                        else:
+                            poison = 1
+                        value = (value & ~(3 << 62)) | (poison << 62)
+                    regs[ins.dst] = value
+                    bnds[ins.dst] = None
+
+                elif op == Op.IFPMD:
+                    arith_i += 1
+                    cycles += 1
+                    regs[ins.dst] = ((regs[ins.a] & ADDRESS_MASK)
+                                     | (ins.imm << 48))
+                    bnds[ins.dst] = None
+                    if ins.name:
+                        stats.local_objects += 1
+                        if ins.name == "local+lt":
+                            stats.local_objects_lt += 1
+
+                elif op == Op.IFPMAC:
+                    arith_i += 1
+                    cycles += 1 + self.machine.config.ifp.mac_cycles
+                    regs[ins.dst] = compute_mac(
+                        self._mac_key,
+                        (regs[ins.a] & ADDRESS_MASK, ins.imm, regs[ins.b]))
+                    bnds[ins.dst] = None
+
+                elif op == Op.LDBND:
+                    bls_i += 1
+                    ea = (regs[ins.a] & ADDRESS_MASK) + ins.imm
+                    cycles += 1 + hierarchy.access_cycles(ea, 16, False)
+                    if not memory.is_mapped(ea, 16):
+                        # On-demand bounds-table page (MPX-style kernel
+                        # allocation); unwritten entries read as cleared.
+                        memory.map_range(ea, 16)
+                    lower = memory.load_u64(ea)
+                    upper = memory.load_u64(ea + 8)
+                    bnds[ins.dst] = None if lower == 0 and upper == 0 \
+                        else Bounds(lower, upper)
+
+                elif op == Op.STBND:
+                    bls_i += 1
+                    ea = (regs[ins.a] & ADDRESS_MASK) + ins.imm
+                    cycles += 1 + hierarchy.access_cycles(ea, 16, True)
+                    if not memory.is_mapped(ea, 16):
+                        memory.map_range(ea, 16)
+                    bound = bnds[ins.b]
+                    if bound is None:
+                        memory.store_u64(ea, 0)
+                        memory.store_u64(ea + 8, 0)
+                    else:
+                        memory.store_u64(ea, bound.lower)
+                        memory.store_u64(ea + 8, bound.upper)
+
+                else:  # pragma: no cover
+                    raise SimTrap(f"unimplemented opcode {op}")
+
+            raise SimTrap(f"function {func.name} fell off the end")
+        finally:
+            stats.base_instructions += base_i
+            stats.promote_instructions += promote_i
+            stats.ifp_arith_instructions += arith_i
+            stats.bounds_ls_instructions += bls_i
+            stats.cycles += cycles
+            stats.loads += loads
+            stats.stores += stores
+            machine.pop_frame(func.frame_size)
+
+    # -- tagged pointer arithmetic helper ---------------------------------------
+
+    def _ifpadd_tagged(self, value: int, new_address: int, tag: int,
+                       bound: Optional[Bounds]) -> int:
+        """Tag maintenance for ``ifpadd`` on a tagged pointer."""
+        poison = tag >> 14
+        scheme = (tag >> 12) & 3
+        payload = tag & 0xFFF
+        if scheme == 1:  # local offset: re-encode the granule offset
+            old_address = value & ADDRESS_MASK
+            gmask = self._granule_mask
+            gshift = self._granule_shift
+            offset = (payload >> self._local_sub_bits) \
+                & ((1 << self._local_off_bits) - 1)
+            metadata = (old_address & ~gmask) + (offset << gshift)
+            delta = metadata - (new_address & ~gmask)
+            if delta >= 0:
+                new_offset = delta >> gshift
+                if new_offset < (1 << self._local_off_bits):
+                    sub_mask = (1 << self._local_sub_bits) - 1
+                    payload = ((new_offset << self._local_sub_bits)
+                               | (payload & sub_mask))
+                else:
+                    poison = 2  # wildly out of bounds: irrecoverable
+            else:
+                poison = 2
+        if poison < 2 and bound is not None:
+            poison = 0 if bound.lower <= new_address < bound.upper else 1
+        return ((poison << 62) | (scheme << 60) | (payload << 48)
+                | new_address)

@@ -1,0 +1,173 @@
+"""The simulated machine and its run harness."""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cache import CacheHierarchy, HierarchyConfig
+from repro.compiler.ir import IRProgram
+from repro.errors import GuestExit, ReproError, SimTrap
+from repro.ifp.config import IFPConfig, DEFAULT_CONFIG
+from repro.ifp.unit import IFPUnit
+from repro.mem import Memory
+from repro.mem.layout import DEFAULT_LAYOUT, AddressSpaceLayout
+from repro.vm.loader import LoadedImage, load_program
+from repro.vm.stats import RunStats
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Machine-level knobs (hardware config + harness limits)."""
+
+    hierarchy: HierarchyConfig = HierarchyConfig()
+    ifp: IFPConfig = DEFAULT_CONFIG
+    layout: AddressSpaceLayout = DEFAULT_LAYOUT
+    #: promote executes as a NOP (the paper's "no-promote" build)
+    no_promote: bool = False
+    mac_key: int = 0x1F9A7C0FFEE
+    #: hard cap on executed instructions (runaway guard)
+    max_instructions: int = 500_000_000
+    #: glibc strlen reads whole words — the over-read the paper hit in bc
+    strlen_word_reads: bool = True
+
+
+@dataclass
+class RunResult:
+    """Outcome of one guest-program run."""
+
+    exit_code: Optional[int]
+    trap: Optional[SimTrap]
+    stats: RunStats
+    output: str
+
+    @property
+    def ok(self) -> bool:
+        return self.trap is None
+
+    @property
+    def detected_violation(self) -> bool:
+        """True when the run ended in a memory-safety trap — how the
+        Juliet evaluation scores a detection."""
+        return self.trap is not None
+
+
+class Machine:
+    """One loaded program plus all architectural and runtime state."""
+
+    def __init__(self, program: IRProgram,
+                 config: MachineConfig = MachineConfig()):
+        self.program = program
+        self.config = config
+        self.layout = config.layout
+        self.memory = Memory()
+        self.hierarchy = config.hierarchy.build()
+        self.ifp = IFPUnit(self.memory, self.hierarchy, config.ifp,
+                           mac_key=config.mac_key)
+        self.stats = RunStats()
+        self.image: LoadedImage = load_program(program, self.memory,
+                                               self.layout)
+        self.output_parts: List[str] = []
+        self.rand_state = 0x2545F491
+        self.clock_cycles_base = 0
+        #: optional execution tracer (see repro.debug.attach_tracer)
+        self.tracer = None
+
+        # Stack management (grows down; pages mapped on demand).
+        self.stack_top = self.layout.stack_top
+        self.sp = self.stack_top
+        self._stack_mapped_low = self.stack_top
+
+        # Runtime services (allocators, global table, getptr registry) are
+        # attached here by repro.runtime.builtins.install().
+        from repro.runtime.builtins import install as _install_runtime
+        self.builtins = _install_runtime(self)
+
+        # Interpreter created lazily (needs self fully built).
+        from repro.vm.interp import Interpreter
+        self.interp = Interpreter(self)
+
+    # -- stack ---------------------------------------------------------------
+
+    def push_frame(self, frame_size: int) -> int:
+        """Allocate a stack frame; returns the frame base address."""
+        self.sp -= frame_size
+        if self.sp < self.layout.stack_limit:
+            raise SimTrap("stack overflow")
+        if self.sp < self._stack_mapped_low:
+            page = self.memory.page_size
+            new_low = self.sp & ~(page - 1)
+            self.memory.map_range(new_low, self._stack_mapped_low - new_low)
+            self._stack_mapped_low = new_low
+        return self.sp
+
+    def pop_frame(self, frame_size: int) -> None:
+        self.sp += frame_size
+
+    # -- io ---------------------------------------------------------------------
+
+    def write_output(self, text: str) -> None:
+        self.output_parts.append(text)
+
+    @property
+    def output(self) -> str:
+        return "".join(self.output_parts)
+
+    # -- rand (deterministic LCG, rand(3)-compatible range) -----------------------
+
+    def rand(self) -> int:
+        self.rand_state = (self.rand_state * 1103515245 + 12345) & 0x7FFFFFFF
+        return self.rand_state
+
+    def srand(self, seed: int) -> None:
+        self.rand_state = seed & 0x7FFFFFFF or 1
+
+    # -- run harness ---------------------------------------------------------------
+
+    def run(self, entry: Optional[str] = None) -> RunResult:
+        """Execute the program to completion, trap, or instruction limit."""
+        entry = entry or self.program.entry
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(40_000)
+        exit_code: Optional[int] = None
+        trap: Optional[SimTrap] = None
+        try:
+            if "__init_globals" in self.program.functions:
+                self.interp.call_function("__init_globals", [], [])
+            value, _bounds = self.interp.call_function(entry, [], [])
+            exit_code = _as_exit_code(value)
+        except GuestExit as exc:
+            exit_code = exc.code
+        except SimTrap as exc:
+            trap = exc
+        finally:
+            sys.setrecursionlimit(old_limit)
+        self._finalize_stats()
+        return RunResult(exit_code, trap, self.stats, self.output)
+
+    def _finalize_stats(self) -> None:
+        stats = self.stats
+        stats.ifp = self.ifp.stats
+        stats.l1d_accesses = self.hierarchy.l1d_accesses
+        stats.l1d_misses = self.hierarchy.l1d_misses
+        stats.peak_mapped_bytes = self.memory.peak_mapped_bytes
+
+
+def _as_exit_code(value: int) -> int:
+    return value & 0xFF
+
+
+def run_source(source: str, options=None,
+               machine_config: Optional[MachineConfig] = None) -> RunResult:
+    """Convenience: compile mini-C source and run it."""
+    from repro.compiler import CompilerOptions, compile_source
+    options = options or CompilerOptions.baseline()
+    program = compile_source(source, options)
+    config = machine_config or MachineConfig(no_promote=options.no_promote)
+    if options.no_promote and not config.no_promote:
+        config = MachineConfig(hierarchy=config.hierarchy, ifp=config.ifp,
+                               layout=config.layout, no_promote=True,
+                               mac_key=config.mac_key,
+                               max_instructions=config.max_instructions)
+    return Machine(program, config).run()

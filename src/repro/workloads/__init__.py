@@ -1,0 +1,36 @@
+"""The 18 application benchmarks of the paper's Section 5.2.
+
+Suites: Olden (10), PtrDist (4), and the four standalone applications
+(wolfcrypt-dh, sjeng, CoreMark, bzip2).  ``all_workloads()`` returns them
+in the paper's Table 4 order.
+"""
+
+from typing import Dict, List
+
+from repro.workloads.base import Workload
+from repro.workloads.olden_trees import BISORT, PERIMETER, TREEADD
+from repro.workloads.olden_graph import EM3D, HEALTH, MST
+from repro.workloads.olden_compute import BH, POWER, TSP, VORONOI
+from repro.workloads.ptrdist import ANAGRAM, FT, KS, YACR2
+from repro.workloads.apps import BZIP2, COREMARK, SJENG, WOLFCRYPT_DH
+
+#: Table 4 order.
+_ORDERED: List[Workload] = [
+    BH, BISORT, EM3D, HEALTH, MST, PERIMETER, POWER, TREEADD, TSP, VORONOI,
+    ANAGRAM, FT, KS, YACR2,
+    WOLFCRYPT_DH, SJENG, COREMARK, BZIP2,
+]
+
+WORKLOADS: Dict[str, Workload] = {w.name: w for w in _ORDERED}
+
+
+def all_workloads() -> List[Workload]:
+    """Every benchmark, in the paper's Table 4 order."""
+    return list(_ORDERED)
+
+
+def get(name: str) -> Workload:
+    return WORKLOADS[name]
+
+
+__all__ = ["Workload", "WORKLOADS", "all_workloads", "get"]

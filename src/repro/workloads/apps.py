@@ -1,0 +1,530 @@
+"""Application benchmarks: wolfcrypt-dh, sjeng, CoreMark, bzip2.
+
+Paper-reported behaviours preserved:
+
+* **wolfcrypt-dh** — Diffie-Hellman key agreement.  Bignum limb arrays
+  are allocated through wolfSSL's ``XMALLOC`` *function-pointer* hook, so
+  the compiler cannot deduce types: no layout tables (the paper calls
+  this out for wolfcrypt and bzip2);
+* **sjeng** — game-tree search with one large escaping global (the
+  paper's only global-table global) and many NULL/legacy promotes (only
+  26 % of its promotes are valid);
+* **CoreMark** — performs a *single* ``malloc`` and carves every data
+  structure out of it by hand; pointers into the buffer carry non-zero
+  subobject indices but the object has no layout table, so **all its
+  subobject narrowings fail** and bounds coarsen to the whole buffer
+  (29 % of promotes are subobject promotes in the paper);
+* **bzip2** — run-length + move-to-front compression; allocations go
+  through function-pointer wrappers (``bzalloc``), several large globals
+  use the global-table scheme.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+
+
+def _wolfcrypt_dh_source(scale: int) -> str:
+    limbs = 8
+    rounds = 2 * scale
+    return f"""
+/* wolfcrypt Diffie-Hellman: modular exponentiation over {limbs}-limb
+   bignums (16-bit limbs in 32-bit cells so products fit in a long). */
+struct mp_int {{
+    unsigned int used;
+    unsigned int limb[{limbs} * 2];
+}};
+
+/* wolfSSL XMALLOC hook: allocation through a function pointer, so no
+   layout tables can be generated for bignum state. */
+void *(*XMALLOC)(unsigned long);
+void *default_alloc(unsigned long size) {{ return malloc(size); }}
+
+struct mp_int *mp_new(void) {{
+    struct mp_int *x = (struct mp_int *)XMALLOC(sizeof(struct mp_int));
+    unsigned int i;
+    x->used = 1;
+    for (i = 0; i < {limbs} * 2; i++) {{
+        x->limb[i] = 0;
+    }}
+    return x;
+}}
+
+void mp_set(struct mp_int *x, unsigned int v) {{
+    unsigned int i;
+    for (i = 0; i < {limbs} * 2; i++) {{
+        x->limb[i] = 0;
+    }}
+    x->limb[0] = v & 0xffff;
+    x->limb[1] = (v >> 16) & 0xffff;
+    x->used = 2;
+}}
+
+/* r = a * b mod m, schoolbook multiply + trial-subtraction reduction
+   against a pseudo-Mersenne modulus (2^(16*{limbs}) - c). */
+void mp_mulmod(struct mp_int *r, struct mp_int *a, struct mp_int *b,
+               unsigned int c) {{
+    unsigned long acc[{limbs} * 2];
+    int i;
+    int j;
+    for (i = 0; i < {limbs} * 2; i++) {{
+        acc[i] = 0;
+    }}
+    for (i = 0; i < {limbs}; i++) {{
+        for (j = 0; j < {limbs}; j++) {{
+            acc[i + j] += (unsigned long)a->limb[i] * b->limb[j];
+        }}
+    }}
+    /* Fold the high limbs back in: 2^(16*{limbs}) == c (mod m). */
+    for (i = {limbs} * 2 - 1; i >= {limbs}; i--) {{
+        acc[i - {limbs}] += acc[i] * c;
+        acc[i] = 0;
+    }}
+    /* Carry propagation. */
+    unsigned long carry = 0;
+    for (i = 0; i < {limbs}; i++) {{
+        unsigned long t = acc[i] + carry;
+        r->limb[i] = (unsigned int)(t & 0xffff);
+        carry = t >> 16;
+    }}
+    while (carry != 0) {{
+        unsigned long t = r->limb[0] + carry * c;
+        r->limb[0] = (unsigned int)(t & 0xffff);
+        carry = t >> 16;
+        for (i = 1; carry != 0 && i < {limbs}; i++) {{
+            t = r->limb[i] + carry;
+            r->limb[i] = (unsigned int)(t & 0xffff);
+            carry = t >> 16;
+        }}
+    }}
+    r->used = {limbs};
+}}
+
+void mp_copy(struct mp_int *dst, struct mp_int *src) {{
+    unsigned int i;
+    for (i = 0; i < {limbs} * 2; i++) {{
+        dst->limb[i] = src->limb[i];
+    }}
+    dst->used = src->used;
+}}
+
+/* r = g^e mod m by square-and-multiply. */
+void mp_exptmod(struct mp_int *r, struct mp_int *g, unsigned long e,
+                unsigned int c) {{
+    struct mp_int *base = mp_new();
+    struct mp_int *tmp = mp_new();
+    mp_copy(base, g);
+    mp_set(r, 1);
+    while (e != 0) {{
+        if (e & 1) {{
+            mp_mulmod(tmp, r, base, c);
+            mp_copy(r, tmp);
+        }}
+        mp_mulmod(tmp, base, base, c);
+        mp_copy(base, tmp);
+        e = e >> 1;
+    }}
+    free(tmp);
+    free(base);
+}}
+
+int main(void) {{
+    XMALLOC = default_alloc;
+    unsigned int c = 189;     /* modulus 2^128 - 189 flavour */
+    long check = 0;
+    int round;
+    for (round = 0; round < {rounds}; round++) {{
+        struct mp_int *g = mp_new();
+        struct mp_int *pub_a = mp_new();
+        struct mp_int *pub_b = mp_new();
+        struct mp_int *secret_a = mp_new();
+        struct mp_int *secret_b = mp_new();
+        mp_set(g, 5);
+        unsigned long xa = 0x1234567 + round;
+        unsigned long xb = 0x89abcde + round * 3;
+        mp_exptmod(pub_a, g, xa, c);      /* A = g^xa */
+        mp_exptmod(pub_b, g, xb, c);      /* B = g^xb */
+        mp_exptmod(secret_a, pub_b, xa, c);  /* B^xa */
+        mp_exptmod(secret_b, pub_a, xb, c);  /* A^xb */
+        int i;
+        int agree = 1;
+        for (i = 0; i < {limbs}; i++) {{
+            if (secret_a->limb[i] != secret_b->limb[i]) {{
+                agree = 0;
+            }}
+        }}
+        check += agree * 1000 + secret_a->limb[0];
+        free(g); free(pub_a); free(pub_b);
+        free(secret_a); free(secret_b);
+    }}
+    printf("wolfcrypt-dh: %d\\n", (int)(check & 0xffffff));
+    return 0;
+}}
+"""
+
+
+def _sjeng_source(scale: int) -> str:
+    depth = 3 + (1 if scale > 1 else 0)
+    return f"""
+/* sjeng: alpha-beta game-tree search on a 5x5 capture game with the
+   large global state tables sjeng keeps (history heuristic). */
+struct tt_entry {{
+    long key;
+    int score;
+    int depth;
+}};
+
+int g_board[32];                     /* 0 empty, 1 us, 2 them */
+long g_history[32 * 32];             /* large escaping global -> GT */
+struct tt_entry *g_tt[128];          /* transposition table: mostly NULL */
+long *g_last_history;                /* reloaded pointer into g_history */
+int g_nodes = 0;
+int g_seed = 77;
+
+int srand2(int m) {{
+    g_seed = (g_seed * 1103515245 + 12345) & 0x7fffffff;
+    return g_seed % m;
+}}
+
+void init_board(void) {{
+    int i;
+    for (i = 0; i < 25; i++) {{
+        g_board[i] = (i < 5) ? 2 : ((i >= 20) ? 1 : 0);
+    }}
+}}
+
+int evaluate(void) {{
+    int score = 0;
+    int i;
+    for (i = 0; i < 25; i++) {{
+        if (g_board[i] == 1) {{ score += 10 + i / 5; }}
+        if (g_board[i] == 2) {{ score -= 10 + (24 - i) / 5; }}
+    }}
+    return score;
+}}
+
+int gen_moves(int side, int *moves) {{
+    int count = 0;
+    int i;
+    for (i = 0; i < 25; i++) {{
+        if (g_board[i] == side) {{
+            int d[4];
+            d[0] = i - 5; d[1] = i + 5; d[2] = i - 1; d[3] = i + 1;
+            int k;
+            for (k = 0; k < 4; k++) {{
+                int to = d[k];
+                if (to >= 0 && to < 25 && g_board[to] != side) {{
+                    moves[count] = i * 32 + to;
+                    count++;
+                }}
+            }}
+        }}
+    }}
+    return count;
+}}
+
+long board_hash(void) {{
+    long h = 0;
+    int i;
+    for (i = 0; i < 25; i++) {{
+        h = h * 31 + g_board[i];
+    }}
+    return h;
+}}
+
+int search(int side, int depth, int alpha, int beta) {{
+    g_nodes++;
+    if (depth == 0) {{
+        return side == 1 ? evaluate() : -evaluate();
+    }}
+    /* Transposition-table probe: the loaded entry pointer is promoted
+       and is NULL for most slots (the paper: only 26% of sjeng's
+       promotes are valid). */
+    long hash = board_hash();
+    struct tt_entry *tt = g_tt[(int)(hash & 127)];
+    if (tt != NULL && tt->key == hash && tt->depth >= depth) {{
+        return tt->score;
+    }}
+    int moves[64];
+    int count = gen_moves(side, moves);
+    if (count == 0) {{
+        return -9999;
+    }}
+    int best = -10000;
+    int m;
+    for (m = 0; m < count; m++) {{
+        int from = moves[m] / 32;
+        int to = moves[m] % 32;
+        int captured = g_board[to];
+        g_board[to] = side;
+        g_board[from] = 0;
+        int score = -search(3 - side, depth - 1, -beta, -alpha);
+        g_board[from] = side;
+        g_board[to] = captured;
+        long *h = &g_history[from * 32 + to];   /* escapes: GT global */
+        if (score > best) {{
+            best = score;
+            *h += depth * depth;
+            g_last_history = h;
+        }}
+        if (best > alpha) {{ alpha = best; }}
+        if (alpha >= beta) {{ break; }}
+    }}
+    if (depth >= 3 && g_last_history != NULL) {{
+        /* Occasional reload: a promote hitting the global table. */
+        long *hh = g_last_history;
+        *hh += 1;
+    }}
+    /* Store into the transposition table (sparse: depth >= 3 only). */
+    if (depth >= 3) {{
+        struct tt_entry *e = g_tt[(int)(hash & 127)];
+        if (e == NULL) {{
+            e = (struct tt_entry *)malloc(sizeof(struct tt_entry));
+            g_tt[(int)(hash & 127)] = e;
+        }}
+        e->key = hash;
+        e->score = best;
+        e->depth = depth;
+    }}
+    return best;
+}}
+
+int main(void) {{
+    init_board();
+    long total = 0;
+    int game;
+    for (game = 0; game < 2; game++) {{
+        init_board();
+        int ply;
+        for (ply = 0; ply < 4; ply++) {{
+            total += search(1 + ply % 2, {depth}, -10000, 10000);
+        }}
+    }}
+    printf("sjeng: %d nodes %d\\n", g_nodes, (int)(total & 0xffff));
+    return 0;
+}}
+"""
+
+
+def _coremark_source(scale: int) -> str:
+    # Arena must stay within the local-offset size limit (1008 B) so the
+    # wrapped allocator's pointers carry a subobject-index field.
+    list_len = 20
+    matrix_n = 6
+    iters = 3 * scale
+    return f"""
+/* CoreMark: list processing + matrix multiply + CRC state machine, all
+   carved by hand out of a SINGLE malloc'd buffer (the paper: CoreMark
+   "performs a single dynamic allocation and builds all data structures
+   inside the allocated memory"; its subobject narrowings all fail). */
+struct list_node {{
+    int value;
+    struct list_node *next;
+}};
+
+int *g_cursor;     /* holds a pointer to a node's value member */
+
+unsigned int crc16(unsigned int data, unsigned int crc) {{
+    int i;
+    for (i = 0; i < 16; i++) {{
+        int carry = ((data & 1) ^ (crc & 1));
+        data = data >> 1;
+        crc = crc >> 1;
+        if (carry) {{
+            crc = crc ^ 0xA001;
+        }}
+    }}
+    return crc;
+}}
+
+int main(void) {{
+    /* One big arena: list nodes, then two matrices. */
+    unsigned long arena_size =
+        {list_len} * sizeof(struct list_node)
+        + 2 * {matrix_n} * {matrix_n} * sizeof(long) + 64;
+    char *arena = (char *)malloc(arena_size);
+    struct list_node *nodes = (struct list_node *)arena;
+    long *mat_a = (long *)(arena + {list_len} * sizeof(struct list_node));
+    long *mat_b = mat_a + {matrix_n} * {matrix_n};
+
+    unsigned int crc = 0xFFFF;
+    int iter;
+    for (iter = 0; iter < {iters}; iter++) {{
+        /* Build and reverse a linked list inside the arena. */
+        int i;
+        for (i = 0; i < {list_len}; i++) {{
+            nodes[i].value = (i * 7 + iter) % 64;
+            nodes[i].next = (i + 1 < {list_len}) ? &nodes[i + 1] : NULL;
+        }}
+        struct list_node *head = &nodes[0];
+        struct list_node *rev = NULL;
+        while (head != NULL) {{
+            struct list_node *next = head->next;
+            head->next = rev;
+            rev = head;
+            head = next;
+        }}
+        /* Walk (promotes on pointers reloaded from arena memory).  A
+           pointer to the node's *value member* round-trips through a
+           global: its promote carries a non-zero subobject index, and
+           narrowing fails because the arena has no layout table — the
+           paper's CoreMark coarsening behaviour. */
+        struct list_node *p;
+        for (p = rev; p != NULL; p = p->next) {{
+            g_cursor = &p->value;
+            int *vp = g_cursor;
+            crc = crc16(*vp, crc);
+        }}
+        /* Matrix multiply into mat_b. */
+        int r;
+        int c;
+        for (r = 0; r < {matrix_n}; r++) {{
+            for (c = 0; c < {matrix_n}; c++) {{
+                mat_a[r * {matrix_n} + c] = (r + c + iter) % 16;
+            }}
+        }}
+        for (r = 0; r < {matrix_n}; r++) {{
+            for (c = 0; c < {matrix_n}; c++) {{
+                long sum = 0;
+                int k;
+                for (k = 0; k < {matrix_n}; k++) {{
+                    sum += mat_a[r * {matrix_n} + k]
+                         * mat_a[k * {matrix_n} + c];
+                }}
+                mat_b[r * {matrix_n} + c] = sum;
+                crc = crc16((unsigned int)(sum & 0xffff), crc);
+            }}
+        }}
+    }}
+    printf("coremark: %x\\n", crc);
+    return 0;
+}}
+"""
+
+
+def _bzip2_source(scale: int) -> str:
+    repeats = 3 * scale
+    return f"""
+/* bzip2: run-length encoding + move-to-front over embedded data, with
+   allocations through bzip2's function-pointer hooks (bzalloc). */
+char *g_input = "abracadabra_abracadabra_the_quick_brown_fox_jumps_"
+                "over_the_lazy_dog_aaaaaaaabbbbbbbbccccccccdddddddd_"
+                "mississippi_mississippi_mississippi_bananas_bananas";
+unsigned char g_mtf_table[256];      /* escaping globals */
+int g_freq[256];
+
+void *(*bzalloc)(unsigned long);
+void *default_bzalloc(unsigned long size) {{ return malloc(size); }}
+
+int rle_encode(unsigned char *dst, char *src, int len) {{
+    int out = 0;
+    int i = 0;
+    while (i < len) {{
+        int run = 1;
+        while (i + run < len && src[i + run] == src[i] && run < 255) {{
+            run++;
+        }}
+        if (run >= 4) {{
+            dst[out] = 0xFF;
+            dst[out + 1] = (unsigned char)src[i];
+            dst[out + 2] = (unsigned char)run;
+            out += 3;
+        }} else {{
+            int k;
+            for (k = 0; k < run; k++) {{
+                dst[out] = (unsigned char)src[i];
+                out++;
+            }}
+        }}
+        i += run;
+    }}
+    return out;
+}}
+
+void tally(int *freq, int symbol) {{
+    freq[symbol]++;
+}}
+
+int mtf_encode(unsigned char *dst, unsigned char *src, int len) {{
+    /* The frequency and MTF tables escape into helpers: both are larger
+       than the local-offset limit, so they land on the global table —
+       the paper's bzip2 global-table globals. */
+    int i;
+    for (i = 0; i < 256; i++) {{
+        g_mtf_table[i] = (unsigned char)i;
+    }}
+    for (i = 0; i < len; i++) {{
+        unsigned char c = src[i];
+        unsigned char *table = g_mtf_table;
+        int j = 0;
+        while (table[j] != c) {{
+            j++;
+        }}
+        dst[i] = (unsigned char)j;
+        while (j > 0) {{
+            table[j] = table[j - 1];
+            j--;
+        }}
+        table[0] = c;
+        tally(g_freq, dst[i]);
+    }}
+    return len;
+}}
+
+int main(void) {{
+    bzalloc = default_bzalloc;
+    int in_len = (int)strlen(g_input);
+    unsigned long cap = (unsigned long)(in_len * 2 + 16);
+    long check = 0;
+    int round;
+    for (round = 0; round < {repeats}; round++) {{
+        unsigned char *rle = (unsigned char *)bzalloc(cap);
+        unsigned char *mtf = (unsigned char *)bzalloc(cap);
+        int rle_len = rle_encode(rle, g_input, in_len);
+        int mtf_len = mtf_encode(mtf, rle, rle_len);
+        /* Entropy proxy: weighted sum of MTF ranks. */
+        int i;
+        long bits = 0;
+        for (i = 0; i < mtf_len; i++) {{
+            int rank = mtf[i];
+            bits += (rank == 0) ? 1 : (rank < 8 ? 4 : 9);
+        }}
+        check += bits + rle_len;
+        free(mtf);
+        free(rle);
+    }}
+    printf("bzip2: %d -> %d\\n", in_len, (int)(check / {repeats}));
+    return 0;
+}}
+"""
+
+
+WOLFCRYPT_DH = Workload(
+    name="wolfcrypt-dh", suite="other",
+    description="Diffie-Hellman key agreement over fixed-width bignums.",
+    paper_notes="Allocations through wolfSSL's XMALLOC function-pointer "
+                "hook: no layout tables deducible; compute-bound, ~1.14x.",
+    source_fn=_wolfcrypt_dh_source, expected_output="wolfcrypt-dh:")
+
+SJENG = Workload(
+    name="sjeng", suite="other",
+    description="Alpha-beta game-tree search with history tables.",
+    paper_notes="One large escaping global on the global-table scheme; "
+                "only 26% of promotes are valid (NULL/legacy dominate).",
+    source_fn=_sjeng_source, expected_output="sjeng:")
+
+COREMARK = Workload(
+    name="coremark", suite="other",
+    description="List + matrix + CRC kernels inside one malloc'd arena.",
+    paper_notes="Single allocation; 29% of promotes are subobject "
+                "promotes and ALL narrowings fail (no layout table), "
+                "coarsening to object bounds.",
+    source_fn=_coremark_source, expected_output="coremark:")
+
+BZIP2 = Workload(
+    name="bzip2", suite="other",
+    description="Run-length + move-to-front compression.",
+    paper_notes="Allocations via function-pointer wrappers (bzalloc); "
+                "several large escaping globals on the global table; 50% "
+                "subobject promotes failing narrowing in the paper.",
+    source_fn=_bzip2_source, expected_output="bzip2:")

@@ -1,0 +1,29 @@
+"""Workload definitions: the 18 application benchmarks of Section 5.2.
+
+Each workload is a mini-C program engineered to preserve the paper's
+reported allocation/pointer behaviour for that benchmark (see each
+module's docstring and DESIGN.md's substitution table).  ``source(scale)``
+renders the program at a given input scale; scale 1 is sized so a full
+five-configuration sweep of all 18 programs completes in seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+
+@dataclass(frozen=True)
+class Workload:
+    name: str
+    suite: str           #: 'olden' | 'ptrdist' | 'other'
+    description: str
+    #: what the paper reports for this program, preserved here
+    paper_notes: str
+    source_fn: Callable[[int], str]
+    #: substring expected in stdout (sanity check that all configurations
+    #: compute the same answer)
+    expected_output: Optional[str] = None
+
+    def source(self, scale: int = 1) -> str:
+        return self.source_fn(scale)

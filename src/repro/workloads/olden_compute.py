@@ -1,0 +1,425 @@
+"""Olden compute benchmarks: bh, power, tsp, voronoi.
+
+Paper-reported behaviours preserved:
+
+* **bh** is the only program with a huge count of *local* object
+  registrations (1.24e7 in Table 4): its force-computation loop passes
+  temporary vector structs by address, so every iteration registers and
+  deregisters stack objects;
+* **power** mixes direct typed allocations (9 % LT) with wrapper
+  allocations, and has negligible overhead (1.00x);
+* **tsp** builds a spatial tree and constructs a tour — integer-scaled
+  coordinates replace the original's doubles (see DESIGN.md);
+* **voronoi** has the lowest valid-promote ratio (44 %): most of its
+  promotes see *legacy* pointers, modelled here with interned
+  string-literal pointers stored and reloaded through globals.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+
+
+def _bh_source(scale: int) -> str:
+    bodies = 12 * scale
+    steps = 6
+    return f"""
+/* Olden bh (Barnes-Hut): gravitational n-body with temporary vector
+   structs registered on the stack in the hot loop. */
+struct vec {{
+    long x;
+    long y;
+    long z;
+}};
+
+struct body {{
+    struct vec pos;
+    struct vec vel;
+    long mass;
+}};
+
+int g_seed = 5;
+
+long brand(long m) {{
+    g_seed = (g_seed * 1103515245 + 12345) & 0x7fffffff;
+    return g_seed % m;
+}}
+
+void vec_sub(struct vec *out, struct vec *a, struct vec *b) {{
+    out->x = a->x - b->x;
+    out->y = a->y - b->y;
+    out->z = a->z - b->z;
+}}
+
+long vec_norm2(struct vec *a) {{
+    return a->x * a->x + a->y * a->y + a->z * a->z;
+}}
+
+void vec_scale_add(struct vec *acc, struct vec *d, long num, long den) {{
+    acc->x += d->x * num / den;
+    acc->y += d->y * num / den;
+    acc->z += d->z * num / den;
+}}
+
+void compute_force(struct body *target, struct body *other,
+                   struct vec *acc) {{
+    struct vec delta;              /* address-taken local: registered */
+    vec_sub(&delta, &other->pos, &target->pos);
+    long dist2 = vec_norm2(&delta) + 16;
+    vec_scale_add(acc, &delta, other->mass, dist2);
+}}
+
+void *cell_alloc(unsigned long size) {{
+    return malloc(size);
+}}
+
+int main(void) {{
+    /* Bodies: one typed allocation each (layout tables); the pointer
+       array holding them is a wrapper allocation (no table), giving the
+       paper's mixed heap LT ratio. */
+    struct body **order = (struct body **)
+        cell_alloc({bodies} * sizeof(struct body *));
+    int i;
+    for (i = 0; i < {bodies}; i++) {{
+        struct body *b = (struct body *)malloc(sizeof(struct body));
+        b->pos.x = brand(1000);
+        b->pos.y = brand(1000);
+        b->pos.z = brand(1000);
+        b->vel.x = 0;
+        b->vel.y = 0;
+        b->vel.z = 0;
+        b->mass = 10 + brand(90);
+        order[i] = b;
+    }}
+    int step;
+    for (step = 0; step < {steps}; step++) {{
+        for (i = 0; i < {bodies}; i++) {{
+            struct vec acc;        /* address-taken local: registered */
+            acc.x = 0; acc.y = 0; acc.z = 0;
+            struct body *self = order[i];   /* reload: promote */
+            int j;
+            for (j = 0; j < {bodies}; j++) {{
+                if (j != i) {{
+                    compute_force(self, order[j], &acc);
+                }}
+            }}
+            self->vel.x += acc.x / 100;
+            self->vel.y += acc.y / 100;
+            self->vel.z += acc.z / 100;
+        }}
+        for (i = 0; i < {bodies}; i++) {{
+            struct body *b = order[i];
+            b->pos.x += b->vel.x / 10;
+            b->pos.y += b->vel.y / 10;
+            b->pos.z += b->vel.z / 10;
+        }}
+    }}
+    long check = 0;
+    for (i = 0; i < {bodies}; i++) {{
+        struct body *b = order[i];
+        check += b->pos.x + b->pos.y + b->pos.z;
+    }}
+    printf("bh: %d\\n", (int)(check & 0xffffff));
+    return 0;
+}}
+"""
+
+
+def _power_source(scale: int) -> str:
+    laterals = 4
+    branches = 4
+    leaves = 5
+    iters = 6 * scale
+    return f"""
+/* Olden power: hierarchical power-system pricing optimisation. */
+struct leaf {{
+    long demand;
+    long price;
+}};
+
+struct branch {{
+    struct leaf leaves[{leaves}];
+    long current;
+    struct branch *next;
+}};
+
+struct lateral {{
+    struct branch *branches;
+    long current;
+    struct lateral *next;
+}};
+
+void *power_alloc(unsigned long size) {{
+    return malloc(size);
+}}
+
+struct lateral *build(void) {{
+    struct lateral *first = NULL;
+    int l;
+    for (l = 0; l < {laterals}; l++) {{
+        /* Direct typed allocation: layout table generated. */
+        struct lateral *lat = (struct lateral *)
+            malloc(sizeof(struct lateral));
+        lat->current = 0;
+        lat->branches = NULL;
+        int b;
+        for (b = 0; b < {branches}; b++) {{
+            /* Wrapper allocation: no layout table. */
+            struct branch *br = (struct branch *)
+                power_alloc(sizeof(struct branch));
+            br->current = 0;
+            int i;
+            for (i = 0; i < {leaves}; i++) {{
+                br->leaves[i].demand = 10 + (l * 7 + b * 3 + i) % 50;
+                br->leaves[i].price = 100;
+            }}
+            br->next = lat->branches;
+            lat->branches = br;
+        }}
+        lat->next = first;
+        first = lat;
+    }}
+    return first;
+}}
+
+long optimize(struct lateral *root) {{
+    long total = 0;
+    struct lateral *lat;
+    for (lat = root; lat != NULL; lat = lat->next) {{
+        long lat_current = 0;
+        struct branch *br;
+        for (br = lat->branches; br != NULL; br = br->next) {{
+            long br_current = 0;
+            int i;
+            for (i = 0; i < {leaves}; i++) {{
+                struct leaf *lf = &br->leaves[i];
+                long draw = lf->demand * 1000 / lf->price;
+                br_current += draw;
+                /* Feedback: price follows demand. */
+                lf->price += (draw - 10) / 4;
+                if (lf->price < 50) {{ lf->price = 50; }}
+            }}
+            br->current = br_current;
+            lat_current += br_current;
+        }}
+        lat->current = lat_current;
+        total += lat_current;
+    }}
+    return total;
+}}
+
+int main(void) {{
+    struct lateral *root = build();
+    long total = 0;
+    int it;
+    for (it = 0; it < {iters}; it++) {{
+        total = optimize(root);
+    }}
+    printf("power: %d\\n", (int)total);
+    return 0;
+}}
+"""
+
+
+def _tsp_source(scale: int) -> str:
+    points = 32 * scale
+    return f"""
+/* Olden tsp: build a binary spatial tree over city points, then a
+   nearest-neighbour tour.  Integer-scaled coordinates. */
+struct city {{
+    long x;
+    long y;
+    struct city *left;
+    struct city *right;
+    struct city *tour_next;
+    int visited;
+}};
+
+int g_seed = 17;
+
+long trand(long m) {{
+    g_seed = (g_seed * 1103515245 + 12345) & 0x7fffffff;
+    return g_seed % m;
+}}
+
+struct city *insert(struct city *root, struct city *c, int axis) {{
+    if (root == NULL) {{
+        return c;
+    }}
+    long key = axis ? c->x : c->x + c->y;
+    long root_key = axis ? root->x : root->x + root->y;
+    if (key < root_key) {{
+        root->left = insert(root->left, c, !axis);
+    }} else {{
+        root->right = insert(root->right, c, !axis);
+    }}
+    return root;
+}}
+
+long dist2(struct city *a, struct city *b) {{
+    long dx = a->x - b->x;
+    long dy = a->y - b->y;
+    return dx * dx + dy * dy;
+}}
+
+/* Find unvisited city nearest to `from` by walking the whole tree. */
+struct city *nearest(struct city *root, struct city *from,
+                     struct city *best) {{
+    if (root == NULL) {{
+        return best;
+    }}
+    if (!root->visited && root != from) {{
+        if (best == NULL || dist2(root, from) < dist2(best, from)) {{
+            best = root;
+        }}
+    }}
+    best = nearest(root->left, from, best);
+    best = nearest(root->right, from, best);
+    return best;
+}}
+
+int main(void) {{
+    struct city *root = NULL;
+    struct city *first = NULL;
+    int i;
+    for (i = 0; i < {points}; i++) {{
+        struct city *c = (struct city *)malloc(sizeof(struct city));
+        c->x = trand(10000);
+        c->y = trand(10000);
+        c->left = NULL;
+        c->right = NULL;
+        c->tour_next = NULL;
+        c->visited = 0;
+        root = insert(root, c, 0);
+        if (first == NULL) {{
+            first = c;
+        }}
+    }}
+    /* Greedy tour. */
+    struct city *current = first;
+    current->visited = 1;
+    long tour_len = 0;
+    for (i = 1; i < {points}; i++) {{
+        struct city *next = nearest(root, current, NULL);
+        if (next == NULL) {{
+            break;
+        }}
+        next->visited = 1;
+        current->tour_next = next;
+        tour_len += isqrt(dist2(current, next));
+        current = next;
+    }}
+    tour_len += isqrt(dist2(current, first));
+    printf("tsp: %d\\n", (int)tour_len);
+    return 0;
+}}
+"""
+
+
+def _voronoi_source(scale: int) -> str:
+    points = 20 * scale
+    return f"""
+/* Olden voronoi: Delaunay-flavoured neighbour computation over random
+   sites.  Site labels are interned string literals: the label pointers
+   stored and reloaded through memory are *legacy* pointers, giving this
+   program the paper's lowest valid-promote ratio. */
+struct site {{
+    long x;
+    long y;
+    char *label;          /* legacy (string-literal) pointer */
+    struct site *next;
+    struct site *nn;      /* nearest neighbour */
+}};
+
+char *g_labels[8];
+int g_seed = 23;
+
+long vrand(long m) {{
+    g_seed = (g_seed * 1103515245 + 12345) & 0x7fffffff;
+    return g_seed % m;
+}}
+
+void init_labels(void) {{
+    g_labels[0] = "alpha";   g_labels[1] = "beta";
+    g_labels[2] = "gamma";   g_labels[3] = "delta";
+    g_labels[4] = "epsilon"; g_labels[5] = "zeta";
+    g_labels[6] = "eta";     g_labels[7] = "theta";
+}}
+
+long dist2(struct site *a, struct site *b) {{
+    long dx = a->x - b->x;
+    long dy = a->y - b->y;
+    return dx * dx + dy * dy;
+}}
+
+int main(void) {{
+    init_labels();
+    struct site *sites = NULL;
+    int i;
+    for (i = 0; i < {points}; i++) {{
+        struct site *s = (struct site *)malloc(sizeof(struct site));
+        s->x = vrand(1 << 16);
+        s->y = vrand(1 << 16);
+        s->label = g_labels[i % 8];
+        s->nn = NULL;
+        s->next = sites;
+        sites = s;
+    }}
+    /* All-pairs nearest neighbour (the Delaunay kernel's hot loop). */
+    struct site *a;
+    for (a = sites; a != NULL; a = a->next) {{
+        long best = 0x7fffffffffff;
+        struct site *b;
+        for (b = sites; b != NULL; b = b->next) {{
+            if (b != a) {{
+                char *la = a->label;    /* legacy pointer: promote bypass */
+                char *lb = b->label;
+                long d = dist2(a, b) + (la == lb);
+                if (d < best) {{
+                    best = d;
+                    a->nn = b;
+                }}
+            }}
+        }}
+    }}
+    /* Checksum mixes label characters (legacy pointer dereferences). */
+    long check = 0;
+    for (a = sites; a != NULL; a = a->next) {{
+        char *l = a->label;
+        check += l[0] + strlen(l) + (dist2(a, a->nn) & 0xffff);
+    }}
+    printf("voronoi: %d\\n", (int)(check & 0xffffff));
+    return 0;
+}}
+"""
+
+
+BH = Workload(
+    name="bh", suite="olden",
+    description="Barnes-Hut style n-body force computation.",
+    paper_notes="1.24e7 local objects instrumented (temporary vectors in "
+                "the hot loop), all with layout tables; heap 33% LT.",
+    source_fn=_bh_source, expected_output="bh:")
+
+POWER = Workload(
+    name="power", suite="olden",
+    description="Hierarchical power-system pricing optimisation.",
+    paper_notes="9% of heap objects with layout tables (mixed direct and "
+                "wrapper allocation); ~1.00x overhead in both versions.",
+    source_fn=_power_source, expected_output="power:")
+
+TSP = Workload(
+    name="tsp", suite="olden",
+    description="Nearest-neighbour travelling-salesman tour over a "
+                "spatial tree.",
+    paper_notes="1.31e5 heap objects, no layout tables in the paper "
+                "(doubles replaced by scaled integers here).",
+    source_fn=_tsp_source, expected_output="tsp:")
+
+VORONOI = Workload(
+    name="voronoi", suite="olden",
+    description="Nearest-neighbour (Voronoi/Delaunay kernel) over random "
+                "sites with string labels.",
+    paper_notes="Lowest valid-promote ratio (44%): most promotes see "
+                "legacy pointers (modelled by string-literal labels).",
+    source_fn=_voronoi_source, expected_output="voronoi:")

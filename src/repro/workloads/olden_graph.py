@@ -1,0 +1,379 @@
+"""Olden graph/list benchmarks: em3d, health, mst.
+
+Paper-reported behaviours preserved:
+
+* **em3d** allocates *arrays* of structs (``malloc(num * sizeof(T))``), so
+  almost no heap object carries a layout table (<1 % LT), and the subheap
+  allocator must segregate the differing array sizes into separate blocks
+  — the paper's worst memory overhead for the subheap version;
+* **health** does frequent small alloc/free cycles on list nodes and is
+  one of only three programs with subobject promotes (pointers to struct
+  members stored and reloaded) — all of which narrow successfully;
+* **mst** uses per-vertex hash tables; ~23 % of its promotes bypass (60 %
+  legacy from libc-derived pointers, 40 % NULL).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+
+
+def _em3d_source(scale: int) -> str:
+    nodes = 24 * scale
+    degree = 4
+    iters = 12
+    return f"""
+/* Olden em3d: electromagnetic wave propagation on a bipartite graph. */
+struct node {{
+    long value;
+    long coeff;
+    struct node *next;
+    struct node **from_nodes;   /* array alloc: no layout table */
+    long from_count;
+}};
+
+int g_seed = 99;
+
+int nrand(int m) {{
+    g_seed = (g_seed * 1103515245 + 12345) & 0x7fffffff;
+    return g_seed % m;
+}}
+
+struct node *make_list(int count) {{
+    /* Bulk array allocation (malloc(n * sizeof(T))): the paper's em3d
+       pattern, which prevents per-object layout tables. */
+    struct node *arr = (struct node *)malloc(count * sizeof(struct node));
+    struct node *head = NULL;
+    int i;
+    for (i = 0; i < count; i++) {{
+        struct node *n = &arr[i];
+        n->value = nrand(1000);
+        n->coeff = 1 + nrand(7);
+        n->from_count = {degree};
+        n->from_nodes = (struct node **)
+            malloc({degree} * sizeof(struct node *));
+        n->next = head;
+        head = n;
+    }}
+    return head;
+}}
+
+struct node *pick(struct node *list, int count, int idx) {{
+    struct node *n = list;
+    int i;
+    for (i = 0; i < idx % count; i++) {{
+        n = n->next;
+    }}
+    return n;
+}}
+
+void connect(struct node *dst_list, struct node *src_list, int count) {{
+    struct node *n;
+    for (n = dst_list; n != NULL; n = n->next) {{
+        int i;
+        for (i = 0; i < n->from_count; i++) {{
+            n->from_nodes[i] = pick(src_list, count, nrand(count));
+        }}
+    }}
+}}
+
+void compute(struct node *list) {{
+    struct node *n;
+    for (n = list; n != NULL; n = n->next) {{
+        long sum = 0;
+        int i;
+        for (i = 0; i < n->from_count; i++) {{
+            struct node *other = n->from_nodes[i];
+            sum += other->value * other->coeff;
+        }}
+        n->value = (n->value + sum / 16) % 1000000;
+    }}
+}}
+
+int main(void) {{
+    struct node *e_nodes = make_list({nodes});
+    struct node *h_nodes = make_list({nodes});
+    connect(e_nodes, h_nodes, {nodes});
+    connect(h_nodes, e_nodes, {nodes});
+    int iter;
+    long check = 0;
+    for (iter = 0; iter < {iters}; iter++) {{
+        compute(e_nodes);
+        compute(h_nodes);
+    }}
+    struct node *n;
+    for (n = e_nodes; n != NULL; n = n->next) {{
+        check += n->value;
+    }}
+    printf("em3d: %d\\n", (int)(check % 1000000));
+    return 0;
+}}
+"""
+
+
+def _health_source(scale: int) -> str:
+    levels = 3
+    steps = 18 * scale
+    return f"""
+/* Olden health: Colombian health-care simulation.  Villages form a
+   4-ary tree; patients flow through waiting lists with frequent
+   alloc/free.  Pointers to patient *members* are stored and reloaded,
+   producing the paper's (successful) subobject promotes. */
+struct patient {{
+    int id;
+    int time;
+    int time_left;
+    struct patient *next;
+}};
+
+struct village {{
+    int id;
+    int seed;
+    struct patient *waiting;
+    struct patient *assess;
+    struct village *child[4];
+}};
+
+int g_id = 0;
+int *g_hot_field;          /* pointer to a patient's member (subobject) */
+
+int vrand(struct village *v, int m) {{
+    v->seed = (v->seed * 1103515245 + 12345) & 0x7fffffff;
+    return v->seed % m;
+}}
+
+struct village *build(int level, int seed) {{
+    struct village *v = (struct village *)malloc(sizeof(struct village));
+    v->id = g_id++;
+    v->seed = seed;
+    v->waiting = NULL;
+    v->assess = NULL;
+    int i;
+    for (i = 0; i < 4; i++) {{
+        if (level > 1) {{
+            v->child[i] = build(level - 1, seed * 7 + i + 1);
+        }} else {{
+            v->child[i] = NULL;
+        }}
+    }}
+    return v;
+}}
+
+struct patient *new_patient(struct village *v) {{
+    struct patient *p = (struct patient *)malloc(sizeof(struct patient));
+    p->id = g_id++;
+    p->time = 0;
+    p->time_left = 1 + vrand(v, 3);
+    p->next = NULL;
+    return p;
+}}
+
+void push(struct patient **list, struct patient *p) {{
+    p->next = *list;
+    *list = p;
+}}
+
+struct patient *pop(struct patient **list) {{
+    struct patient *p = *list;
+    if (p != NULL) {{
+        *list = p->next;
+    }}
+    return p;
+}}
+
+long sim(struct village *v) {{
+    long treated = 0;
+    if (v == NULL) {{
+        return 0;
+    }}
+    int i;
+    for (i = 0; i < 4; i++) {{
+        treated += sim(v->child[i]);
+    }}
+    /* New arrivals. */
+    if (vrand(v, 10) < 6) {{
+        struct patient *p = new_patient(v);
+        push(&v->waiting, p);
+        g_hot_field = &p->time_left;   /* member pointer escapes */
+    }}
+    if (g_hot_field != NULL) {{
+        treated += (*g_hot_field > 0);   /* reload member ptr: promote+narrow */
+        g_hot_field = NULL;              /* consume before the patient can be freed */
+    }}
+    /* Assess one waiting patient. */
+    struct patient *p = pop(&v->waiting);
+    if (p != NULL) {{
+        p->time++;
+        push(&v->assess, p);
+    }}
+    /* Treat assessed patients. */
+    struct patient *prev = NULL;
+    p = v->assess;
+    while (p != NULL) {{
+        struct patient *next = p->next;
+        p->time_left--;
+        if (p->time_left <= 0) {{
+            if (prev == NULL) {{ v->assess = next; }}
+            else {{ prev->next = next; }}
+            treated++;
+            free(p);
+        }} else {{
+            prev = p;
+        }}
+        p = next;
+    }}
+    return treated;
+}}
+
+int main(void) {{
+    struct village *top = build({levels}, 42);
+    long treated = 0;
+    int step;
+    for (step = 0; step < {steps}; step++) {{
+        treated += sim(top);
+    }}
+    printf("health: %d\\n", (int)treated);
+    return 0;
+}}
+"""
+
+
+def _mst_source(scale: int) -> str:
+    vertices = 24 * scale
+    return f"""
+/* Olden mst: Prim's minimal spanning tree with per-vertex hash tables. */
+struct hash_entry {{
+    long key;
+    long value;
+    struct hash_entry *next;
+}};
+
+struct vertex {{
+    long mindist;
+    struct vertex *next;
+    struct hash_entry *table[8];
+}};
+
+int g_seed = 31;
+
+int mrand(int m) {{
+    g_seed = (g_seed * 1103515245 + 12345) & 0x7fffffff;
+    return g_seed % m;
+}}
+
+void *halloc(unsigned long size) {{
+    return malloc(size);
+}}
+
+void hash_insert(struct vertex *v, long key, long value) {{
+    int bucket = (int)(key % 8);
+    struct hash_entry *e =
+        (struct hash_entry *)halloc(sizeof(struct hash_entry));
+    e->key = key;
+    e->value = value;
+    e->next = v->table[bucket];
+    v->table[bucket] = e;
+}}
+
+long hash_lookup(struct vertex *v, long key) {{
+    struct hash_entry *e = v->table[(int)(key % 8)];
+    while (e != NULL) {{
+        if (e->key == key) {{
+            return e->value;
+        }}
+        e = e->next;
+    }}
+    return 999999;
+}}
+
+struct vertex *make_graph(int count) {{
+    struct vertex *head = NULL;
+    struct vertex *all[{vertices}];
+    int i;
+    for (i = 0; i < count; i++) {{
+        struct vertex *v = (struct vertex *)halloc(sizeof(struct vertex));
+        v->mindist = 999999;
+        v->next = head;
+        int b;
+        for (b = 0; b < 8; b++) {{
+            v->table[b] = NULL;
+        }}
+        head = v;
+        all[i] = v;
+    }}
+    /* Random symmetric edge weights via the hash tables. */
+    for (i = 0; i < count; i++) {{
+        int j;
+        for (j = 0; j < i; j++) {{
+            long w = 1 + mrand(1000);
+            hash_insert(all[i], (long)j, w);
+            hash_insert(all[j], (long)i, w);
+        }}
+    }}
+    return head;
+}}
+
+int main(void) {{
+    struct vertex *graph = make_graph({vertices});
+    /* Prim over vertex indices (list position = index). */
+    long total = 0;
+    struct vertex *v;
+    int in_tree[{vertices}];
+    int i;
+    for (i = 0; i < {vertices}; i++) {{
+        in_tree[i] = 0;
+    }}
+    in_tree[0] = 1;
+    int added = 1;
+    while (added < {vertices}) {{
+        long best = 999999;
+        int best_idx = -1;
+        int idx = 0;
+        for (v = graph; v != NULL; v = v->next) {{
+            int vi = {vertices} - 1 - idx;
+            if (!in_tree[vi]) {{
+                int k;
+                for (k = 0; k < {vertices}; k++) {{
+                    if (in_tree[k]) {{
+                        long w = hash_lookup(v, (long)k);
+                        if (w < best) {{
+                            best = w;
+                            best_idx = vi;
+                        }}
+                    }}
+                }}
+            }}
+            idx++;
+        }}
+        in_tree[best_idx] = 1;
+        total += best;
+        added++;
+    }}
+    printf("mst: %d\\n", (int)total);
+    return 0;
+}}
+"""
+
+
+EM3D = Workload(
+    name="em3d", suite="olden",
+    description="Electromagnetic wave propagation on a bipartite graph.",
+    paper_notes="Array-of-struct heap allocations (malloc(n*sizeof(T))): "
+                "<1% layout tables; worst subheap memory overhead because "
+                "different array sizes land in different blocks.",
+    source_fn=_em3d_source, expected_output="em3d:")
+
+HEALTH = Workload(
+    name="health", suite="olden",
+    description="Hierarchical health-care queueing simulation.",
+    paper_notes="Frequent small alloc/free; one of three programs with "
+                "subobject promotes, all narrowing successfully; wrapped "
+                "version suffers metadata cache misses (worst overhead).",
+    source_fn=_health_source, expected_output="health:")
+
+MST = Workload(
+    name="mst", suite="olden",
+    description="Minimal spanning tree with per-vertex hash tables.",
+    paper_notes="838 heap objects; ~23% of promotes bypass lookup (60% "
+                "legacy pointers, 40% NULL).",
+    source_fn=_mst_source, expected_output="mst:")

@@ -1,0 +1,254 @@
+"""Tests for the ASan-like and MPX-like comparison baselines."""
+
+import pytest
+
+from repro.baselines.asan import (
+    ASAN_SHADOW_BASE, REDZONE, shadow_address, unpoison_object,
+)
+from repro.baselines.mpx import MPX_TABLE_BASE, mpx_entry_address
+from repro.compiler import CompilerOptions, compile_source, Op
+from repro.vm import Machine, MachineConfig
+from tests.conftest import compile_and_run
+
+ASAN = CompilerOptions.asan()
+MPX = CompilerOptions.mpx()
+
+HEAP_OVERFLOW = """
+int main(void) {
+    char *p = (char*)malloc(16);
+    int i;
+    for (i = 0; i <= 16; i++) { p[i] = 'x'; }
+    free(p);
+    return 0;
+}
+"""
+HEAP_GOOD = HEAP_OVERFLOW.replace("i <= 16", "i < 16")
+
+HEAP_UNDERWRITE = """
+int main(void) {
+    int *p = (int*)malloc(32);
+    p[-1] = 5;
+    free(p);
+    return 0;
+}
+"""
+
+USE_AFTER_FREE = """
+int *g;
+int main(void) {
+    g = (int*)malloc(16);
+    free(g);
+    int *p = g;
+    *p = 1;
+    return 0;
+}
+"""
+
+INTRA_OBJECT = """
+struct S { char a[12]; char b[12]; };
+char *g;
+int main(void) {
+    struct S *s = (struct S*)malloc(sizeof(struct S));
+    g = s->a;
+    char *q = g;
+    q[13] = 'X';
+    return 0;
+}
+"""
+
+
+class TestAsanMechanics:
+    def test_shadow_mapping(self):
+        assert shadow_address(0) == ASAN_SHADOW_BASE
+        assert shadow_address(64) == ASAN_SHADOW_BASE + 8
+
+    def test_unpoison_partial_byte(self):
+        from repro.mem import Memory
+        memory = Memory()
+        memory.map_range(shadow_address(0x1000), 64)
+        unpoison_object(memory, 0x1000, 11)
+        assert memory.load_int(shadow_address(0x1000), 1) == 0
+        assert memory.load_int(shadow_address(0x1000) + 1, 1) == 3
+
+    def test_pass_inserts_checks(self):
+        program = compile_source(HEAP_GOOD, ASAN)
+        ops = [i.op for i in program.functions["main"].instrs]
+        # Every original access gained a shadow load.
+        assert ops.count(Op.LOAD) >= ops.count(Op.STORE) >= 1
+        names = [i.name for i in program.functions["main"].instrs
+                 if i.op == Op.CALL]
+        assert "__asan_malloc" in names and "__asan_free" in names
+        assert "__asan_report" in names
+        assert program.defense == "asan"
+
+    def test_branch_targets_survive_pass(self):
+        # A program with loops and branches must still compute correctly.
+        source = """
+        int main(void) {
+            int buf[8];
+            int i; int total = 0;
+            for (i = 0; i < 8; i++) { buf[i] = i * 2; }
+            for (i = 0; i < 8; i++) {
+                if (buf[i] % 4 == 0) { total += buf[i]; }
+            }
+            print_int(total);
+            return 0;
+        }
+        """
+        result = compile_and_run(source, ASAN)
+        assert result.ok
+        assert result.output == str(sum(i * 2 for i in range(8)
+                                        if (i * 2) % 4 == 0))
+
+
+class TestAsanDetection:
+    def test_heap_overflow_detected(self):
+        assert compile_and_run(HEAP_OVERFLOW, ASAN).detected_violation
+
+    def test_heap_underwrite_detected(self):
+        assert compile_and_run(HEAP_UNDERWRITE, ASAN).detected_violation
+
+    def test_use_after_free_detected(self):
+        """The quarantine keeps freed memory poisoned — ASan's temporal
+        detection, which IFP only gets via metadata invalidation."""
+        assert compile_and_run(USE_AFTER_FREE, ASAN).detected_violation
+
+    def test_good_program_clean(self):
+        result = compile_and_run(HEAP_GOOD, ASAN)
+        assert result.ok
+
+    def test_intra_object_missed(self):
+        """ASan's known blind spot (Table 1: 'Partial'): no redzones
+        between struct members."""
+        assert compile_and_run(INTRA_OBJECT, ASAN).ok
+
+    def test_far_overflow_can_be_missed(self):
+        """Jumping clear over a redzone lands in valid memory — the
+        probabilistic gap of memory-based schemes."""
+        source = """
+        int main(void) {
+            char *a = (char*)malloc(64);
+            char *b = (char*)malloc(64);
+            a[96] = 'x';   /* leaps the redzone into b's chunk */
+            return 0;
+        }
+        """
+        result = compile_and_run(source, ASAN)
+        # Depending on heap layout this lands in b or its redzone; both
+        # outcomes are legitimate ASan behaviour — assert it *runs*
+        # (i.e. the defense does not false-positive on the leap itself
+        # when the target is addressable).
+        assert result.ok or result.detected_violation
+
+    def test_shadow_memory_cost_visible(self):
+        base = compile_and_run(HEAP_GOOD, CompilerOptions.baseline())
+        asan = compile_and_run(HEAP_GOOD, ASAN)
+        assert asan.stats.peak_mapped_bytes > 2 * base.stats.peak_mapped_bytes
+        assert asan.stats.total_instructions > base.stats.total_instructions
+
+
+class TestMpxMechanics:
+    def test_entry_address(self):
+        assert mpx_entry_address(0) == MPX_TABLE_BASE
+        assert mpx_entry_address(8) == MPX_TABLE_BASE + 16
+
+    def test_codegen_emits_table_traffic(self):
+        program = compile_source(USE_AFTER_FREE, MPX)
+        ops = [i.op for i in program.functions["main"].instrs]
+        assert Op.LDBND in ops and Op.STBND in ops
+        assert Op.IFPBND in ops           # bndmk at the malloc site
+        assert Op.PROMOTE not in ops      # nothing IFP about it
+        assert program.defense == "mpx"
+
+    def test_plain_malloc_used(self):
+        program = compile_source(HEAP_GOOD, MPX)
+        names = [i.name for i in program.functions["main"].instrs
+                 if i.op == Op.CALL]
+        assert "malloc" in names and "__ifp_malloc" not in names
+
+
+class TestMpxDetection:
+    def test_heap_overflow_detected(self):
+        assert compile_and_run(HEAP_OVERFLOW, MPX).detected_violation
+
+    def test_heap_underwrite_detected(self):
+        assert compile_and_run(HEAP_UNDERWRITE, MPX).detected_violation
+
+    def test_bounds_roundtrip_through_memory(self):
+        """Bounds survive a store/reload through the bounds table."""
+        source = """
+        char *g;
+        int main(void) {
+            g = (char*)malloc(16);
+            char *p = g;        /* bndldx */
+            p[16] = 'x';
+            return 0;
+        }
+        """
+        assert compile_and_run(source, MPX).detected_violation
+
+    def test_use_after_free_missed(self):
+        """MPX has no temporal story: stale bounds still 'fit'."""
+        assert compile_and_run(USE_AFTER_FREE, MPX).ok
+
+    def test_subobject_granularity(self):
+        """Pointer-based schemes narrow statically: Table 1 grants MPX
+        subobject granularity, unlike ASan."""
+        assert compile_and_run(INTRA_OBJECT, MPX).detected_violation
+
+    def test_good_program_clean(self):
+        assert compile_and_run(HEAP_GOOD, MPX).ok
+
+    def test_bounds_table_memory_cost(self):
+        base = compile_and_run(USE_AFTER_FREE, CompilerOptions.baseline())
+        mpx = compile_and_run(USE_AFTER_FREE, MPX)
+        assert mpx.stats.peak_mapped_bytes > base.stats.peak_mapped_bytes
+        assert mpx.stats.bounds_ls_instructions > 0
+
+
+class TestComparative:
+    @pytest.mark.parametrize("workload_name", ["treeadd", "yacr2"])
+    def test_ifp_cheaper_than_both_baselines(self, workload_name):
+        """The paper's core claim, measured: IFP's overhead sits well
+        below the shadow-memory and bounds-table families."""
+        from repro.workloads import get
+        workload = get(workload_name)
+
+        def run(options):
+            program = compile_source(workload.source(1), options)
+            result = Machine(program, MachineConfig(
+                max_instructions=150_000_000)).run()
+            assert result.ok, result.trap
+            return result.stats
+
+        base = run(CompilerOptions.baseline())
+        ifp = run(CompilerOptions.subheap())
+        asan = run(ASAN)
+        mpx = run(MPX)
+        ifp_over = ifp.total_instructions / base.total_instructions
+        asan_over = asan.total_instructions / base.total_instructions
+        mpx_over = mpx.total_instructions / base.total_instructions
+        assert ifp_over < asan_over
+        assert ifp_over < mpx_over
+
+    def test_all_defenses_agree_on_output(self):
+        source = """
+        int main(void) {
+            int *v = (int*)malloc(10 * sizeof(int));
+            int i;
+            for (i = 0; i < 10; i++) { v[i] = i * i; }
+            long total = 0;
+            for (i = 0; i < 10; i++) { total += v[i]; }
+            free(v);
+            print_int(total);
+            return 0;
+        }
+        """
+        outputs = set()
+        for options in (CompilerOptions.baseline(),
+                        CompilerOptions.wrapped(),
+                        CompilerOptions.subheap(), ASAN, MPX):
+            result = compile_and_run(source, options)
+            assert result.ok, (options.defense, result.trap)
+            outputs.add(result.output)
+        assert outputs == {str(sum(i * i for i in range(10)))}

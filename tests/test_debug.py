@@ -1,0 +1,115 @@
+"""Tests for the tracing and pointer-anatomy debugging aids."""
+
+import pytest
+
+from repro.compiler import CompilerOptions, Op, compile_source
+from repro.debug import Tracer, attach_tracer, explain_pointer
+from repro.debug.trace import IFP_OPS
+from repro.vm import Machine
+
+SOURCE = """
+int g;
+int main(void) {
+    int *p = (int*)malloc(40);
+    int i;
+    for (i = 0; i < 10; i++) { p[i] = i; }
+    g = p[5];
+    free(p);
+    return g;
+}
+"""
+
+
+class TestTracer:
+    def test_records_instructions(self):
+        program = compile_source(SOURCE, CompilerOptions.wrapped())
+        machine = Machine(program)
+        tracer = attach_tracer(machine, capacity=100_000)
+        result = machine.run()
+        assert result.ok
+        assert tracer.recorded == result.stats.total_instructions \
+            - result.stats.builtin_instructions
+
+    def test_ring_buffer_bounded(self):
+        program = compile_source(SOURCE, CompilerOptions.baseline())
+        machine = Machine(program)
+        tracer = attach_tracer(machine, capacity=16)
+        machine.run()
+        assert len(tracer.events) == 16
+        assert tracer.recorded > 16
+
+    def test_ifp_only_filter(self):
+        program = compile_source(SOURCE, CompilerOptions.wrapped())
+        machine = Machine(program)
+        tracer = attach_tracer(machine, ifp_only=True)
+        machine.run()
+        assert tracer.events
+        assert all(event.op in {int(op) for op in IFP_OPS}
+                   for event in tracer.events)
+
+    def test_by_mnemonic_and_format(self):
+        program = compile_source(SOURCE, CompilerOptions.wrapped())
+        machine = Machine(program)
+        tracer = attach_tracer(machine)
+        machine.run()
+        ifpadds = tracer.by_mnemonic("ifpadd")
+        assert ifpadds
+        text = tracer.format_tail(5)
+        assert text.count("\n") == 4
+
+    def test_tracing_does_not_change_results(self):
+        program = compile_source(SOURCE, CompilerOptions.wrapped())
+        plain = Machine(program).run()
+        traced_machine = Machine(program)
+        attach_tracer(traced_machine)
+        traced = traced_machine.run()
+        assert plain.exit_code == traced.exit_code
+        assert plain.stats.total_instructions \
+            == traced.stats.total_instructions
+
+
+class TestAnatomy:
+    def _machine(self, options=None):
+        program = compile_source("int main(void) { return 0; }",
+                                 options or CompilerOptions.wrapped())
+        return Machine(program)
+
+    def test_legacy_pointer(self):
+        machine = self._machine()
+        anatomy = explain_pointer(machine, 0x12345)
+        assert anatomy.scheme == "LEGACY"
+        assert anatomy.promote_outcome == "bypass_legacy"
+        assert "LEGACY" in anatomy.describe()
+
+    def test_local_offset_pointer(self):
+        machine = self._machine()
+        tagged, bounds, _c, _i = machine.wrapped_allocator.malloc(48, 0, 0)
+        anatomy = explain_pointer(machine, tagged)
+        assert anatomy.scheme == "LOCAL_OFFSET"
+        assert anatomy.granule_offset == 3  # 48 bytes / 16
+        assert anatomy.bounds == bounds
+        assert anatomy.promote_outcome == "valid"
+
+    def test_subheap_pointer(self):
+        machine = self._machine(CompilerOptions.subheap())
+        tagged, bounds, _c, _i = machine.subheap_allocator.malloc(24, 0, 24)
+        anatomy = explain_pointer(machine, tagged)
+        assert anatomy.scheme == "SUBHEAP"
+        assert anatomy.register_index is not None
+        assert anatomy.bounds == bounds
+
+    def test_dry_run_preserves_stats(self):
+        machine = self._machine()
+        tagged, _b, _c, _i = machine.wrapped_allocator.malloc(48, 0, 0)
+        before = machine.ifp.stats.promotes_total
+        explain_pointer(machine, tagged)
+        assert machine.ifp.stats.promotes_total == before
+
+    def test_poisoned_pointer(self):
+        from repro.ifp.poison import Poison
+        from repro.ifp.tag import with_poison
+        machine = self._machine()
+        anatomy = explain_pointer(machine,
+                                  with_poison(0x9000, Poison.INVALID))
+        assert anatomy.poison == "INVALID"
+        assert anatomy.promote_outcome == "bypass_poisoned"

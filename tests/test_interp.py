@@ -1,0 +1,353 @@
+"""Tests for the interpreter: C semantics, control flow, calls."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler import CompilerOptions
+from tests.conftest import compile_and_run
+
+
+def run_expr(expression: str, declarations: str = "") -> int:
+    """Evaluate a C expression in main and return the (long) result
+    via the process exit-ish printf channel."""
+    source = f"""
+    {declarations}
+    int main(void) {{
+        long result = (long)({expression});
+        print_int(result);
+        return 0;
+    }}
+    """
+    result = compile_and_run(source, CompilerOptions.baseline())
+    assert result.ok, result.trap
+    return int(result.output)
+
+
+class TestArithmetic:
+    def test_basic(self):
+        assert run_expr("2 + 3 * 4") == 14
+        assert run_expr("(2 + 3) * 4") == 20
+        assert run_expr("10 - 3 - 2") == 5
+
+    def test_signed_division_truncates_toward_zero(self):
+        assert run_expr("-7 / 2") == -3
+        assert run_expr("7 / -2") == -3
+        assert run_expr("-7 % 2") == -1
+        assert run_expr("7 % -2") == 1
+
+    def test_division_by_zero_traps(self):
+        result = compile_and_run(
+            "int main(void) { int z = 0; return 1 / z; }",
+            CompilerOptions.baseline())
+        assert result.trap is not None
+
+    def test_int_overflow_wraps(self):
+        assert run_expr("(int)(0x7fffffff + 1)") == -(1 << 31)
+
+    def test_unsigned_comparison(self):
+        assert run_expr("(unsigned int)0xffffffff > 1U") == 1
+        assert run_expr("-1 < 1") == 1
+
+    def test_shifts(self):
+        assert run_expr("1 << 10") == 1024
+        assert run_expr("-8 >> 1") == -4       # arithmetic on signed
+        assert run_expr("((unsigned int)0x80000000) >> 4") == 0x08000000
+
+    def test_bitwise(self):
+        assert run_expr("(0xF0 & 0x3C) | 0x01") == 0x31
+        assert run_expr("0xFF ^ 0x0F") == 0xF0
+        assert run_expr("~0") == -1
+
+    def test_char_arithmetic(self):
+        assert run_expr("'a' + 1") == 98
+
+    def test_logical_short_circuit(self):
+        source = """
+        int g_calls = 0;
+        int bump(void) { g_calls++; return 1; }
+        int main(void) {
+            int a = 0 && bump();
+            int b = 1 || bump();
+            print_int(g_calls * 100 + a * 10 + b);
+            return 0;
+        }
+        """
+        result = compile_and_run(source, CompilerOptions.baseline())
+        assert result.output == "1"   # 0 calls, a=0, b=1
+
+    def test_conditional_expr(self):
+        assert run_expr("1 ? 10 : 20") == 10
+        assert run_expr("0 ? 10 : 20") == 20
+
+    def test_compound_assignment(self):
+        source = """
+        int main(void) {
+            int x = 10;
+            x += 5; x -= 2; x *= 3; x /= 2; x %= 10;
+            x <<= 2; x >>= 1; x |= 8; x &= 14; x ^= 5;
+            print_int(x);
+            return 0;
+        }
+        """
+        x = 10
+        x += 5; x -= 2; x *= 3; x //= 2; x %= 10
+        x <<= 2; x >>= 1; x |= 8; x &= 14; x ^= 5
+        result = compile_and_run(source, CompilerOptions.baseline())
+        assert int(result.output) == x
+
+    def test_incdec_semantics(self):
+        source = """
+        int main(void) {
+            int i = 5;
+            int a = i++;
+            int b = ++i;
+            int c = i--;
+            int d = --i;
+            print_int(a * 1000 + b * 100 + c * 10 + d);
+            return 0;
+        }
+        """
+        result = compile_and_run(source, CompilerOptions.baseline())
+        assert result.output == str(5 * 1000 + 7 * 100 + 7 * 10 + 5)
+
+    @given(a=st.integers(-(1 << 31), (1 << 31) - 1),
+           b=st.integers(-(1 << 31), (1 << 31) - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_add_sub_mul_match_c(self, a, b):
+        """Random operands: arithmetic matches two's-complement C."""
+        def c_int(v):
+            v &= 0xFFFFFFFF
+            return v - (1 << 32) if v >= (1 << 31) else v
+        got = run_expr(f"(int)(({a}) + ({b})) * 1")
+        assert got == c_int(a + b)
+        got = run_expr(f"(int)(({a}) * ({b}))")
+        assert got == c_int(a * b)
+
+
+class TestControlFlow:
+    def test_loops(self):
+        source = """
+        int main(void) {
+            long total = 0;
+            int i;
+            for (i = 0; i < 10; i++) { total += i; }
+            while (total < 100) { total += 7; }
+            do { total -= 1; } while (total > 100);
+            print_int(total);
+            return 0;
+        }
+        """
+        total = sum(range(10))
+        while total < 100:
+            total += 7
+        while True:
+            total -= 1
+            if not total > 100:
+                break
+        result = compile_and_run(source, CompilerOptions.baseline())
+        assert int(result.output) == total
+
+    def test_break_continue(self):
+        source = """
+        int main(void) {
+            int total = 0;
+            int i;
+            for (i = 0; i < 100; i++) {
+                if (i % 2) { continue; }
+                if (i > 10) { break; }
+                total += i;
+            }
+            print_int(total);
+            return 0;
+        }
+        """
+        result = compile_and_run(source, CompilerOptions.baseline())
+        assert int(result.output) == 0 + 2 + 4 + 6 + 8 + 10
+
+    def test_recursion(self):
+        source = """
+        long fib(int n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        int main(void) { print_int(fib(15)); return 0; }
+        """
+        result = compile_and_run(source, CompilerOptions.baseline())
+        assert int(result.output) == 610
+
+    def test_mutual_recursion(self):
+        source = """
+        int is_odd(int n);
+        int is_even(int n) { return n == 0 ? 1 : is_odd(n - 1); }
+        int is_odd(int n) { return n == 0 ? 0 : is_even(n - 1); }
+        int main(void) { print_int(is_even(10) * 10 + is_odd(7)); return 0; }
+        """
+        result = compile_and_run(source, CompilerOptions.baseline())
+        assert result.output == "11"
+
+    def test_instruction_limit_guards_infinite_loops(self):
+        result = compile_and_run("int main(void) { while (1) {} return 0; }",
+                                 CompilerOptions.baseline(),
+                                 max_instructions=10_000)
+        assert result.trap is not None
+        assert "limit" in str(result.trap)
+
+
+class TestFunctions:
+    def test_function_pointers(self):
+        source = """
+        int twice(int x) { return 2 * x; }
+        int thrice(int x) { return 3 * x; }
+        int apply(int (*fn)(int), int x) { return fn(x); }
+        int main(void) {
+            int (*f)(int) = twice;
+            print_int(apply(f, 10) + apply(thrice, 10));
+            return 0;
+        }
+        """
+        result = compile_and_run(source, CompilerOptions.baseline())
+        assert result.output == "50"
+
+    def test_function_pointer_comparison_and_null(self):
+        source = """
+        int one(void) { return 1; }
+        int main(void) {
+            int (*f)(void) = NULL;
+            if (f == NULL) { f = one; }
+            return f();
+        }
+        """
+        result = compile_and_run(source, CompilerOptions.baseline())
+        assert result.exit_code == 1
+
+    def test_indirect_call_to_garbage_traps(self):
+        source = """
+        int main(void) {
+            int (*f)(void) = (int (*)(void))0x1234;
+            return f();
+        }
+        """
+        # Parser doesn't support casting to function-pointer types;
+        # go through a long instead.
+        source = """
+        long g;
+        int main(void) {
+            g = 0x123456;
+            int (*f)(void);
+            long *slot = (long*)&f;
+            *slot = g;
+            return f();
+        }
+        """
+        result = compile_and_run(source, CompilerOptions.baseline())
+        assert result.trap is not None
+
+    def test_exit_builtin(self):
+        result = compile_and_run(
+            "int main(void) { exit(42); return 0; }",
+            CompilerOptions.baseline())
+        assert result.exit_code == 42
+
+    def test_main_exit_code(self):
+        result = compile_and_run("int main(void) { return 7; }",
+                                 CompilerOptions.baseline())
+        assert result.exit_code == 7
+
+
+class TestDataAccess:
+    def test_struct_copy_assignment(self):
+        source = """
+        struct P { int x; int y; long z; };
+        int main(void) {
+            struct P a;
+            struct P b;
+            a.x = 1; a.y = 2; a.z = 3;
+            b = a;
+            a.x = 99;
+            print_int(b.x * 100 + b.y * 10 + b.z);
+            return 0;
+        }
+        """
+        result = compile_and_run(source, CompilerOptions.baseline())
+        assert result.output == "123"
+
+    def test_multidim_array(self):
+        source = """
+        int main(void) {
+            int grid[3][4];
+            int r; int c; long total = 0;
+            for (r = 0; r < 3; r++) {
+                for (c = 0; c < 4; c++) { grid[r][c] = r * 4 + c; }
+            }
+            for (r = 0; r < 3; r++) {
+                for (c = 0; c < 4; c++) { total += grid[r][c]; }
+            }
+            print_int(total);
+            return 0;
+        }
+        """
+        result = compile_and_run(source, CompilerOptions.baseline())
+        assert int(result.output) == sum(range(12))
+
+    def test_global_initializers(self):
+        source = """
+        int g_a = 42;
+        int g_table[4] = {1, 2, 3, 4};
+        char *g_s = "xyz";
+        int main(void) {
+            print_int(g_a + g_table[2] + g_s[1]);
+            return 0;
+        }
+        """
+        result = compile_and_run(source, CompilerOptions.baseline())
+        assert int(result.output) == 42 + 3 + ord("y")
+
+    def test_local_aggregate_initializer(self):
+        source = """
+        int main(void) {
+            int v[5] = {10, 20, 30};
+            print_int(v[0] + v[1] + v[2] + v[3] + v[4]);
+            return 0;
+        }
+        """
+        result = compile_and_run(source, CompilerOptions.baseline())
+        assert result.output == "60"
+
+    def test_pointer_difference(self):
+        source = """
+        int main(void) {
+            long buf[10];
+            long *a = &buf[2];
+            long *b = &buf[7];
+            print_int(b - a);
+            return 0;
+        }
+        """
+        result = compile_and_run(source, CompilerOptions.baseline())
+        assert result.output == "5"
+
+    def test_sizeof(self):
+        source = """
+        struct S { char c; long l; };
+        int main(void) {
+            print_int(sizeof(struct S) * 100 + sizeof(int) * 10
+                      + sizeof(char*));
+            return 0;
+        }
+        """
+        result = compile_and_run(source, CompilerOptions.baseline())
+        assert result.output == str(16 * 100 + 4 * 10 + 8)
+
+    def test_narrow_int_store_load(self):
+        source = """
+        int main(void) {
+            char buf[4];
+            buf[0] = (char)300;   /* truncates to 44 */
+            short s = -2;
+            unsigned short u = (unsigned short)s;
+            print_int(buf[0] * 100000 + u);
+            return 0;
+        }
+        """
+        result = compile_and_run(source, CompilerOptions.baseline())
+        assert int(result.output) == 44 * 100000 + 65534

@@ -1,0 +1,169 @@
+"""Tests for the IR definitions, the program loader, and error types."""
+
+import pytest
+
+from repro.compiler import CompilerOptions, compile_source
+from repro.compiler.ir import Instr, IRProgram, MNEMONICS, Op
+from repro.errors import (
+    BoundsTrap, CompileError, GuestExit, LinkError, MemoryFault,
+    PoisonTrap, ReproError, SimTrap, SourceError,
+)
+from repro.mem import Memory
+from repro.mem.layout import DEFAULT_LAYOUT
+from repro.vm import Machine
+from repro.vm.loader import load_program
+
+
+class TestOp:
+    def test_categories(self):
+        assert Op.PROMOTE.category == "promote"
+        assert Op.LDBND.category == "bounds_ls"
+        assert Op.STBND.category == "bounds_ls"
+        assert Op.IFPADD.category == "ifp_arith"
+        assert Op.IFPMAC.category == "ifp_arith"
+        assert Op.LOAD.category == "base"
+        assert Op.CALL.category == "base"
+
+    def test_every_op_has_mnemonic(self):
+        for op in Op:
+            assert op in MNEMONICS
+
+    def test_table3_mnemonics(self):
+        # The paper's Table 3 names, verbatim.
+        for name in ("promote", "ifpmac", "ldbnd", "stbnd", "ifpbnd",
+                     "ifpadd", "ifpidx", "ifpchk", "ifpextract", "ifpmd"):
+            assert name in MNEMONICS.values()
+
+
+class TestInstr:
+    def test_defaults(self):
+        ins = Instr(Op.LI, dst=3, imm=42)
+        assert ins.a == -1 and ins.args == [] and ins.code == -1
+
+    def test_repr(self):
+        assert "li" in repr(Instr(Op.LI, dst=0))
+
+    def test_slots_prevent_typos(self):
+        ins = Instr(Op.LI)
+        with pytest.raises(AttributeError):
+            ins.dest = 5  # typo for dst
+
+
+class TestLoader:
+    SOURCE = """
+    int g_value = 7;
+    int g_array[4] = {1, 2, 3, 4};
+    char *g_msg = "hi";
+    int helper(int x) { return x + g_value; }
+    int main(void) { return helper(g_array[1]); }
+    """
+
+    def _load(self, options=None):
+        program = compile_source(self.SOURCE,
+                                 options or CompilerOptions.baseline())
+        memory = Memory()
+        image = load_program(program, memory, DEFAULT_LAYOUT)
+        return program, memory, image
+
+    def test_symbols_assigned(self):
+        program, memory, image = self._load()
+        for name in ("g_value", "g_array", "__func_main", "__func_helper"):
+            assert name in image.symbols
+
+    def test_initial_bytes_written(self):
+        program, memory, image = self._load()
+        assert memory.load_int(image.symbols["g_value"], 4) == 7
+        base = image.symbols["g_array"]
+        assert [memory.load_int(base + 4 * i, 4) for i in range(4)] \
+            == [1, 2, 3, 4]
+
+    def test_string_literal_placed(self):
+        program, memory, image = self._load()
+        string_symbols = [s for s in image.symbols if s.startswith("__str")]
+        assert string_symbols
+        assert memory.read_cstring(
+            image.symbols[string_symbols[0]]) == b"hi"
+
+    def test_function_addresses_resolve(self):
+        program, memory, image = self._load()
+        address = image.symbols["__func_main"]
+        assert image.functions_by_address[address] == "main"
+
+    def test_registrable_global_reserves_metadata(self):
+        source = "long g_buf[8]; long *p;" \
+                 "int main(void) { p = g_buf; return 0; }"
+        program = compile_source(source, CompilerOptions.wrapped())
+        glob = program.globals["g_buf"]
+        assert glob.needs_registration
+        assert glob.metadata_reserve >= 16
+
+    def test_layout_tables_loaded(self):
+        source = ("struct S { int a; int b; };"
+                  "int main(void) {"
+                  " struct S *s = (struct S*)malloc(sizeof(struct S));"
+                  " s->a = 1; free(s); return 0; }")
+        program = compile_source(source, CompilerOptions.wrapped())
+        memory = Memory()
+        image = load_program(program, memory, DEFAULT_LAYOUT)
+        lt_symbol = next(s for s in image.symbols if s.startswith("__IFP_LT"))
+        from repro.ifp import LayoutTable
+        address = image.symbols[lt_symbol]
+        table = LayoutTable.deserialize(memory.read_bytes(address, 48))
+        assert len(table) == 3  # S, S.a, S.b
+
+    def test_undefined_function_call_is_link_error(self):
+        # A host-side (tooling) error, not a guest trap: it propagates.
+        source = "int missing(int x); int main(void) { return missing(1); }"
+        program = compile_source(source, CompilerOptions.baseline())
+        with pytest.raises(LinkError):
+            Machine(program).run()
+
+
+class TestErrorHierarchy:
+    def test_traps_are_repro_errors(self):
+        for exc_type in (SimTrap, MemoryFault, PoisonTrap, BoundsTrap):
+            assert issubclass(exc_type, ReproError)
+        assert issubclass(MemoryFault, SimTrap)
+        assert issubclass(PoisonTrap, SimTrap)
+
+    def test_guest_exit_is_not_a_trap(self):
+        assert not issubclass(GuestExit, SimTrap)
+        assert GuestExit(3).code == 3
+
+    def test_source_error_formats_location(self):
+        error = SourceError("bad thing", line=4, col=7)
+        assert "4:7" in str(error)
+
+    def test_compile_error_is_not_a_trap(self):
+        assert not issubclass(CompileError, SimTrap)
+
+    def test_trap_payloads(self):
+        trap = BoundsTrap("oob", pointer=0x10, lower=0, upper=8)
+        assert trap.pointer == 0x10 and trap.upper == 8
+        fault = MemoryFault("boom", address=0x99)
+        assert fault.address == 0x99
+
+
+class TestIRProgram:
+    def test_function_lookup_error(self):
+        program = compile_source("int main(void) { return 0; }",
+                                 CompilerOptions.baseline())
+        assert program.function("main").name == "main"
+        with pytest.raises(CompileError):
+            program.function("nope")
+
+    def test_total_instr_count(self):
+        program = compile_source("int main(void) { return 0; }",
+                                 CompilerOptions.baseline())
+        assert program.total_instr_count() == sum(
+            len(f.instrs) for f in program.functions.values())
+
+    def test_defense_field(self):
+        assert compile_source("int main(void){return 0;}",
+                              CompilerOptions.baseline()).defense == "none"
+        assert compile_source("int main(void){return 0;}",
+                              CompilerOptions.wrapped()).defense == "ifp"
+        assert compile_source("int main(void){return 0;}",
+                              CompilerOptions.asan()).defense == "asan"
+        assert compile_source("int main(void){return 0;}",
+                              CompilerOptions.mpx()).defense == "mpx"

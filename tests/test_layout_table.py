@@ -1,0 +1,114 @@
+"""Tests for layout tables (repro.ifp.layout): the paper's Figure 9."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ifp import LAYOUT_ENTRY_BYTES, LayoutEntry, LayoutTable
+
+
+def figure9_table() -> LayoutTable:
+    """struct S { int v1; struct { int v3; int v4; } array[2]; int v5; }"""
+    return LayoutTable("S", [
+        LayoutEntry(0, 0, 24, 24),
+        LayoutEntry(0, 0, 4, 4),
+        LayoutEntry(0, 4, 20, 8),
+        LayoutEntry(2, 0, 4, 4),
+        LayoutEntry(2, 4, 8, 4),
+        LayoutEntry(0, 20, 24, 4),
+    ], ["S", "S.v1", "S.array", "S.array[].v3", "S.array[].v4", "S.v5"])
+
+
+class TestEntry:
+    def test_array_detection(self):
+        entry = LayoutEntry(0, 4, 20, 8)
+        assert entry.is_array
+        assert entry.element_count == 2
+
+    def test_scalar_entry(self):
+        entry = LayoutEntry(0, 0, 4, 4)
+        assert not entry.is_array
+        assert entry.element_count == 1
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            LayoutEntry(0, 10, 5, 4)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            LayoutEntry(0, 0, 4, 0)
+
+
+class TestTable:
+    def test_figure9_shape(self):
+        table = figure9_table()
+        assert len(table) == 6
+        assert table.object_size == 24
+        assert table.index_of("S.array[].v3") == 3
+        assert table[2].is_array
+
+    def test_entry0_must_cover_object(self):
+        with pytest.raises(ValueError):
+            LayoutTable("X", [LayoutEntry(0, 0, 8, 4)])  # array entry 0
+
+    def test_parent_must_precede(self):
+        with pytest.raises(ValueError):
+            LayoutTable("X", [
+                LayoutEntry(0, 0, 8, 8),
+                LayoutEntry(2, 0, 4, 4),   # forward parent reference
+                LayoutEntry(0, 4, 8, 4),
+            ])
+
+    def test_depth_and_chain(self):
+        table = figure9_table()
+        assert table.depth_of(0) == 0
+        assert table.depth_of(1) == 1
+        assert table.depth_of(3) == 2
+        assert table.chain_of(3) == [2, 3]
+        assert table.chain_of(0) == []
+
+    def test_serialize_roundtrip(self):
+        table = figure9_table()
+        data = table.serialize()
+        assert len(data) == 6 * LAYOUT_ENTRY_BYTES
+        restored = LayoutTable.deserialize(data, "S")
+        assert restored.entries == table.entries
+
+    def test_entry0_parent_field_stores_count(self):
+        data = figure9_table().serialize()
+        assert int.from_bytes(data[0:2], "little") == 6
+
+    def test_deserialize_truncated(self):
+        data = figure9_table().serialize()
+        with pytest.raises(ValueError):
+            LayoutTable.deserialize(data[:40])
+
+    def test_names_length_checked(self):
+        with pytest.raises(ValueError):
+            LayoutTable("X", [LayoutEntry(0, 0, 8, 8)], ["a", "b"])
+
+
+# -- property: random well-formed trees survive serialisation ---------------
+
+@st.composite
+def random_tables(draw):
+    """Generate structurally-valid layout tables."""
+    entry_count = draw(st.integers(1, 12))
+    object_size = draw(st.integers(8, 512)) * 8
+    entries = [LayoutEntry(0, 0, object_size, object_size)]
+    for index in range(1, entry_count):
+        parent = draw(st.integers(0, index - 1))
+        parent_size = (entries[parent].size if parent else object_size)
+        base = draw(st.integers(0, max(parent_size - 8, 0)))
+        width = draw(st.integers(1, max(parent_size - base, 1)))
+        elements = draw(st.integers(1, 4))
+        entries.append(LayoutEntry(parent, base, base + width * elements,
+                                   width))
+    return LayoutTable("T", entries)
+
+
+@given(table=random_tables())
+@settings(max_examples=80, deadline=None)
+def test_serialize_roundtrip_property(table):
+    restored = LayoutTable.deserialize(table.serialize())
+    assert restored.entries == table.entries
+    assert len(restored) == len(table)

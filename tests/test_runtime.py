@@ -1,0 +1,337 @@
+"""Tests for the runtime: allocators, global table, libc builtins."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler import CompilerOptions
+from repro.ifp.tag import Scheme, address_of, scheme_of
+from tests.conftest import compile_and_run, run_all_configs
+
+
+class TestFreeList:
+    def _freelist(self, machine_factory):
+        return machine_factory("baseline").freelist
+
+    def test_alignment(self, machine_factory):
+        freelist = self._freelist(machine_factory)
+        for size in (1, 7, 24, 100):
+            address, _c, _i = freelist.malloc(size)
+            assert address % 16 == 0
+
+    def test_reuse_after_free(self, machine_factory):
+        freelist = self._freelist(machine_factory)
+        first, _c, _i = freelist.malloc(64)
+        freelist.free(first)
+        second, _c, _i = freelist.malloc(64)
+        assert second == first
+
+    def test_coalescing(self, machine_factory):
+        freelist = self._freelist(machine_factory)
+        a, _c, _i = freelist.malloc(64)
+        b, _c, _i = freelist.malloc(64)
+        c, _c2, _i = freelist.malloc(64)
+        freelist.free(a)
+        freelist.free(b)  # must merge with a
+        big, _c, _i = freelist.malloc(140)  # fits only in merged chunk
+        assert big == a
+
+    def test_usable_size(self, machine_factory):
+        freelist = self._freelist(machine_factory)
+        address, _c, _i = freelist.malloc(100)
+        assert freelist.usable_size(address) >= 100
+
+    def test_live_byte_accounting(self, machine_factory):
+        freelist = self._freelist(machine_factory)
+        before = freelist.live_bytes
+        address, _c, _i = freelist.malloc(256)
+        assert freelist.live_bytes > before
+        freelist.free(address)
+        assert freelist.live_bytes == before
+
+    def test_invalid_free_traps(self, machine_factory):
+        from repro.errors import SimTrap
+        freelist = self._freelist(machine_factory)
+        address, _c, _i = freelist.malloc(64)
+        with pytest.raises(SimTrap):
+            freelist.free(address + 4096)
+
+    @given(sizes=st.lists(st.integers(1, 500), min_size=1, max_size=40))
+    @settings(max_examples=25, deadline=None)
+    def test_no_overlap_property(self, sizes):
+        """Live allocations never overlap."""
+        from repro.cache import HierarchyConfig
+        from repro.mem import Memory
+        from repro.runtime.freelist import FreeListAllocator
+        memory = Memory()
+        freelist = FreeListAllocator(memory, HierarchyConfig().build(),
+                                     0x100000, 0x200000)
+        live = []
+        for index, size in enumerate(sizes):
+            address, _c, _i = freelist.malloc(size)
+            for other, other_size in live:
+                assert address + size <= other \
+                    or other + other_size <= address
+            live.append((address, size))
+            if index % 3 == 2:
+                victim = live.pop(0)
+                freelist.free(victim[0])
+
+
+class TestBuddy:
+    def test_natural_alignment(self, machine_factory):
+        buddy = machine_factory().buddy
+        for order in (12, 14, 16):
+            block, _instrs = buddy.alloc(order)
+            assert block % (1 << order) == 0
+
+    def test_free_and_reuse(self, machine_factory):
+        buddy = machine_factory().buddy
+        block, _ = buddy.alloc(12)
+        buddy.free(block, 12)
+        again, _ = buddy.alloc(12)
+        assert again == block
+
+    def test_buddy_merge(self, machine_factory):
+        buddy = machine_factory().buddy
+        a, _ = buddy.alloc(12)
+        b, _ = buddy.alloc(12)
+        if (a ^ b) == (1 << 12):  # true buddies
+            buddy.free(a, 12)
+            buddy.free(b, 12)
+            merged, _ = buddy.alloc(13)
+            assert merged == min(a, b)
+
+    def test_oversize_rejected(self, machine_factory):
+        buddy = machine_factory().buddy
+        block, _ = buddy.alloc(40)
+        assert block == 0
+
+
+class TestWrappedAllocator:
+    def test_small_allocation_local_offset(self, machine_factory):
+        machine = machine_factory("wrapped")
+        tagged, bounds, _c, _i = machine.wrapped_allocator.malloc(64, 0, 0)
+        assert scheme_of(tagged) is Scheme.LOCAL_OFFSET
+        assert bounds.size == 64
+        # Promote through the hardware agrees with the allocator.
+        result = machine.ifp.promote(tagged)
+        assert result.bounds == bounds
+
+    def test_large_allocation_global_table(self, machine_factory):
+        machine = machine_factory("wrapped")
+        tagged, bounds, _c, _i = machine.wrapped_allocator.malloc(
+            5000, 0, 0)
+        assert scheme_of(tagged) is Scheme.GLOBAL_TABLE
+        assert machine.ifp.promote(tagged).bounds == bounds
+
+    def test_free_invalidates_metadata(self, machine_factory):
+        machine = machine_factory("wrapped")
+        tagged, _b, _c, _i = machine.wrapped_allocator.malloc(64, 0, 0)
+        machine.wrapped_allocator.free(tagged)
+        assert machine.ifp.promote(tagged).bounds is None
+
+    def test_array_allocation_drops_layout_table(self, machine_factory):
+        machine = machine_factory("wrapped")
+        # elem_size 16 but total 64 -> array: metadata must carry no LT.
+        tagged, _b, _c, _i = machine.wrapped_allocator.malloc(64, 0x9999, 16)
+        assert machine.wrapped_allocator.layout_ptr_of(tagged) == 0
+
+    def test_usable_size(self, machine_factory):
+        machine = machine_factory("wrapped")
+        tagged, _b, _c, _i = machine.wrapped_allocator.malloc(100, 0, 0)
+        assert machine.wrapped_allocator.usable_size(tagged) == 100
+
+
+class TestSubheapAllocator:
+    def test_same_size_objects_share_blocks(self, machine_factory):
+        machine = machine_factory("subheap")
+        allocator = machine.subheap_allocator
+        pointers = [allocator.malloc(24, 0, 24)[0] for _ in range(8)]
+        blocks = {address_of(p) & ~0xFFF for p in pointers}
+        assert len(blocks) == 1
+
+    def test_different_sizes_different_blocks(self, machine_factory):
+        machine = machine_factory("subheap")
+        allocator = machine.subheap_allocator
+        a = allocator.malloc(24, 0, 24)[0]
+        b = allocator.malloc(48, 0, 48)[0]
+        assert (address_of(a) & ~0xFFF) != (address_of(b) & ~0xFFF)
+
+    def test_promote_agrees_with_allocator(self, machine_factory):
+        machine = machine_factory("subheap")
+        tagged, bounds, _c, _i = machine.subheap_allocator.malloc(40, 0, 40)
+        assert scheme_of(tagged) is Scheme.SUBHEAP
+        assert machine.ifp.promote(tagged).bounds == bounds
+
+    def test_interior_pointer_resolves_to_object(self, machine_factory):
+        machine = machine_factory("subheap")
+        tagged, bounds, _c, _i = machine.subheap_allocator.malloc(40, 0, 40)
+        interior = tagged + 17
+        assert machine.ifp.promote(interior).bounds == bounds
+
+    def test_slot_reuse_after_free(self, machine_factory):
+        machine = machine_factory("subheap")
+        allocator = machine.subheap_allocator
+        first = allocator.malloc(24, 0, 24)[0]
+        allocator.free(first)
+        second = allocator.malloc(24, 0, 24)[0]
+        assert address_of(second) == address_of(first)
+
+    def test_oversize_falls_back_to_global_table(self, machine_factory):
+        machine = machine_factory("subheap")
+        tagged, bounds, _c, _i = machine.subheap_allocator.malloc(
+            100_000, 0, 0)
+        assert scheme_of(tagged) is Scheme.GLOBAL_TABLE
+        assert machine.ifp.promote(tagged).bounds == bounds
+
+    def test_layout_table_separates_pools(self, machine_factory):
+        machine = machine_factory("subheap")
+        allocator = machine.subheap_allocator
+        a = allocator.malloc(24, 0x10010, 24)[0]
+        b = allocator.malloc(24, 0, 24)[0]
+        assert (address_of(a) & ~0xFFF) != (address_of(b) & ~0xFFF)
+
+
+class TestGlobalTableManager:
+    def test_register_deregister_cycle(self, machine_factory):
+        machine = machine_factory()
+        manager = machine.global_table
+        tagged, _c, _i = manager.register(0x40000, 128, 0)
+        assert manager.row_info(tagged) == (0x40000, 128, 0)
+        manager.deregister(tagged)
+        assert machine.ifp.promote(tagged).bounds is None
+
+    def test_row_reuse(self, machine_factory):
+        machine = machine_factory()
+        manager = machine.global_table
+        first, _c, _i = manager.register(0x40000, 16, 0)
+        manager.deregister(first)
+        second, _c, _i = manager.register(0x50000, 16, 0)
+        # The freed row is handed out again.
+        from repro.ifp.tag import unpack_tag
+        assert unpack_tag(first).payload == unpack_tag(second).payload
+
+
+class TestLibc:
+    def test_string_functions(self):
+        source = """
+        int main(void) {
+            char buf[32];
+            strcpy(buf, "hello");
+            strcat(buf, " world");
+            print_int(strlen(buf) * 100 + (strcmp(buf, "hello world") == 0));
+            return 0;
+        }
+        """
+        result = compile_and_run(source, CompilerOptions.baseline())
+        assert result.output == "1101"
+
+    def test_mem_functions(self):
+        source = """
+        int main(void) {
+            char a[16];
+            char b[16];
+            memset(a, 7, 16);
+            memcpy(b, a, 16);
+            print_int(memcmp(a, b, 16) == 0 ? b[9] : -1);
+            return 0;
+        }
+        """
+        result = compile_and_run(source, CompilerOptions.baseline())
+        assert result.output == "7"
+
+    def test_printf_formats(self):
+        source = r"""
+        int main(void) {
+            printf("%d|%u|%x|%c|%s|%%|%ld\n",
+                   -5, 7U, 255, 'Z', "str", (long)-9);
+            return 0;
+        }
+        """
+        result = compile_and_run(source, CompilerOptions.baseline())
+        assert result.output == "-5|7|ff|Z|str|%|-9\n"
+
+    def test_rand_is_deterministic(self):
+        source = """
+        int main(void) {
+            srand(42);
+            int a = rand();
+            srand(42);
+            int b = rand();
+            print_int(a == b);
+            return 0;
+        }
+        """
+        for config, result in run_all_configs(source).items():
+            assert result.output == "1", config
+
+    def test_atoi_and_isalpha(self):
+        source = """
+        int main(void) {
+            print_int(atoi("-123") * 10 + isalpha('q') + isalpha('3'));
+            return 0;
+        }
+        """
+        result = compile_and_run(source, CompilerOptions.baseline())
+        assert result.output == str(-123 * 10 + 1)
+
+    def test_isqrt(self):
+        source = "int main(void) { print_int(isqrt(1000000)); return 0; }"
+        result = compile_and_run(source, CompilerOptions.baseline())
+        assert result.output == "1000"
+
+    def test_strchr(self):
+        source = """
+        int main(void) {
+            char *s = "hello";
+            char *e = strchr(s, 'l');
+            print_int(e == NULL ? -1 : e - s);
+            return 0;
+        }
+        """
+        result = compile_and_run(source, CompilerOptions.baseline())
+        assert result.output == "2"
+
+    def test_legacy_pointer_from_libc_is_untagged(self):
+        # Instrumented code promoting a strchr result must see a legacy
+        # pointer (bypass), exactly the paper's libc story.
+        source = """
+        int main(void) {
+            char *s = "hello";
+            char *e = strchr(s, 'l');
+            return *e == 'l' ? 0 : 1;
+        }
+        """
+        result = compile_and_run(source, CompilerOptions.wrapped())
+        assert result.ok and result.exit_code == 0
+        assert result.stats.ifp.promotes_legacy >= 1
+
+
+class TestKernelBoundary:
+    def test_poisoned_pointer_to_libc_traps(self):
+        """The modified kernel contract: tags are ignored, poison is not.
+        A pointer poisoned by a failed check must fault even when handed
+        to uninstrumented code."""
+        source = """
+        int main(void) {
+            char *p = (char*)malloc(8);
+            char *oob = p + 64;        /* wildly out: poisoned by ifpadd */
+            memset(oob, 0, 4);         /* crosses into legacy code */
+            return 0;
+        }
+        """
+        result = compile_and_run(source, CompilerOptions.wrapped())
+        assert result.detected_violation
+
+    def test_tagged_but_valid_pointer_to_libc_works(self):
+        source = """
+        int main(void) {
+            char *p = (char*)malloc(16);
+            memset(p, 7, 16);
+            print_int(p[9]);
+            free(p);
+            return 0;
+        }
+        """
+        result = compile_and_run(source, CompilerOptions.wrapped())
+        assert result.ok and result.output == "7"

@@ -1,0 +1,113 @@
+"""Tests for pointer-tag encode/decode (repro.ifp.tag) and poison bits."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ifp import DEFAULT_CONFIG, Poison, PointerTag, Scheme
+from repro.ifp.tag import (
+    address_of, is_legacy, pack_pointer, poison_of, scheme_of, strip_tag,
+    unpack_tag, with_poison, with_tag,
+)
+
+
+class TestPoison:
+    def test_states(self):
+        assert Poison.VALID.dereferenceable
+        assert not Poison.RECOVERABLE.dereferenceable
+        assert not Poison.INVALID.dereferenceable
+        assert Poison.INVALID.irrecoverable
+        assert Poison.INVALID_ALT.irrecoverable
+        assert not Poison.RECOVERABLE.irrecoverable
+
+    def test_from_bits_masks(self):
+        assert Poison.from_bits(0b101) == Poison.RECOVERABLE
+
+
+class TestTagLayout:
+    def test_legacy_is_all_zero(self):
+        tag = unpack_tag(0x0000_1234_5678_9ABC)
+        assert tag.scheme is Scheme.LEGACY
+        assert tag.poison is Poison.VALID
+        assert tag.payload == 0
+
+    def test_pack_unpack_fields(self):
+        tag = PointerTag(Poison.RECOVERABLE, Scheme.SUBHEAP, 0xABC)
+        pointer = pack_pointer(0x7FFF_FFFF_0000, tag)
+        decoded = unpack_tag(pointer)
+        assert decoded == tag
+        assert address_of(pointer) == 0x7FFF_FFFF_0000
+
+    def test_local_offset_payload_views(self):
+        payload = (0x2A << 6) | 0x15   # offset 42, subobject 21
+        tag = PointerTag(Poison.VALID, Scheme.LOCAL_OFFSET, payload)
+        assert tag.local_granule_offset(DEFAULT_CONFIG) == 42
+        assert tag.local_subobject_index(DEFAULT_CONFIG) == 21
+        assert tag.subobject_index(DEFAULT_CONFIG) == 21
+
+    def test_subheap_payload_views(self):
+        payload = (0xB << 8) | 0x7F
+        tag = PointerTag(Poison.VALID, Scheme.SUBHEAP, payload)
+        assert tag.subheap_register_index(DEFAULT_CONFIG) == 0xB
+        assert tag.subheap_subobject_index(DEFAULT_CONFIG) == 0x7F
+
+    def test_global_table_payload(self):
+        tag = PointerTag(Poison.VALID, Scheme.GLOBAL_TABLE, 0xFFF)
+        assert tag.global_table_index(DEFAULT_CONFIG) == 0xFFF
+        assert tag.subobject_index(DEFAULT_CONFIG) == 0
+
+    def test_with_subobject_index(self):
+        tag = PointerTag(Poison.VALID, Scheme.LOCAL_OFFSET, 0x2A << 6)
+        updated = tag.with_subobject_index(5, DEFAULT_CONFIG)
+        assert updated.local_subobject_index(DEFAULT_CONFIG) == 5
+        assert updated.local_granule_offset(DEFAULT_CONFIG) == 0x2A
+
+    def test_subobject_index_overflow_rejected(self):
+        tag = PointerTag(Poison.VALID, Scheme.LOCAL_OFFSET, 0)
+        with pytest.raises(ValueError):
+            tag.with_subobject_index(64, DEFAULT_CONFIG)
+
+    def test_global_table_has_no_subobject_field(self):
+        tag = PointerTag(Poison.VALID, Scheme.GLOBAL_TABLE, 0)
+        with pytest.raises(ValueError):
+            tag.with_subobject_index(1, DEFAULT_CONFIG)
+
+
+class TestHelpers:
+    def test_with_poison_preserves_rest(self):
+        tag = PointerTag(Poison.VALID, Scheme.LOCAL_OFFSET, 0x123)
+        pointer = pack_pointer(0xCAFE, tag)
+        poisoned = with_poison(pointer, Poison.INVALID)
+        assert poison_of(poisoned) is Poison.INVALID
+        assert scheme_of(poisoned) is Scheme.LOCAL_OFFSET
+        assert address_of(poisoned) == 0xCAFE
+        assert unpack_tag(poisoned).payload == 0x123
+
+    def test_strip_tag(self):
+        tag = PointerTag(Poison.INVALID, Scheme.GLOBAL_TABLE, 0x456)
+        pointer = pack_pointer(0x1000, tag)
+        assert strip_tag(pointer) == 0x1000
+        assert is_legacy(strip_tag(pointer))
+
+    def test_with_tag(self):
+        tag = PointerTag(Poison.VALID, Scheme.SUBHEAP, 7)
+        assert unpack_tag(with_tag(0x99, tag)).scheme is Scheme.SUBHEAP
+
+    @given(address=st.integers(0, (1 << 48) - 1),
+           poison=st.sampled_from(list(Poison)),
+           scheme=st.sampled_from(list(Scheme)),
+           payload=st.integers(0, 0xFFF))
+    @settings(max_examples=200, deadline=None)
+    def test_roundtrip_property(self, address, poison, scheme, payload):
+        tag = PointerTag(poison, scheme, payload)
+        pointer = pack_pointer(address, tag)
+        assert pointer < (1 << 64)
+        decoded = unpack_tag(pointer)
+        # INVALID and INVALID_ALT are distinct encodings of one state.
+        assert decoded.poison == poison
+        assert decoded.scheme == scheme
+        assert decoded.payload == payload
+        assert address_of(pointer) == address
+
+    def test_encode_width(self):
+        tag = PointerTag(Poison.INVALID_ALT, Scheme.GLOBAL_TABLE, 0xFFF)
+        assert tag.encode() == 0xFFFF

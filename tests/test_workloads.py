@@ -1,0 +1,144 @@
+"""Tests for the 18 application benchmarks.
+
+Every workload must run to completion under every configuration and
+produce the identical answer — the reproduction's equivalent of the
+paper's functional sanity on its benchmark set.
+"""
+
+import pytest
+
+from repro.compiler import CompilerOptions, compile_source
+from repro.vm import Machine, MachineConfig
+from repro.workloads import WORKLOADS, all_workloads, get
+
+_CONFIGS = {
+    "baseline": CompilerOptions.baseline(),
+    "wrapped": CompilerOptions.wrapped(),
+    "subheap": CompilerOptions.subheap(),
+}
+
+
+def run(workload, config_name, scale=1):
+    program = compile_source(workload.source(scale), _CONFIGS[config_name])
+    machine = Machine(program, MachineConfig(max_instructions=150_000_000))
+    return machine.run()
+
+
+class TestRegistry:
+    def test_eighteen_workloads(self):
+        assert len(all_workloads()) == 18
+
+    def test_suites(self):
+        suites = {}
+        for workload in all_workloads():
+            suites.setdefault(workload.suite, []).append(workload.name)
+        assert len(suites["olden"]) == 10
+        assert len(suites["ptrdist"]) == 4
+        assert len(suites["other"]) == 4
+
+    def test_get(self):
+        assert get("treeadd").name == "treeadd"
+        with pytest.raises(KeyError):
+            get("nonexistent")
+
+    def test_sources_scale(self):
+        for workload in all_workloads():
+            small = workload.source(1)
+            large = workload.source(2)
+            assert small != large  # scale must change the program
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+class TestExecution:
+    def test_all_configs_agree(self, name):
+        workload = get(name)
+        outputs = {}
+        for config in _CONFIGS:
+            result = run(workload, config)
+            assert result.ok, f"{name}[{config}] trapped: {result.trap}"
+            assert workload.expected_output in result.output
+            outputs[config] = result.output
+        assert len(set(outputs.values())) == 1, outputs
+
+
+class TestPaperSignatures:
+    """Spot-check the paper-reported per-benchmark behaviours."""
+
+    def test_treeadd_subheap_faster_than_baseline(self):
+        baseline = run(get("treeadd"), "baseline")
+        subheap = run(get("treeadd"), "subheap")
+        assert subheap.stats.total_instructions \
+            < baseline.stats.total_instructions
+
+    def test_perimeter_subheap_faster_than_baseline(self):
+        baseline = run(get("perimeter"), "baseline")
+        subheap = run(get("perimeter"), "subheap")
+        assert subheap.stats.total_instructions \
+            < baseline.stats.total_instructions
+
+    def test_wrapper_allocated_workloads_have_no_layout_tables(self):
+        # treeadd/bisort/perimeter allocate through wrappers.
+        for name in ("treeadd", "bisort", "perimeter"):
+            stats = run(get(name), "subheap").stats
+            assert stats.heap_objects > 0
+            assert stats.heap_objects_lt == 0, name
+
+    def test_anagram_heap_objects_all_have_layout_tables(self):
+        stats = run(get("anagram"), "subheap").stats
+        assert stats.heap_objects_lt == stats.heap_objects > 0
+
+    def test_bisort_promotes_are_null_heavy(self):
+        ifp = run(get("bisort"), "subheap").stats.ifp
+        assert ifp.promotes_null > 0
+        assert ifp.promotes_null >= ifp.promotes_legacy
+
+    def test_voronoi_promotes_are_legacy_heavy(self):
+        ifp = run(get("voronoi"), "subheap").stats.ifp
+        assert ifp.promotes_legacy > ifp.promotes_null
+        # The paper: voronoi has the lowest valid-promote ratio (44%).
+        assert ifp.promotes_valid / ifp.promotes_total < 0.6
+
+    def test_health_narrowing_all_succeed(self):
+        ifp = run(get("health"), "subheap").stats.ifp
+        assert ifp.narrow_attempts > 0
+        assert ifp.narrow_success == ifp.narrow_attempts
+
+    def test_coremark_narrowing_all_fail(self):
+        ifp = run(get("coremark"), "subheap").stats.ifp
+        assert ifp.narrow_attempts > 0
+        assert ifp.narrow_success == 0
+
+    def test_coremark_single_allocation(self):
+        stats = run(get("coremark"), "subheap").stats
+        assert stats.heap_objects == 1
+
+    def test_sjeng_valid_promote_ratio_low(self):
+        ifp = run(get("sjeng"), "subheap").stats.ifp
+        # Paper: 26% valid.
+        assert ifp.promotes_total > 0
+        assert ifp.promotes_valid / ifp.promotes_total < 0.5
+
+    def test_sjeng_uses_global_table_global(self):
+        stats = run(get("sjeng"), "subheap").stats
+        assert stats.global_objects >= 1
+        assert stats.ifp.lookups_global_table > 0
+
+    def test_bh_registers_many_locals(self):
+        stats = run(get("bh"), "subheap").stats
+        assert stats.local_objects > 500
+        assert stats.local_objects_lt == stats.local_objects
+
+    def test_em3d_array_allocations_have_no_tables(self):
+        stats = run(get("em3d"), "subheap").stats
+        assert stats.heap_objects_lt == 0
+
+    def test_instrumented_runs_have_promotes(self):
+        for name in ("bisort", "health", "mst", "ft", "ks"):
+            stats = run(get(name), "wrapped").stats
+            assert stats.promote_instructions > 0, name
+
+    def test_wrapped_allocator_costs_more_memory_than_subheap_on_treeadd(self):
+        wrapped = run(get("treeadd"), "wrapped", scale=2)
+        subheap = run(get("treeadd"), "subheap", scale=2)
+        assert subheap.stats.peak_mapped_bytes \
+            < wrapped.stats.peak_mapped_bytes
