@@ -795,13 +795,18 @@ class FunctionCodegen:
         return self._load_scalar(addr, expr.ctype)
 
     def _e_Index(self, expr: ast.Index) -> Value:
-        addr = self.lower_addr(expr)
+        # An aggregate-typed element decays to a first-class pointer
+        # here, which is an escape of the root object (mirrors the
+        # aggregate branch of _e_Ident and the escape analysis).
+        addr = self.lower_addr(expr,
+                               for_escape=bool(expr.ctype.is_aggregate))
         if addr.ctype.is_aggregate:
             return self.materialize(addr)
         return self._load_scalar(addr, expr.ctype)
 
     def _e_Member(self, expr: ast.Member) -> Value:
-        addr = self.lower_addr(expr)
+        addr = self.lower_addr(expr,
+                               for_escape=bool(expr.ctype.is_aggregate))
         if addr.ctype.is_aggregate:
             return self.materialize(addr)
         return self._load_scalar(addr, expr.ctype)

@@ -115,6 +115,65 @@ class SyscallError(SimTrap):
     """Invalid syscall or syscall arguments from the guest program."""
 
 
+# ---------------------------------------------------------------------------
+# Evaluation-harness errors (differential running of one program under
+# several configurations)
+# ---------------------------------------------------------------------------
+
+class HarnessError(ReproError):
+    """A workload/configuration sweep did not behave as required.
+
+    These are *host-side* verdicts about guest executions: a configuration
+    trapped where it must not, produced the wrong answer, or disagreed
+    with its siblings.  They carry enough structure for the fuzzing oracle
+    to distinguish the failure modes.
+    """
+
+
+class WorkloadTrapped(HarnessError):
+    """An execution that was required to run clean ended in a trap.
+
+    ``trap`` is the underlying :class:`SimTrap`; ``workload`` and
+    ``config`` identify the run.
+    """
+
+    def __init__(self, workload: str, config: str, trap: "SimTrap"):
+        super().__init__(
+            f"{workload} [{config}] trapped: {trap}")
+        self.workload = workload
+        self.config = config
+        self.trap = trap
+
+
+class UnexpectedOutput(HarnessError):
+    """A run completed but its stdout fails the workload's sanity check."""
+
+    def __init__(self, workload: str, config: str, output: str,
+                 expected: str = ""):
+        super().__init__(
+            f"{workload} [{config}] produced unexpected output "
+            f"{output!r}")
+        self.workload = workload
+        self.config = config
+        self.output = output
+        self.expected = expected
+
+
+class OutputDivergence(HarnessError):
+    """Configurations of the same program computed different answers.
+
+    ``outputs`` maps config name to its ``(output, exit_code)`` pair.
+    """
+
+    def __init__(self, workload: str, outputs: dict):
+        rendered = ", ".join(
+            f"{config}={pair!r}" for config, pair in sorted(outputs.items()))
+        super().__init__(
+            f"{workload}: configurations disagree: {rendered}")
+        self.workload = workload
+        self.outputs = outputs
+
+
 class GuestExit(ReproError):
     """Non-error control-flow exception: the guest called ``exit``.
 

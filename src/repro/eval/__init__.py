@@ -9,7 +9,9 @@
 """
 
 from repro.eval.configs import CONFIG_NAMES, build_options, build_machine_config
-from repro.eval.harness import WorkloadRun, run_workload, run_sweep, Sweep
+from repro.eval.harness import (
+    WorkloadRun, run_workload, run_sweep, Sweep, verify_runs_agree,
+)
 from repro.eval.table4 import table4_rows, format_table4
 from repro.eval.figures import (
     figure10_series, figure11_series, figure12_series, format_figure,
@@ -20,6 +22,7 @@ from repro.eval.related import TABLE1_ROWS, TABLE2_ROWS, TABLE3_ROWS
 __all__ = [
     "CONFIG_NAMES", "build_options", "build_machine_config",
     "WorkloadRun", "run_workload", "run_sweep", "Sweep",
+    "verify_runs_agree",
     "table4_rows", "format_table4",
     "figure10_series", "figure11_series", "figure12_series",
     "format_figure", "geomean",

@@ -11,6 +11,9 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.compiler import compile_source
+from repro.errors import (
+    OutputDivergence, UnexpectedOutput, WorkloadTrapped,
+)
 from repro.eval.configs import (
     CONFIG_NAMES, build_machine_config, build_options,
 )
@@ -42,23 +45,45 @@ class WorkloadRun:
         return self.stats.peak_mapped_bytes
 
 
-def run_workload(workload: Workload, config: str,
-                 scale: int = 1) -> WorkloadRun:
-    """Compile and execute one workload under one configuration."""
+def run_workload(workload: Workload, config: str, scale: int = 1,
+                 max_instructions: Optional[int] = None) -> WorkloadRun:
+    """Compile and execute one workload under one configuration.
+
+    Raises :class:`repro.errors.WorkloadTrapped` when the run traps and
+    :class:`repro.errors.UnexpectedOutput` when the workload's output
+    sanity check fails, so callers (the sweep, the fuzzing oracle) can
+    tell the two apart.
+    """
     options = build_options(config)
     program = compile_source(workload.source(scale), options)
-    machine = Machine(program, build_machine_config(config))
+    machine = Machine(program, build_machine_config(config)
+                      if max_instructions is None
+                      else build_machine_config(config, max_instructions))
     result = machine.run()
     if result.trap is not None:
-        raise RuntimeError(
-            f"{workload.name} [{config}] trapped: {result.trap}")
+        raise WorkloadTrapped(workload.name, config, result.trap)
     if workload.expected_output \
             and workload.expected_output not in result.output:
-        raise RuntimeError(
-            f"{workload.name} [{config}] produced unexpected output "
-            f"{result.output!r}")
+        raise UnexpectedOutput(workload.name, config, result.output,
+                               workload.expected_output)
     return WorkloadRun(workload.name, config, scale, result.stats,
                        result.output, result.exit_code)
+
+
+def verify_runs_agree(runs: Iterable[WorkloadRun]) -> None:
+    """Assert a group of runs of *one* program computed the same answer.
+
+    Compares both stdout and exit code across every run; raises
+    :class:`repro.errors.OutputDivergence` naming the disagreeing
+    configurations.  Shared by :meth:`Sweep.verify_outputs_agree` and the
+    fuzzing oracle (:mod:`repro.fuzz.oracle`).
+    """
+    runs = list(runs)
+    by_config = {run.config: (run.output, run.exit_code) for run in runs}
+    if len(set(by_config.values())) > 1:
+        names = {run.workload for run in runs}
+        raise OutputDivergence(
+            "/".join(sorted(names)) or "<program>", by_config)
 
 
 class Sweep:
@@ -84,14 +109,26 @@ class Sweep:
                  ) -> List[WorkloadRun]:
         return [self.run(w, c) for w in self.workloads for c in configs]
 
-    def verify_outputs_agree(self) -> None:
-        """Assert every configuration computes the same answer."""
+    def configs_run(self, workload: Workload) -> List[str]:
+        """Configurations already executed (cached) for ``workload``."""
+        return [config for (name, config) in self._cache
+                if name == workload.name]
+
+    def verify_outputs_agree(
+            self, configs: Optional[Iterable[str]] = None) -> None:
+        """Assert every configuration computes the same answer.
+
+        With ``configs=None`` each workload is checked across whatever
+        configurations have actually been run on it (running the three
+        standard builds when nothing has); pass an explicit iterable to
+        pin the set and force any missing runs.
+        """
+        pinned = list(configs) if configs is not None else None
         for workload in self.workloads:
-            outputs = {self.run(workload, c).output
-                       for c in ("baseline", "subheap", "wrapped")}
-            if len(outputs) != 1:
-                raise AssertionError(
-                    f"{workload.name}: configurations disagree: {outputs}")
+            names = pinned if pinned is not None \
+                else (self.configs_run(workload)
+                      or ["baseline", "subheap", "wrapped"])
+            verify_runs_agree(self.run(workload, c) for c in names)
 
 
 def run_sweep(scale: int = 1,

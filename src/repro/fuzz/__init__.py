@@ -1,0 +1,58 @@
+"""Differential fuzzing & attack injection for the IFP pipeline.
+
+The paper's functional claims are two-sided:
+
+* *transparency* — correct programs behave identically under every
+  build (baseline, subheap, wrapped, and the no-promote ablations) and
+  never trap;
+* *detection* — spatial violations trap in every instrumented build, at
+  subobject granularity whenever a layout table and a subobject-capable
+  tag scheme are available, degrading to object granularity exactly
+  where Table 4 / Section 3 say they must (alloc-wrapper objects,
+  global-table scheme).
+
+This package stress-tests both sides generatively:
+
+==============  ======================================================
+module          role
+==============  ======================================================
+`generator`     seeded random well-typed mini-C programs covering the
+                whole surface (nested structs, arrays-of-structs,
+                pointer arithmetic, stack/heap/global objects,
+                alloc wrappers, legacy libc calls, function pointers)
+`oracle`        differential no-trap / same-answer check across
+                configurations (reuses the Sweep machinery)
+`attacks`       mutates a program at a known access site and scores
+                per-configuration trap expectations
+`minimize`      delta-debugging (ddmin) source shrinker
+`corpus`        failing-case persistence + verbatim seed replay
+`driver`        the ``python -m repro.fuzz`` CLI and run statistics
+==============  ======================================================
+"""
+
+from repro.fuzz.generator import (
+    AccessSite, GeneratedProgram, ProgramSpec, generate_program,
+    iteration_seed, render,
+)
+from repro.fuzz.attacks import (
+    Attack, EXPECT_MAY, EXPECT_TRAP, EXPECT_NO_TRAP, attacks_for,
+    expectation,
+)
+from repro.fuzz.oracle import (
+    AttackVerdict, Divergence, check_attack, check_clean, run_program,
+)
+from repro.fuzz.minimize import ddmin_lines, minimize_source
+from repro.fuzz.corpus import CorpusEntry, load_entry, save_failure
+from repro.fuzz.driver import FuzzStats, run_fuzz
+
+__all__ = [
+    "AccessSite", "GeneratedProgram", "ProgramSpec", "generate_program",
+    "iteration_seed", "render",
+    "Attack", "EXPECT_MAY", "EXPECT_TRAP", "EXPECT_NO_TRAP",
+    "attacks_for", "expectation",
+    "AttackVerdict", "Divergence", "check_attack", "check_clean",
+    "run_program",
+    "ddmin_lines", "minimize_source",
+    "CorpusEntry", "load_entry", "save_failure",
+    "FuzzStats", "run_fuzz",
+]

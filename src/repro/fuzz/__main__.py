@@ -1,0 +1,92 @@
+"""CLI entry point: ``python -m repro.fuzz``.
+
+Examples::
+
+    # the standard differential + attack-injection run
+    python -m repro.fuzz --iterations 200 --seed 0
+
+    # attack injection only, custom configuration set
+    python -m repro.fuzz --iterations 50 --seed 7 --inject-only \\
+        --configs baseline,subheap,wrapped,wrapped-np
+
+    # force a failure end-to-end (minimizer + corpus self-test)
+    python -m repro.fuzz --iterations 1 --seed 0 --plant-bug
+
+    # re-run a persisted failure, verbatim from its seed
+    python -m repro.fuzz --replay corpus/<name>.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.eval.configs import CONFIG_NAMES
+from repro.fuzz.corpus import DEFAULT_CORPUS_DIR, load_entry
+from repro.fuzz.driver import DEFAULT_CONFIGS, replay_entry, run_fuzz
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="Differential fuzzing & attack injection for the "
+                    "IFP pipeline.")
+    parser.add_argument("--iterations", "-n", type=int, default=100,
+                        help="programs to generate (default 100)")
+    parser.add_argument("--seed", "-s", type=int, default=0,
+                        help="master seed (default 0)")
+    parser.add_argument("--start", type=int, default=0,
+                        help="first iteration index (for reproduction)")
+    parser.add_argument("--configs", type=str,
+                        default=",".join(DEFAULT_CONFIGS),
+                        help="comma-separated configuration list "
+                             f"(available: {', '.join(CONFIG_NAMES)})")
+    parser.add_argument("--inject-only", action="store_true",
+                        help="skip the clean differential phase")
+    parser.add_argument("--no-inject", action="store_true",
+                        help="skip attack injection")
+    parser.add_argument("--corpus", type=str,
+                        default=DEFAULT_CORPUS_DIR,
+                        help="directory for failing cases "
+                             "(default: corpus/)")
+    parser.add_argument("--no-minimize", action="store_true",
+                        help="persist failures without delta-debugging")
+    parser.add_argument("--max-attacks", type=int, default=2,
+                        help="attacks injected per program (default 2)")
+    parser.add_argument("--plant-bug", action="store_true",
+                        help="self-test: feed one attacked program to "
+                             "the clean oracle to force a failure")
+    parser.add_argument("--replay", type=str, metavar="JSON",
+                        help="re-run one corpus entry verbatim")
+    parser.add_argument("--quiet", "-q", action="store_true",
+                        help="suppress progress lines")
+    args = parser.parse_args(argv)
+
+    log = (lambda message: None) if args.quiet else print
+
+    if args.replay:
+        try:  # validate the entry up front for a friendly CLI error
+            load_entry(args.replay)
+        except (OSError, ValueError, KeyError) as exc:
+            parser.error(f"cannot replay {args.replay}: {exc}")
+        return 0 if replay_entry(args.replay, log=print) else 1
+
+    configs = [c.strip() for c in args.configs.split(",") if c.strip()]
+    unknown = [c for c in configs if c not in CONFIG_NAMES]
+    if unknown:
+        parser.error(f"unknown configuration(s): {', '.join(unknown)}")
+
+    stats = run_fuzz(
+        iterations=args.iterations, seed=args.seed, configs=configs,
+        start=args.start, clean=not args.inject_only,
+        inject=not args.no_inject, corpus_dir=args.corpus,
+        minimize=not args.no_minimize,
+        max_attacks_per_program=args.max_attacks,
+        plant_bug=args.plant_bug, log=log,
+        progress_every=0 if args.quiet else 25)
+    print(stats.summary())
+    return 0 if stats.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

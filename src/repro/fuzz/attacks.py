@@ -1,0 +1,98 @@
+"""Attack injection: mutate one access site, predict per-config traps.
+
+An :class:`Attack` replaces the in-bounds index of one
+:class:`~repro.fuzz.generator.AccessSite` with a violating one.  Four
+kinds are injected, chosen by what the site's shape allows:
+
+===========  ==========================================================
+kind         meaning
+===========  ==========================================================
+over         one element past the *whole object* (classic overflow /
+             over-read; CWE-121/122/126)
+under        one element before the object (underwrite / under-read;
+             CWE-124/127)
+intra        past the accessed member but inside the object — the
+             paper's Listing 1 intra-object overflow
+intra_under  before the accessed member but inside the object
+===========  ==========================================================
+
+``expectation`` encodes the paper's detection semantics per
+configuration:
+
+* ``baseline`` never traps (no instrumentation);
+* the ``-np`` ablations give no guarantee (promote produces no bounds,
+  so only compile-time bounds still check) — scored ``may``;
+* ``subheap`` / ``wrapped`` must trap on every object-granularity
+  violation, and on intra-object violations exactly when the site is
+  *narrowable*: alloc-wrapper objects carry no layout table and
+  global-table tags have no subobject bits (Table 4 / Section 3), so
+  those intra attacks must run **silently** — the expected-evasion rows
+  of the oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.fuzz.generator import AccessSite
+
+EXPECT_TRAP = "must_trap"
+EXPECT_NO_TRAP = "must_not_trap"
+EXPECT_MAY = "may_trap"
+
+#: Configurations whose behaviour the oracle asserts (vs. just records).
+INSTRUMENTED_STRICT = ("subheap", "wrapped")
+
+
+@dataclass(frozen=True)
+class Attack:
+    """One injected violation at one access site."""
+
+    sid: int
+    kind: str        #: 'over' | 'under' | 'intra' | 'intra_under'
+    index: int       #: the mutated index
+    description: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"sid": self.sid, "kind": self.kind, "index": self.index,
+                "description": self.description}
+
+
+def attacks_for(site: AccessSite) -> List[Attack]:
+    """Every attack kind this site's shape supports."""
+    out: List[Attack] = []
+    beyond = site.object_elems - site.member_offset_elems
+    is_member = site.member_offset_elems > 0 \
+        or site.length < site.object_elems
+    what = f"{site.kind} via {site.flow} on {site.obj} ({site.region})"
+    out.append(Attack(site.sid, "over", beyond,
+                      f"one-past-object {what}"))
+    if site.member_offset_elems > 0:
+        out.append(Attack(site.sid, "intra_under", -1,
+                          f"before-member (inside object) {what}"))
+    else:
+        out.append(Attack(site.sid, "under", -1,
+                          f"one-before-object {what}"))
+    if is_member and site.intra_room > 0:
+        out.append(Attack(site.sid, "intra", site.length,
+                          f"past-member (inside object) {what}"))
+    return out
+
+
+def expectation(site: AccessSite, attack: Attack, config: str) -> str:
+    """The oracle's verdict key for ``attack`` under ``config``."""
+    if config == "baseline":
+        return EXPECT_NO_TRAP
+    if config not in INSTRUMENTED_STRICT:
+        return EXPECT_MAY            # ablations and unknown configs
+    if attack.kind in ("over", "under"):
+        return EXPECT_TRAP
+    # intra / intra_under: subobject granularity needed
+    return EXPECT_TRAP if site.narrowable else EXPECT_NO_TRAP
+
+
+def expectation_map(site: AccessSite, attack: Attack,
+                    configs: List[str]) -> Dict[str, str]:
+    return {config: expectation(site, attack, config)
+            for config in configs}

@@ -1,0 +1,96 @@
+"""Failing-case persistence and verbatim replay.
+
+Every oracle failure is written to the corpus directory as three files:
+
+* ``<name>.c``       — the minimized program,
+* ``<name>.orig.c``  — the unminimized program as generated/mutated,
+* ``<name>.json``    — machine-readable metadata: the master seed,
+  iteration, derived iteration seed, the attack and site (when the
+  failure came from an injected attack), the configurations involved,
+  and a one-line reproduction command.
+
+The iteration seed makes replay *verbatim*: regenerating with the saved
+``(seed, iteration)`` reproduces the identical source (checked against
+the saved SHA-256 during ``python -m repro.fuzz --replay``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: Default corpus location (repo-relative).
+DEFAULT_CORPUS_DIR = "corpus"
+
+
+def source_digest(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class CorpusEntry:
+    """One persisted failure."""
+
+    name: str
+    kind: str                #: divergence kind (oracle vocabulary)
+    detail: str
+    seed: int                #: master seed of the fuzzing run
+    iteration: int
+    iteration_seed: int      #: derived seed (verbatim regeneration)
+    configs: List[str]
+    source_sha256: str       #: digest of the *original* source
+    repro: str               #: one-line reproduction command
+    config: Optional[str] = None
+    attack: Optional[Dict[str, object]] = None
+    site: Optional[Dict[str, object]] = None
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name, "kind": self.kind, "detail": self.detail,
+            "seed": self.seed, "iteration": self.iteration,
+            "iteration_seed": self.iteration_seed,
+            "configs": self.configs,
+            "source_sha256": self.source_sha256, "repro": self.repro,
+            "config": self.config, "attack": self.attack,
+            "site": self.site, "extra": self.extra,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CorpusEntry":
+        return cls(
+            name=data["name"], kind=data["kind"], detail=data["detail"],
+            seed=data["seed"], iteration=data["iteration"],
+            iteration_seed=data["iteration_seed"],
+            configs=list(data["configs"]),
+            source_sha256=data["source_sha256"], repro=data["repro"],
+            config=data.get("config"), attack=data.get("attack"),
+            site=data.get("site"), extra=dict(data.get("extra") or {}))
+
+
+def save_failure(corpus_dir: str, entry: CorpusEntry, original: str,
+                 minimized: Optional[str] = None) -> str:
+    """Persist one failure; returns the path of the JSON metadata file."""
+    os.makedirs(corpus_dir, exist_ok=True)
+    base = os.path.join(corpus_dir, entry.name)
+    with open(base + ".orig.c", "w") as handle:
+        handle.write(original)
+    with open(base + ".c", "w") as handle:
+        handle.write(minimized if minimized is not None else original)
+    path = base + ".json"
+    with open(path, "w") as handle:
+        json.dump(entry.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_entry(path: str) -> CorpusEntry:
+    with open(path) as handle:
+        return CorpusEntry.from_dict(json.load(handle))
+
+
+def entry_name(kind: str, seed: int, iteration: int, digest: str) -> str:
+    return f"{kind}-s{seed}-i{iteration}-{digest[:8]}"

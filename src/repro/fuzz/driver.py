@@ -1,0 +1,353 @@
+"""The fuzzing driver: the loop behind ``python -m repro.fuzz``.
+
+Each iteration derives a fresh seed from ``(master seed, iteration)``,
+generates one program, and runs up to two phases:
+
+1. **transparency** (unless ``--inject-only``): the clean program must
+   run trap-free with identical (stdout, exit code) under every
+   selected configuration;
+2. **attack injection** (unless ``--no-inject``): a sample of the
+   program's access sites is mutated and each mutant's per-config trap
+   behaviour is matched against the paper's detection semantics.
+
+Any oracle failure is delta-minimized, persisted to the corpus with a
+seed that regenerates the program verbatim, and reported with a
+one-line reproduction command.  The driver exits non-zero when any
+failure occurred — the CI contract.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.fuzz.attacks import Attack, attacks_for
+from repro.fuzz.corpus import (
+    CorpusEntry, DEFAULT_CORPUS_DIR, entry_name, save_failure,
+    source_digest,
+)
+from repro.fuzz.generator import (
+    GeneratedProgram, generate_program, iteration_seed, render,
+)
+from repro.fuzz.minimize import minimize_source
+from repro.fuzz.oracle import (
+    SPATIAL_TRAPS, AttackVerdict, Divergence, check_attack, check_clean,
+    run_program,
+)
+
+DEFAULT_CONFIGS = ["baseline", "subheap", "wrapped", "subheap-np"]
+
+
+@dataclass
+class FailureRecord:
+    """One failure, as reported to the user / CI."""
+
+    entry: CorpusEntry
+    json_path: str
+    minimized_lines: int
+    original_lines: int
+
+
+@dataclass
+class FuzzStats:
+    """Per-run accounting, printed by the CLI summary."""
+
+    seed: int = 0
+    iterations: int = 0
+    configs: List[str] = field(default_factory=list)
+    programs: int = 0
+    executions: int = 0
+    clean_runs: int = 0
+    attack_runs: int = 0
+    attacks_injected: int = 0
+    attacks_detectable: int = 0
+    attacks_detected: int = 0
+    expected_evasions: int = 0
+    evasions_confirmed: int = 0
+    #: (config, trap class) -> count, over attack runs
+    trap_histogram: Counter = field(default_factory=Counter)
+    failures: List[FailureRecord] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def divergences(self) -> int:
+        return len(self.failures)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        lines = [
+            f"repro.fuzz: {self.iterations} iterations, "
+            f"seed {self.seed}",
+            f"  configs            : {', '.join(self.configs)}",
+            f"  programs generated : {self.programs}",
+            f"  executions         : {self.executions} "
+            f"(clean {self.clean_runs}, attack {self.attack_runs})",
+            f"  attacks injected   : {self.attacks_injected} "
+            f"(detectable {self.attacks_detectable}, "
+            f"expected-evasion {self.expected_evasions})",
+            f"  detected           : {self.attacks_detected}"
+            f"/{self.attacks_detectable}",
+            f"  evasions confirmed : {self.evasions_confirmed}"
+            f"/{self.expected_evasions}",
+            f"  divergences        : {self.divergences}",
+        ]
+        if self.trap_histogram:
+            lines.append("  trap histogram     :")
+            for (config, trap), count in sorted(
+                    self.trap_histogram.items()):
+                lines.append(f"    {config:12s} {trap:14s} {count:5d}")
+        if self.elapsed > 0:
+            lines.append(
+                f"  throughput         : "
+                f"{self.programs / self.elapsed:.2f} programs/s, "
+                f"{self.executions / self.elapsed:.1f} runs/s "
+                f"({self.elapsed:.1f}s)")
+        for record in self.failures:
+            lines.append(f"  FAILURE {record.entry.name}: "
+                         f"{record.entry.kind} — {record.entry.detail}")
+            lines.append(f"    minimized {record.original_lines} -> "
+                         f"{record.minimized_lines} lines; "
+                         f"repro: {record.entry.repro}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Failure predicates for the minimizer
+# ---------------------------------------------------------------------------
+
+def _false_positive_predicate(config: str) -> Callable[[str], bool]:
+    def predicate(source: str) -> bool:
+        return run_program(source, config).trap is not None
+    return predicate
+
+
+def _divergence_predicate(configs: List[str]) -> Callable[[str], bool]:
+    def predicate(source: str) -> bool:
+        seen = set()
+        for config in configs:
+            result = run_program(source, config)
+            if result.trap is not None:
+                return False
+            seen.add((result.output, result.exit_code))
+        return len(seen) > 1
+    return predicate
+
+
+def _missed_attack_predicate(config: str,
+                             needle: str) -> Callable[[str], bool]:
+    """The attack access must survive minimization, yet stay silent."""
+    def predicate(source: str) -> bool:
+        if needle not in source:
+            return False
+        result = run_program(source, config)
+        return result.trap is None \
+            or type(result.trap).__name__ not in SPATIAL_TRAPS
+    return predicate
+
+
+def _attack_needle(source: str, attack: Attack) -> str:
+    """A line that must survive minimization of an attack failure: the
+    first line mentioning the mutated index."""
+    probes = (f"[{attack.index}]", f"({attack.index})", f"{attack.index};")
+    for line in source.splitlines():
+        if any(probe in line for probe in probes):
+            return line.strip()
+    return ""
+
+
+def _predicate_for(divergence: Divergence, configs: List[str],
+                   attack: Optional[Attack],
+                   source: str) -> Optional[Callable[[str], bool]]:
+    if divergence.kind in ("false_positive", "unexpected_trap",
+                           "wrong_trap_class"):
+        return _false_positive_predicate(divergence.config) \
+            if divergence.config else None
+    if divergence.kind == "output_divergence":
+        return _divergence_predicate(
+            [c for c in configs if not c.endswith("-np")] or configs)
+    if divergence.kind == "missed_attack" and divergence.config \
+            and attack is not None:
+        needle = _attack_needle(source, attack)
+        if needle:
+            return _missed_attack_predicate(divergence.config, needle)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# The driver loop
+# ---------------------------------------------------------------------------
+
+def _record_failure(stats: FuzzStats, *, kind: str, detail: str,
+                    config: Optional[str], seed: int, iteration: int,
+                    configs: List[str], source: str,
+                    attack: Optional[Attack], site_dict: Optional[dict],
+                    corpus_dir: str, minimize: bool,
+                    predicate: Optional[Callable[[str], bool]],
+                    log: Callable[[str], None]) -> None:
+    digest = source_digest(source)
+    name = entry_name(kind, seed, iteration, digest)
+    # One corpus entry per (kind, program): the same planted bug seen by
+    # several configurations would otherwise overwrite the same files
+    # and triple-report in the summary.
+    if any(record.entry.name == name for record in stats.failures):
+        return
+    minimized = source
+    if minimize and predicate is not None:
+        try:
+            minimized = minimize_source(source, predicate)
+        except ValueError:
+            minimized = source      # not reproducible in isolation
+    repro = (f"PYTHONPATH=src python -m repro.fuzz --seed {seed} "
+             f"--start {iteration} --iterations 1 "
+             f"--configs {','.join(configs)}")
+    entry = CorpusEntry(
+        name=name, kind=kind, detail=detail, seed=seed,
+        iteration=iteration,
+        iteration_seed=iteration_seed(seed, iteration),
+        configs=list(configs), source_sha256=source_digest(source),
+        repro=repro, config=config,
+        attack=attack.to_dict() if attack else None, site=site_dict)
+    json_path = save_failure(corpus_dir, entry, source, minimized)
+    stats.failures.append(FailureRecord(
+        entry=entry, json_path=json_path,
+        minimized_lines=len(minimized.splitlines()),
+        original_lines=len(source.splitlines())))
+    log(f"[repro.fuzz] FAILURE {kind} at iteration {iteration}: "
+        f"{detail}")
+    log(f"[repro.fuzz]   saved {json_path}; repro: {repro}")
+
+
+def _plant_bug_program(program: GeneratedProgram, rng: random.Random):
+    """Self-test: return an *attacked* render (plus the attack and its
+    site) that the driver will feed to the clean-program oracle — a
+    guaranteed, honest-to-diagnose failure exercising minimization and
+    corpus persistence."""
+    sites = program.sites
+    site = rng.choice(sites)
+    candidates = attacks_for(site)
+    overs = [a for a in candidates if a.kind == "over"]
+    attack = overs[0] if overs else candidates[0]
+    return render(program.spec, (attack.sid, attack.index)), attack, site
+
+
+def run_fuzz(iterations: int, seed: int = 0,
+             configs: Optional[List[str]] = None,
+             start: int = 0,
+             clean: bool = True, inject: bool = True,
+             corpus_dir: str = DEFAULT_CORPUS_DIR,
+             minimize: bool = True,
+             max_attacks_per_program: int = 2,
+             plant_bug: bool = False,
+             log: Optional[Callable[[str], None]] = None,
+             progress_every: int = 25) -> FuzzStats:
+    """Run the fuzzing loop; returns the run's :class:`FuzzStats`."""
+    configs = list(configs) if configs else list(DEFAULT_CONFIGS)
+    log = log or (lambda message: print(message))
+    stats = FuzzStats(seed=seed, iterations=iterations, configs=configs)
+    started = time.monotonic()
+    for offset in range(iterations):
+        iteration = start + offset
+        program = generate_program(seed, iteration)
+        stats.programs += 1
+        rng = random.Random(iteration_seed(seed, iteration) ^ 0xA77AC4)
+
+        if clean:
+            source = program.source
+            planted = plant_bug and offset == 0
+            planted_attack = planted_site = None
+            if planted:
+                source, planted_attack, planted_site = \
+                    _plant_bug_program(program, rng)
+            runs, divergences = check_clean(
+                source, configs, name=f"fuzz-i{iteration}")
+            stats.clean_runs += len(configs)
+            stats.executions += len(configs)
+            for divergence in divergences:
+                _record_failure(
+                    stats, kind=divergence.kind,
+                    detail=divergence.detail
+                    + (" (planted via --plant-bug)" if planted else ""),
+                    config=divergence.config, seed=seed,
+                    iteration=iteration, configs=configs, source=source,
+                    attack=planted_attack,
+                    site_dict=planted_site.to_dict()
+                    if planted_site else None, corpus_dir=corpus_dir,
+                    minimize=minimize,
+                    predicate=_predicate_for(divergence, configs, None,
+                                             source),
+                    log=log)
+
+        if inject and program.sites:
+            sites = list(program.sites)
+            rng.shuffle(sites)
+            for site in sites[:max_attacks_per_program]:
+                attack = rng.choice(attacks_for(site))
+                source, verdict = check_attack(program.spec, attack,
+                                               configs)
+                stats.attacks_injected += 1
+                stats.attack_runs += len(configs)
+                stats.executions += len(configs)
+                for config, trap in verdict.observed.items():
+                    stats.trap_histogram[(config, trap or "-")] += 1
+                if verdict.detectable:
+                    stats.attacks_detectable += 1
+                    if verdict.detected:
+                        stats.attacks_detected += 1
+                else:
+                    stats.expected_evasions += 1
+                    if verdict.ok:
+                        stats.evasions_confirmed += 1
+                for divergence in verdict.divergences:
+                    _record_failure(
+                        stats, kind=divergence.kind,
+                        detail=divergence.detail,
+                        config=divergence.config, seed=seed,
+                        iteration=iteration, configs=configs,
+                        source=source, attack=attack,
+                        site_dict=site.to_dict(), corpus_dir=corpus_dir,
+                        minimize=minimize,
+                        predicate=_predicate_for(divergence, configs,
+                                                 attack, source),
+                        log=log)
+
+        done = offset + 1
+        if progress_every and done % progress_every == 0 \
+                and done < iterations:
+            log(f"[repro.fuzz] {done}/{iterations} iterations, "
+                f"{stats.divergences} divergences, "
+                f"{stats.attacks_detected}/{stats.attacks_detectable} "
+                f"attacks detected")
+    stats.elapsed = time.monotonic() - started
+    return stats
+
+
+def replay_entry(path: str,
+                 log: Optional[Callable[[str], None]] = None) -> bool:
+    """Re-run one persisted corpus entry; True when it reproduces
+    verbatim (source digest matches) and the oracle still fails."""
+    from repro.fuzz.corpus import load_entry
+    log = log or (lambda message: print(message))
+    entry = load_entry(path)
+    program = generate_program(entry.seed, entry.iteration)
+    source = program.source
+    if entry.attack is not None:
+        source = render(program.spec,
+                        (entry.attack["sid"], entry.attack["index"]))
+    digest = source_digest(source)
+    if digest != entry.source_sha256:
+        log(f"[repro.fuzz] replay {entry.name}: source mismatch "
+            f"({digest} != {entry.source_sha256}) — generator changed?")
+        return False
+    log(f"[repro.fuzz] replay {entry.name}: source reproduced verbatim")
+    stats = run_fuzz(1, seed=entry.seed, start=entry.iteration,
+                     configs=entry.configs, minimize=False,
+                     corpus_dir=DEFAULT_CORPUS_DIR + "/.replay",
+                     log=log, progress_every=0)
+    log(stats.summary())
+    return True
