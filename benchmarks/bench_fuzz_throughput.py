@@ -14,6 +14,7 @@ three costs separately:
 import pytest
 
 from repro.fuzz import check_clean, generate_program, run_fuzz
+from repro.obs.metrics import write_bench
 
 _CONFIGS = ["baseline", "subheap", "wrapped", "subheap-np"]
 
@@ -63,3 +64,10 @@ def test_fuzz_end_to_end_rate(benchmark, tmp_path):
           f"({stats.attacks_injected} attacks, "
           f"{stats.attacks_detected}/{stats.attacks_detectable} "
           f"detected)")
+    # Seed the perf trajectory: BENCH_fuzz_throughput.json in the shared
+    # repro.obs schema ($REPRO_BENCH_DIR overrides the directory).
+    path = write_bench(
+        "fuzz_throughput",
+        {"seed": 0, "iterations": 10, "configs": ",".join(stats.configs)},
+        stats.metrics())
+    print(f"bench record: {path}")

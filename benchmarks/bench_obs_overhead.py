@@ -1,0 +1,92 @@
+"""Cost of the observability subsystem (repro.obs).
+
+Two claims worth guarding:
+
+* **disabled is free** — with no observer attached every instrumented
+  site is a single ``obs is not None`` test, so instruction throughput
+  must stay within noise of the pre-observability interpreter (the PR
+  acceptance bound is <= 3% on the fuzz throughput bench);
+* **enabled is bounded** — full profiling (every promote, check, and
+  bounds spill becomes an event) costs a measurable but usable
+  multiple, reported here so regressions in sink fan-out show up.
+
+Both benches run the same deterministic generated program end-to-end
+and write a shared-schema ``BENCH_obs_overhead.json`` record.
+"""
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.eval.configs import build_machine_config, build_options
+from repro.fuzz import generate_program
+from repro.obs import attach_observer
+from repro.obs.metrics import write_bench
+from repro.vm import Machine
+
+_CONFIG = "wrapped"
+
+
+def _build():
+    source = generate_program(0, 0).source
+    program = compile_source(source, build_options(_CONFIG))
+    return program
+
+
+@pytest.mark.benchmark(group="obs")
+def test_obs_disabled_overhead(benchmark):
+    """Interpreter throughput with no observer attached (the default)."""
+    program = _build()
+
+    def run():
+        machine = Machine(program, build_machine_config(_CONFIG))
+        return machine.run()
+
+    result = benchmark(run)
+    assert result.ok
+
+
+@pytest.mark.benchmark(group="obs")
+def test_obs_profiling_overhead(benchmark):
+    """Same program with full profiling + forensics observation."""
+    program = _build()
+
+    def run():
+        machine = Machine(program, build_machine_config(_CONFIG))
+        attach_observer(machine, profile=True, forensics=True)
+        return machine.run()
+
+    result = benchmark(run)
+    assert result.ok
+
+
+@pytest.mark.benchmark(group="obs")
+def test_obs_overhead_record(benchmark):
+    """Measure both modes in one pass; write the bench record."""
+    import time
+    program = _build()
+
+    def measure():
+        records = {}
+        for label, observed in (("disabled", False), ("enabled", True)):
+            machine = Machine(program, build_machine_config(_CONFIG))
+            if observed:
+                attach_observer(machine, profile=True, forensics=True)
+            started = time.perf_counter()
+            result = machine.run()
+            elapsed = time.perf_counter() - started
+            assert result.ok
+            records[label] = {
+                "seconds": elapsed,
+                "instructions": result.stats.total_instructions,
+                "instructions_per_second":
+                    result.stats.total_instructions / elapsed,
+            }
+        return records
+
+    records = benchmark.pedantic(measure, rounds=3, iterations=1)
+    ratio = (records["enabled"]["seconds"]
+             / records["disabled"]["seconds"])
+    records["enabled_over_disabled_ratio"] = ratio
+    path = write_bench("obs_overhead", _CONFIG, records)
+    print(f"\nobs overhead: enabled/disabled = {ratio:.2f}x; "
+          f"bench record: {path}")

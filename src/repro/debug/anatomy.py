@@ -78,6 +78,8 @@ def explain_pointer(machine, pointer: int) -> PointerAnatomy:
 
     import copy
     saved_stats = copy.deepcopy(machine.ifp.stats)
+    saved_obs = machine.ifp.obs
+    machine.ifp.obs = None  # the dry run must not emit telemetry
     try:
         result = machine.ifp.promote(pointer)
         anatomy.promote_outcome = result.outcome.value
@@ -87,4 +89,5 @@ def explain_pointer(machine, pointer: int) -> PointerAnatomy:
         anatomy.promote_outcome = "metadata access faulted"
     finally:
         machine.ifp.stats = saved_stats
+        machine.ifp.obs = saved_obs
     return anatomy

@@ -41,11 +41,19 @@ class Tracer:
     """Ring-buffered instruction tracer with optional filtering.
 
     ``only_ops`` restricts recording to an opcode subset (e.g. just the
-    IFP extension); ``capacity`` bounds memory.
+    IFP extension); ``capacity`` bounds memory.  ``capacity=0`` is the
+    counting-only mode: matching instructions bump :attr:`recorded` but
+    no event objects are built or kept.  Negative capacities are
+    rejected.  The ring keeps the *tail* of the run: once full, each new
+    event evicts the oldest one, so ``events`` is always the most recent
+    ``capacity`` matches in execution order.
     """
 
     def __init__(self, capacity: int = 4096,
                  only_ops: Optional[set] = None):
+        if capacity < 0:
+            raise ValueError(f"tracer capacity must be >= 0, "
+                             f"got {capacity}")
         self.capacity = capacity
         self.only_ops = only_ops
         self.events: Deque[TraceEvent] = deque(maxlen=capacity)
@@ -55,20 +63,35 @@ class Tracer:
                regs: List[int]) -> None:
         if self.only_ops is not None and ins.op not in self.only_ops:
             return
+        self.recorded += 1
+        if self.capacity == 0:
+            return
         operand_a = regs[ins.a] if 0 <= ins.a < len(regs) else None
         operand_b = regs[ins.b] if 0 <= ins.b < len(regs) else None
         self.events.append(TraceEvent(
             function, index, int(ins.op), MNEMONICS[ins.op], ins.dst,
             operand_a, operand_b))
-        self.recorded += 1
 
     # -- queries -------------------------------------------------------------
 
+    def snapshot(self) -> tuple:
+        """Consistent point-in-time copy of the ring, oldest first.
+
+        Safe to call while the tracer is still recording (e.g. from an
+        observability sink mid-run): the returned tuple is immutable and
+        detached from the live deque.
+        """
+        return tuple(self.events)
+
     def tail(self, count: int = 20) -> List[TraceEvent]:
-        return list(self.events)[-count:]
+        """The most recent ``count`` events (all of them if fewer);
+        ``count <= 0`` returns an empty list."""
+        if count <= 0:
+            return []
+        return list(self.snapshot()[-count:])
 
     def by_mnemonic(self, mnemonic: str) -> List[TraceEvent]:
-        return [e for e in self.events if e.mnemonic == mnemonic]
+        return [e for e in self.snapshot() if e.mnemonic == mnemonic]
 
     def format_tail(self, count: int = 20) -> str:
         return "\n".join(str(e) for e in self.tail(count))

@@ -130,48 +130,68 @@ class HarnessError(ReproError):
     """
 
 
+def _stats_suffix(stats) -> str:
+    """Render an optional RunStats into a message fragment."""
+    return f" [{stats.compact()}]" if stats is not None else ""
+
+
 class WorkloadTrapped(HarnessError):
     """An execution that was required to run clean ended in a trap.
 
     ``trap`` is the underlying :class:`SimTrap`; ``workload`` and
-    ``config`` identify the run.
+    ``config`` identify the run.  ``stats`` (a ``RunStats``) and
+    ``forensics_path`` (a written :class:`repro.obs.ForensicsReport`)
+    enrich the message when the caller ran under observation.
     """
 
-    def __init__(self, workload: str, config: str, trap: "SimTrap"):
-        super().__init__(
-            f"{workload} [{config}] trapped: {trap}")
+    def __init__(self, workload: str, config: str, trap: "SimTrap",
+                 stats=None, forensics_path: str = ""):
+        message = (f"{workload} [{config}] trapped: {trap}"
+                   + _stats_suffix(stats))
+        if forensics_path:
+            message += f" (forensics: {forensics_path})"
+        super().__init__(message)
         self.workload = workload
         self.config = config
         self.trap = trap
+        self.stats = stats
+        self.forensics_path = forensics_path
 
 
 class UnexpectedOutput(HarnessError):
     """A run completed but its stdout fails the workload's sanity check."""
 
     def __init__(self, workload: str, config: str, output: str,
-                 expected: str = ""):
+                 expected: str = "", stats=None):
         super().__init__(
             f"{workload} [{config}] produced unexpected output "
-            f"{output!r}")
+            f"{output!r}" + _stats_suffix(stats))
         self.workload = workload
         self.config = config
         self.output = output
         self.expected = expected
+        self.stats = stats
 
 
 class OutputDivergence(HarnessError):
     """Configurations of the same program computed different answers.
 
-    ``outputs`` maps config name to its ``(output, exit_code)`` pair.
+    ``outputs`` maps config name to its ``(output, exit_code)`` pair;
+    ``stats`` optionally maps config name to that run's ``RunStats``.
     """
 
-    def __init__(self, workload: str, outputs: dict):
+    def __init__(self, workload: str, outputs: dict, stats=None):
         rendered = ", ".join(
             f"{config}={pair!r}" for config, pair in sorted(outputs.items()))
-        super().__init__(
-            f"{workload}: configurations disagree: {rendered}")
+        message = f"{workload}: configurations disagree: {rendered}"
+        if stats:
+            message += " [" + "; ".join(
+                f"{config}: {run_stats.compact()}"
+                for config, run_stats in sorted(stats.items())) + "]"
+        super().__init__(message)
         self.workload = workload
         self.outputs = outputs
+        self.stats = stats or {}
 
 
 class GuestExit(ReproError):

@@ -7,6 +7,7 @@ set of executions.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -31,6 +32,8 @@ class WorkloadRun:
     stats: RunStats
     output: str
     exit_code: Optional[int]
+    #: attached when the run executed under ``observe=True``
+    observer: Optional[object] = None
 
     @property
     def instructions(self) -> int:
@@ -46,28 +49,51 @@ class WorkloadRun:
 
 
 def run_workload(workload: Workload, config: str, scale: int = 1,
-                 max_instructions: Optional[int] = None) -> WorkloadRun:
+                 max_instructions: Optional[int] = None,
+                 observe: bool = False,
+                 forensics_dir: Optional[str] = None) -> WorkloadRun:
     """Compile and execute one workload under one configuration.
 
     Raises :class:`repro.errors.WorkloadTrapped` when the run traps and
     :class:`repro.errors.UnexpectedOutput` when the workload's output
     sanity check fails, so callers (the sweep, the fuzzing oracle) can
-    tell the two apart.
+    tell the two apart.  Both errors carry a compact ``RunStats``
+    snapshot in their message.
+
+    ``observe=True`` attaches a :class:`repro.obs.Observer` (hot-site
+    profiling + trap forensics); on a trap, the forensics report is
+    written into ``forensics_dir`` (when given) and its path included
+    in the raised error.
     """
     options = build_options(config)
     program = compile_source(workload.source(scale), options)
     machine = Machine(program, build_machine_config(config)
                       if max_instructions is None
                       else build_machine_config(config, max_instructions))
+    observer = None
+    if observe:
+        from repro.obs import attach_observer
+        observer = attach_observer(machine, profile=True, forensics=True)
     result = machine.run()
     if result.trap is not None:
-        raise WorkloadTrapped(workload.name, config, result.trap)
+        forensics_path = ""
+        if observer is not None and observer.last_report is not None \
+                and forensics_dir:
+            os.makedirs(forensics_dir, exist_ok=True)
+            forensics_path = observer.last_report.write(os.path.join(
+                forensics_dir,
+                f"{workload.name}-{config}.forensics.txt"))
+        raise WorkloadTrapped(workload.name, config, result.trap,
+                              stats=result.stats,
+                              forensics_path=forensics_path)
     if workload.expected_output \
             and workload.expected_output not in result.output:
         raise UnexpectedOutput(workload.name, config, result.output,
-                               workload.expected_output)
+                               workload.expected_output,
+                               stats=result.stats)
     return WorkloadRun(workload.name, config, scale, result.stats,
-                       result.output, result.exit_code)
+                       result.output, result.exit_code,
+                       observer=observer)
 
 
 def verify_runs_agree(runs: Iterable[WorkloadRun]) -> None:
@@ -75,15 +101,17 @@ def verify_runs_agree(runs: Iterable[WorkloadRun]) -> None:
 
     Compares both stdout and exit code across every run; raises
     :class:`repro.errors.OutputDivergence` naming the disagreeing
-    configurations.  Shared by :meth:`Sweep.verify_outputs_agree` and the
-    fuzzing oracle (:mod:`repro.fuzz.oracle`).
+    configurations (with each run's compact stats snapshot).  Shared by
+    :meth:`Sweep.verify_outputs_agree` and the fuzzing oracle
+    (:mod:`repro.fuzz.oracle`).
     """
     runs = list(runs)
     by_config = {run.config: (run.output, run.exit_code) for run in runs}
     if len(set(by_config.values())) > 1:
         names = {run.workload for run in runs}
         raise OutputDivergence(
-            "/".join(sorted(names)) or "<program>", by_config)
+            "/".join(sorted(names)) or "<program>", by_config,
+            stats={run.config: run.stats for run in runs})
 
 
 class Sweep:

@@ -58,6 +58,9 @@ def main(argv=None) -> int:
                              "the clean oracle to force a failure")
     parser.add_argument("--replay", type=str, metavar="JSON",
                         help="re-run one corpus entry verbatim")
+    parser.add_argument("--metrics-out", type=str, metavar="JSON",
+                        help="write run metrics in the repro.obs "
+                             "schema-v1 JSON format")
     parser.add_argument("--quiet", "-q", action="store_true",
                         help="suppress progress lines")
     args = parser.parse_args(argv)
@@ -85,6 +88,14 @@ def main(argv=None) -> int:
         plant_bug=args.plant_bug, log=log,
         progress_every=0 if args.quiet else 25)
     print(stats.summary())
+    if args.metrics_out:
+        from repro.obs.metrics import metrics_document, write_metrics
+        path = write_metrics(args.metrics_out, metrics_document(
+            "fuzz",
+            {"seed": args.seed, "iterations": args.iterations,
+             "configs": ",".join(configs)},
+            stats.metrics()))
+        print(f"metrics written to {path}")
     return 0 if stats.ok else 1
 
 

@@ -18,6 +18,7 @@ failure occurred — the CI contract.
 
 from __future__ import annotations
 
+import os
 import random
 import time
 from collections import Counter
@@ -34,9 +35,13 @@ from repro.fuzz.generator import (
 )
 from repro.fuzz.minimize import minimize_source
 from repro.fuzz.oracle import (
-    SPATIAL_TRAPS, AttackVerdict, Divergence, check_attack, check_clean,
-    run_program,
+    SPATIAL_TRAPS, AttackVerdict, Divergence, capture_trap_forensics,
+    check_attack, check_clean, run_program,
 )
+
+#: divergence kinds whose failing run ends in a trap — the ones a
+#: forensics dump can diagnose
+_TRAP_KINDS = ("false_positive", "unexpected_trap", "wrong_trap_class")
 
 DEFAULT_CONFIGS = ["baseline", "subheap", "wrapped", "subheap-np"]
 
@@ -49,6 +54,8 @@ class FailureRecord:
     json_path: str
     minimized_lines: int
     original_lines: int
+    #: trap-forensics dump written next to the corpus entry, if any
+    forensics_path: str = ""
 
 
 @dataclass
@@ -114,7 +121,33 @@ class FuzzStats:
             lines.append(f"    minimized {record.original_lines} -> "
                          f"{record.minimized_lines} lines; "
                          f"repro: {record.entry.repro}")
+            if record.forensics_path:
+                lines.append(f"    forensics: {record.forensics_path}")
         return "\n".join(lines)
+
+    def metrics(self) -> dict:
+        """Schema-v1 ``metrics`` payload (see :mod:`repro.obs.metrics`)."""
+        elapsed = self.elapsed or 1e-9
+        return {
+            "iterations": self.iterations,
+            "programs": self.programs,
+            "executions": self.executions,
+            "clean_runs": self.clean_runs,
+            "attack_runs": self.attack_runs,
+            "attacks_injected": self.attacks_injected,
+            "attacks_detectable": self.attacks_detectable,
+            "attacks_detected": self.attacks_detected,
+            "expected_evasions": self.expected_evasions,
+            "evasions_confirmed": self.evasions_confirmed,
+            "divergences": self.divergences,
+            "elapsed_seconds": self.elapsed,
+            "programs_per_second": self.programs / elapsed,
+            "executions_per_second": self.executions / elapsed,
+            "trap_histogram": {
+                f"{config}/{trap}": count
+                for (config, trap), count
+                in sorted(self.trap_histogram.items())},
+        }
 
 
 # ---------------------------------------------------------------------------
@@ -203,6 +236,12 @@ def _record_failure(stats: FuzzStats, *, kind: str, detail: str,
             minimized = minimize_source(source, predicate)
         except ValueError:
             minimized = source      # not reproducible in isolation
+    # Trap forensics for the minimized reproducer: the corpus entry
+    # ships with its own diagnosis (tag anatomy, tripping bounds, trace
+    # tail) so a failure is debuggable without re-running anything.
+    forensics = None
+    if config and kind in _TRAP_KINDS:
+        forensics = capture_trap_forensics(minimized, config)
     repro = (f"PYTHONPATH=src python -m repro.fuzz --seed {seed} "
              f"--start {iteration} --iterations 1 "
              f"--configs {','.join(configs)}")
@@ -212,15 +251,24 @@ def _record_failure(stats: FuzzStats, *, kind: str, detail: str,
         iteration_seed=iteration_seed(seed, iteration),
         configs=list(configs), source_sha256=source_digest(source),
         repro=repro, config=config,
-        attack=attack.to_dict() if attack else None, site=site_dict)
+        attack=attack.to_dict() if attack else None, site=site_dict,
+        extra={"forensics": name + ".forensics.txt"} if forensics
+        else {})
     json_path = save_failure(corpus_dir, entry, source, minimized)
+    forensics_path = ""
+    if forensics is not None:
+        forensics_path = forensics.write(
+            os.path.join(corpus_dir, name + ".forensics.txt"))
     stats.failures.append(FailureRecord(
         entry=entry, json_path=json_path,
         minimized_lines=len(minimized.splitlines()),
-        original_lines=len(source.splitlines())))
+        original_lines=len(source.splitlines()),
+        forensics_path=forensics_path))
     log(f"[repro.fuzz] FAILURE {kind} at iteration {iteration}: "
         f"{detail}")
     log(f"[repro.fuzz]   saved {json_path}; repro: {repro}")
+    if forensics_path:
+        log(f"[repro.fuzz]   forensics: {forensics_path}")
 
 
 def _plant_bug_program(program: GeneratedProgram, rng: random.Random):

@@ -137,6 +137,9 @@ class IFPUnit:
         self.subheap = SubheapScheme(config)
         self.global_table = GlobalTableScheme(config)
         self.stats = IFPUnitStats()
+        #: observer shared with the machine (repro.obs.attach_observer);
+        #: None keeps every emission on its zero-cost disabled path
+        self.obs = None
 
     # -- the promote instruction ----------------------------------------------
 
@@ -172,6 +175,7 @@ class IFPUnit:
 
         # 3. Scheme dispatch and metadata lookup.
         narrow_attempted = False
+        start_loads = self.port.loads
         if tag.scheme is Scheme.LOCAL_OFFSET:
             stats.lookups_local_offset += 1
             metadata, mac_checked = self.local_offset.lookup(
@@ -184,6 +188,15 @@ class IFPUnit:
             stats.lookups_global_table += 1
             metadata, mac_checked = self.global_table.lookup(
                 address, tag, self.port, self.control)
+
+        obs = self.obs
+        if obs is not None:
+            obs.metadata_fetch(tag.scheme.name,
+                               self.port.loads - start_loads,
+                               self.port.cycles - start_cycles,
+                               metadata is not None)
+            if mac_checked:
+                obs.mac_verify(tag.scheme.name, metadata is not None)
 
         if metadata is None:
             stats.promotes_metadata_invalid += 1
@@ -207,6 +220,9 @@ class IFPUnit:
             stats.narrow_attempts += 1
             if not config.narrowing_enabled or metadata.layout_ptr == 0:
                 stats.narrow_no_layout_table += 1
+                if obs is not None:
+                    obs.narrow("disabled" if not config.narrowing_enabled
+                               else "no_layout_table")
             else:
                 result = narrow_bounds(self.port, config,
                                        metadata.layout_ptr, bounds,
@@ -217,6 +233,8 @@ class IFPUnit:
                 else:
                     stats.narrow_walk_failures += 1
                 bounds = result.bounds
+                if obs is not None:
+                    obs.narrow("ok" if result.exact else "walk_failure")
 
         # 5. Fused size check -> output poison bits.
         if bounds.contains(address):

@@ -1,0 +1,160 @@
+"""CLI entry point: ``python -m repro.obs``.
+
+Examples::
+
+    # hot-site profile of one workload under one configuration
+    python -m repro.obs report --workload ft --config wrapped --top 10
+
+    # same run, exporting metrics JSON (and Prometheus text)
+    python -m repro.obs report --workload ft --metrics-out ft.json \\
+        --prometheus
+
+    # trap forensics demo: a forced intra-object overflow
+    python -m repro.obs forensics
+
+    # validate metrics JSON against the schema (CI does this)
+    python -m repro.obs validate BENCH_fuzz_throughput.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.errors import WorkloadTrapped
+from repro.eval.configs import CONFIG_NAMES
+from repro.obs.metrics import (
+    load_metrics, metrics_document, stats_to_dict, to_prometheus,
+    write_metrics,
+)
+
+#: paper Listing 1 shape: a nested struct whose sibling member an
+#: off-by-one subobject write would clobber
+OVERFLOW_DEMO = """
+struct Inner { int v3; int v4; };
+struct S { int v1; struct Inner array[2]; int v5; };
+int *g_escape;
+int main(void) {
+    struct S *s = (struct S*)malloc(sizeof(struct S));
+    s->v5 = 99;
+    g_escape = &s->array[1].v3;  /* subobject pointer escapes */
+    int *q = g_escape;           /* reload: promote + narrowing */
+    q[1] = 7;                    /* intra-object overflow into v4 */
+    printf("v5 = %d\\n", s->v5);
+    return 0;
+}
+"""
+
+
+def _cmd_report(args) -> int:
+    from repro.eval.harness import run_workload
+    from repro.workloads import WORKLOADS
+    workload = WORKLOADS.get(args.workload)
+    if workload is None:
+        print(f"unknown workload {args.workload!r} "
+              f"(available: {', '.join(sorted(WORKLOADS))})",
+              file=sys.stderr)
+        return 2
+    try:
+        run = run_workload(workload, args.config, scale=args.scale,
+                           observe=True)
+    except WorkloadTrapped as exc:
+        print(f"workload trapped: {exc}", file=sys.stderr)
+        return 1
+    profiler = run.observer.profiler
+    print(f"{workload.name} [{args.config}] scale={args.scale}")
+    print(run.stats.summary())
+    print()
+    print(profiler.report(top=args.top))
+    if args.metrics_out or args.prometheus:
+        metrics = stats_to_dict(run.stats)
+        metrics["profile"] = profiler.metrics(top=args.top)
+        doc = metrics_document(f"{workload.name}", args.config, metrics)
+        if args.metrics_out:
+            path = write_metrics(args.metrics_out, doc)
+            print(f"\nmetrics written to {path}")
+        if args.prometheus:
+            print()
+            print(to_prometheus(doc), end="")
+    return 0
+
+
+def _cmd_forensics(args) -> int:
+    from repro.compiler import compile_source
+    from repro.eval.configs import build_machine_config, build_options
+    from repro.obs.observer import attach_observer
+    from repro.vm import Machine
+    program = compile_source(OVERFLOW_DEMO, build_options(args.config))
+    machine = Machine(program, build_machine_config(args.config))
+    obs = attach_observer(machine, profile=False, forensics=True)
+    result = machine.run()
+    if result.trap is None:
+        print(f"[{args.config}] the overflow ran silently — "
+              "no layout table or narrowing in this configuration",
+              file=sys.stderr)
+        return 1
+    report = obs.last_report
+    print(report.render())
+    if args.out:
+        report.write(args.out)
+        print(f"\nreport written to {args.out}")
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    status = 0
+    for path in args.files:
+        try:
+            load_metrics(path)
+        except (OSError, json.JSONDecodeError, ValueError) as exc:
+            print(f"INVALID {path}: {exc}")
+            status = 1
+        else:
+            print(f"ok      {path}")
+    return status
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Telemetry, hot-site profiling, and trap forensics "
+                    "for the IFP pipeline.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser(
+        "report", help="run a workload with profiling; print hot sites")
+    report.add_argument("--workload", "-w", default="ft",
+                        help="workload name (default: ft)")
+    report.add_argument("--config", "-c", default="wrapped",
+                        choices=CONFIG_NAMES,
+                        help="configuration (default: wrapped)")
+    report.add_argument("--scale", type=int, default=1)
+    report.add_argument("--top", type=int, default=10,
+                        help="sites to show (default 10)")
+    report.add_argument("--metrics-out", metavar="JSON",
+                        help="write schema-v1 metrics JSON here")
+    report.add_argument("--prometheus", action="store_true",
+                        help="also print Prometheus text format")
+    report.set_defaults(func=_cmd_report)
+
+    forensics = sub.add_parser(
+        "forensics",
+        help="force an intra-object overflow; print its trap forensics")
+    forensics.add_argument("--config", "-c", default="wrapped",
+                           choices=CONFIG_NAMES)
+    forensics.add_argument("--out", metavar="TXT",
+                           help="also write the report to a file")
+    forensics.set_defaults(func=_cmd_forensics)
+
+    validate = sub.add_parser(
+        "validate", help="validate metrics JSON against the schema")
+    validate.add_argument("files", nargs="+", metavar="JSON")
+    validate.set_defaults(func=_cmd_validate)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

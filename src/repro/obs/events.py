@@ -1,0 +1,171 @@
+"""Typed observability events and the event bus they flow through.
+
+Every instrumented site in the VM, the IFP unit, and the runtime
+allocators describes what happened with one of the frozen dataclasses
+below.  Events only exist when someone is listening: emit sites are
+guarded by a single ``machine.obs is not None`` test (and, one level
+down, :attr:`EventBus.enabled`), so a run without an observer allocates
+nothing and pays one pointer comparison per instrumented operation.
+
+Event classes mirror the paper's accounting categories:
+
+==================  =====================================================
+event               paper concept
+==================  =====================================================
+PromoteEvent        one ``promote`` execution (Figure 5; Figure 11's
+                    "promote" instruction class)
+CheckEvent          implicit load/store bounds check or explicit
+                    ``ifpchk`` (the zero-/one-instruction check paths)
+BoundsSpillEvent    ``ldbnd``/``stbnd`` (Figure 11's "bounds ls" class)
+MetadataFetchEvent  the metadata port's memory traffic for one promote
+MacVerifyEvent      MAC check over a metadata record (Section 4.3)
+NarrowEvent         subobject bounds narrowing attempt (Figure 9)
+SchemeAssignEvent   an object receiving its tag scheme at registration
+                    (Table 4's per-kind object instrumentation)
+AllocEvent          allocator decision (pool bump/reuse, fallback, free)
+TrapEvent           a delivered memory-safety trap
+==================  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Callable, ClassVar, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base class: every event may carry a code site attribution."""
+
+    kind: ClassVar[str] = "event"
+
+    #: emitting code site, ``(function, instr_index)``; None when the
+    #: event happened outside interpreted code (e.g. inside a builtin)
+    site: Optional[Tuple[str, int]]
+
+    def to_dict(self) -> dict:
+        record = {"kind": self.kind}
+        for f in fields(self):
+            record[f.name] = getattr(self, f.name)
+        return record
+
+
+@dataclass(frozen=True)
+class PromoteEvent(Event):
+    kind: ClassVar[str] = "promote"
+
+    pointer: int        #: input pointer value
+    scheme: str         #: tag scheme of the input pointer
+    outcome: str        #: PromoteOutcome.value
+    narrowed: bool      #: subobject narrowing succeeded
+    cycles: int         #: full cost of this promote
+
+
+@dataclass(frozen=True)
+class CheckEvent(Event):
+    kind: ClassVar[str] = "check"
+
+    op: str             #: 'load' | 'store' | 'ifpchk'
+    explicit: bool      #: True for ifpchk, False for the implicit path
+    address: int        #: effective address checked
+    size: int           #: access size in bytes
+    passed: bool
+
+
+@dataclass(frozen=True)
+class BoundsSpillEvent(Event):
+    kind: ClassVar[str] = "bounds_spill"
+
+    store: bool         #: True for stbnd, False for ldbnd
+
+
+@dataclass(frozen=True)
+class MetadataFetchEvent(Event):
+    kind: ClassVar[str] = "metadata_fetch"
+
+    scheme: str         #: scheme whose lookup drove the traffic
+    loads: int          #: metadata-port loads for this promote
+    cycles: int         #: metadata-port cycles for this promote
+    hit: bool           #: a valid metadata record was found
+
+
+@dataclass(frozen=True)
+class MacVerifyEvent(Event):
+    kind: ClassVar[str] = "mac_verify"
+
+    scheme: str
+    ok: bool
+
+
+@dataclass(frozen=True)
+class NarrowEvent(Event):
+    kind: ClassVar[str] = "narrow"
+
+    #: 'ok' | 'no_layout_table' | 'walk_failure' | 'disabled'
+    result: str
+
+
+@dataclass(frozen=True)
+class SchemeAssignEvent(Event):
+    kind: ClassVar[str] = "scheme_assign"
+
+    region: str         #: 'heap' | 'local' | 'global'
+    scheme: str         #: tag scheme the object was given
+    size: int
+    layout_table: bool  #: object metadata references a layout table
+
+
+@dataclass(frozen=True)
+class AllocEvent(Event):
+    kind: ClassVar[str] = "alloc"
+
+    allocator: str      #: 'wrapped' | 'subheap' | 'global_table' | ...
+    action: str         #: 'malloc' | 'free' | 'pool_bump' | 'fallback' ...
+    size: int
+    address: int
+
+
+@dataclass(frozen=True)
+class TrapEvent(Event):
+    kind: ClassVar[str] = "trap"
+
+    trap_type: str      #: exception class name (PoisonTrap, ...)
+    message: str
+    pointer: Optional[int]
+
+
+EVENT_KINDS = tuple(cls.kind for cls in (
+    PromoteEvent, CheckEvent, BoundsSpillEvent, MetadataFetchEvent,
+    MacVerifyEvent, NarrowEvent, SchemeAssignEvent, AllocEvent, TrapEvent))
+
+
+class EventBus:
+    """Fan-out of typed events to subscribed sinks.
+
+    The disabled path is the common one: with no sinks, ``enabled`` is
+    False and well-behaved emit sites never construct an event at all.
+    ``emit`` itself also tolerates being called while disabled (it drops
+    the event) so sinks can detach mid-run without racing emitters.
+    """
+
+    __slots__ = ("sinks", "enabled", "emitted")
+
+    def __init__(self) -> None:
+        self.sinks: List[Callable[[Event], None]] = []
+        self.enabled = False
+        self.emitted = 0
+
+    def subscribe(self, sink: Callable[[Event], None]) -> None:
+        self.sinks.append(sink)
+        self.enabled = True
+
+    def unsubscribe(self, sink: Callable[[Event], None]) -> None:
+        self.sinks.remove(sink)
+        self.enabled = bool(self.sinks)
+
+    def emit(self, event: Event) -> None:
+        if not self.enabled:
+            return
+        self.emitted += 1
+        for sink in self.sinks:
+            sink(event)

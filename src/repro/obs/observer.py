@@ -1,0 +1,112 @@
+"""The observer: one object bundling bus, profiler, and forensics.
+
+A :class:`Machine` carries ``machine.obs`` (default ``None``); every
+instrumented site in the interpreter, the IFP unit, and the runtime
+allocators guards its emission with a single ``obs is not None`` test,
+so the disabled path costs one pointer comparison and allocates nothing.
+
+:func:`attach_observer` wires an observer into a machine before ``run``:
+it subscribes the requested sinks, mirrors itself onto the IFP unit (so
+metadata/MAC/narrow events flow without a machine back-reference), and —
+when forensics is requested — attaches a small instruction tracer so
+trap reports include the last executed instructions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from repro.obs.events import (
+    AllocEvent, Event, EventBus, MacVerifyEvent, MetadataFetchEvent,
+    NarrowEvent, SchemeAssignEvent, TrapEvent,
+)
+from repro.obs.forensics import ForensicsReport, capture_forensics
+from repro.obs.profile import HotSiteProfiler
+
+_SCHEME_NAMES = ("LEGACY", "LOCAL_OFFSET", "SUBHEAP", "GLOBAL_TABLE")
+
+
+class Observer:
+    """Aggregates observability state for one machine run."""
+
+    def __init__(self, profile: bool = False, forensics: bool = False,
+                 event_tail: int = 64,
+                 sinks: Optional[List] = None) -> None:
+        self.bus = EventBus()
+        self.profiler: Optional[HotSiteProfiler] = None
+        if profile:
+            self.profiler = HotSiteProfiler()
+            self.bus.subscribe(self.profiler.on_event)
+        #: ring of the most recent events (feeds forensics reports)
+        self.recent: Optional[Deque[Event]] = None
+        if event_tail > 0:
+            self.recent = deque(maxlen=event_tail)
+            self.bus.subscribe(self.recent.append)
+        for sink in sinks or ():
+            self.bus.subscribe(sink)
+        self.forensics_enabled = forensics
+        self.reports: List[ForensicsReport] = []
+        #: code site of the instruction currently observed, set by the
+        #: interpreter so unit-level events inherit the attribution
+        self.site: Optional[Tuple[str, int]] = None
+
+    # -- generic emission ----------------------------------------------------
+
+    def emit(self, event: Event) -> None:
+        self.bus.emit(event)
+
+    # -- helpers for instrumented sites (one-liners at the call site) -------
+
+    def scheme_assigned(self, region: str, pointer: int, size: int,
+                        layout_table: bool) -> None:
+        scheme = _SCHEME_NAMES[(pointer >> 60) & 3]
+        self.bus.emit(SchemeAssignEvent(self.site, region, scheme, size,
+                                        layout_table))
+
+    def alloc_decision(self, allocator: str, action: str, size: int,
+                       address: int) -> None:
+        self.bus.emit(AllocEvent(self.site, allocator, action, size,
+                                 address))
+
+    def metadata_fetch(self, scheme: str, loads: int, cycles: int,
+                       hit: bool) -> None:
+        self.bus.emit(MetadataFetchEvent(self.site, scheme, loads,
+                                         cycles, hit))
+
+    def mac_verify(self, scheme: str, ok: bool) -> None:
+        self.bus.emit(MacVerifyEvent(self.site, scheme, ok))
+
+    def narrow(self, result: str) -> None:
+        self.bus.emit(NarrowEvent(self.site, result))
+
+    # -- trap hook (called by Machine.run) -----------------------------------
+
+    def on_trap(self, machine, trap) -> Optional[ForensicsReport]:
+        self.bus.emit(TrapEvent(
+            trap.pc if isinstance(trap.pc, tuple) else None,
+            type(trap).__name__, str(trap),
+            getattr(trap, "pointer", None)))
+        if not self.forensics_enabled:
+            return None
+        report = capture_forensics(machine, trap)
+        self.reports.append(report)
+        return report
+
+    @property
+    def last_report(self) -> Optional[ForensicsReport]:
+        return self.reports[-1] if self.reports else None
+
+
+def attach_observer(machine, profile: bool = True, forensics: bool = True,
+                    event_tail: int = 64,
+                    tracer_capacity: int = 256) -> Observer:
+    """Create an observer and wire it into ``machine`` (before ``run``)."""
+    obs = Observer(profile=profile, forensics=forensics,
+                   event_tail=event_tail)
+    machine.obs = obs
+    machine.ifp.obs = obs
+    if forensics and machine.tracer is None and tracer_capacity > 0:
+        from repro.debug.trace import attach_tracer
+        attach_tracer(machine, capacity=tracer_capacity)
+    return obs

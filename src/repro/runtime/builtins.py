@@ -152,6 +152,10 @@ def install(machine) -> Dict[str, callable]:
         mach.stats.local_objects += 1
         if lt:
             mach.stats.local_objects_lt += 1
+        if mach.obs is not None:
+            mach.obs.alloc_decision("global_table", "oversize_local",
+                                    size, address)
+            mach.obs.scheme_assigned("local", tagged, size, bool(lt))
         return tagged, Bounds(address, address + size), cycles, instrs
 
     def ifp_deregister_gt(mach, args, bounds):
@@ -183,6 +187,9 @@ def install(machine) -> Dict[str, callable]:
                 mach.stats.global_objects += 1
                 if lt_addr:
                     mach.stats.global_objects_lt += 1
+                if mach.obs is not None:
+                    mach.obs.scheme_assigned("global", tagged, size,
+                                             bool(lt_addr))
                 getptr_cache[name] = tagged
                 bound = Bounds(address_of(tagged),
                                address_of(tagged) + size)

@@ -98,9 +98,11 @@ class SubheapAllocator:
             self.pools[(size, layout_ptr)] = pool
         if pool.free_slots:
             address = pool.free_slots.pop()
+            action = "pool_reuse"
         elif pool.bump_next < pool.bump_end:
             address = pool.bump_next
             pool.bump_next += pool.slot_size
+            action = "pool_bump"
         else:
             block_cycles, block_instrs = self._add_block(pool, order)
             cycles += block_cycles
@@ -109,11 +111,16 @@ class SubheapAllocator:
                 return 0, None, cycles, instrs  # out of memory
             address = pool.bump_next
             pool.bump_next += pool.slot_size
+            action = "pool_grow"
         tagged = self.scheme.make_pointer(address, pool.register_index)
         bounds = Bounds(address, address + pool.object_size)
         machine.stats.heap_objects += 1
         if layout_ptr:
             machine.stats.heap_objects_lt += 1
+        obs = machine.obs
+        if obs is not None:
+            obs.alloc_decision("subheap", action, size, address)
+            obs.scheme_assigned("heap", tagged, size, bool(layout_ptr))
         return tagged, bounds, cycles + instrs, instrs
 
     def free(self, pointer: int) -> Tuple[int, int]:
@@ -136,6 +143,8 @@ class SubheapAllocator:
             raise SimTrap(f"subheap free of unknown pointer 0x{address:x}")
         pool.free_slots.append(address)
         machine.stats.heap_frees += 1
+        if machine.obs is not None:
+            machine.obs.alloc_decision("subheap", "free", 0, address)
         return _FREE_COST, _FREE_COST
 
     def usable_size(self, pointer: int) -> int:
@@ -172,6 +181,11 @@ class SubheapAllocator:
         machine.stats.heap_objects += 1
         if layout_ptr:
             machine.stats.heap_objects_lt += 1
+        obs = machine.obs
+        if obs is not None:
+            obs.alloc_decision("subheap", "oversize_fallback", size,
+                               address)
+            obs.scheme_assigned("heap", tagged, size, bool(layout_ptr))
         return (tagged, Bounds(address, address + size),
                 cycles + reg_cycles, instrs + reg_instrs)
 

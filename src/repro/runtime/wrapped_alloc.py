@@ -72,6 +72,13 @@ class WrappedAllocator:
         machine.stats.heap_objects += 1
         if layout_ptr:
             machine.stats.heap_objects_lt += 1
+        obs = machine.obs
+        if obs is not None:
+            obs.alloc_decision("wrapped",
+                               "local_offset" if use_local
+                               else "global_table_fallback",
+                               size, address)
+            obs.scheme_assigned("heap", tagged, size, bool(layout_ptr))
         return tagged, bounds, cycles, instrs
 
     def free(self, pointer: int) -> Tuple[int, int]:
@@ -98,6 +105,8 @@ class WrappedAllocator:
                     md, METADATA_BYTES, True)
         free_cycles, free_instrs = self.freelist.free(address)
         machine.stats.heap_frees += 1
+        if machine.obs is not None:
+            machine.obs.alloc_decision("wrapped", "free", 0, address)
         return cycles + free_cycles, instrs + free_instrs
 
     def usable_size(self, pointer: int) -> int:

@@ -28,6 +28,9 @@ from repro.compiler.ir import IRFunction, Op
 from repro.ifp.bounds import Bounds
 from repro.ifp.mac import compute_mac
 from repro.mem.layout import ADDRESS_MASK
+from repro.obs.events import BoundsSpillEvent, CheckEvent, PromoteEvent
+
+_SCHEME_NAMES = ("LEGACY", "LOCAL_OFFSET", "SUBHEAP", "GLOBAL_TABLE")
 
 U64 = (1 << 64) - 1
 _SIGN = 1 << 63
@@ -133,6 +136,7 @@ class Interpreter:
         loads = 0
         stores = 0
         tracer = machine.tracer
+        obs = machine.obs
         try:
             while ip < count:
                 ins = instrs[ip]
@@ -227,18 +231,25 @@ class Interpreter:
                     base_val = regs[ins.a]
                     if base_val >> 62:
                         raise PoisonTrap(
-                            "load through poisoned pointer", base_val)
+                            "load through poisoned pointer", base_val,
+                            pc=(func.name, ip - 1))
                     ea = ((base_val & ADDRESS_MASK) + ins.imm) & ADDRESS_MASK
                     bound = bnds[ins.a]
                     size = ins.size
                     if bound is not None:
                         stats.implicit_checks += 1
-                        if not (bound.lower <= ea
-                                and ea + size <= bound.upper):
+                        passed = (bound.lower <= ea
+                                  and ea + size <= bound.upper)
+                        if obs is not None:
+                            obs.emit(CheckEvent(
+                                (func.name, ip - 1), "load", False, ea,
+                                size, passed))
+                        if not passed:
                             stats.check_failures += 1
                             raise BoundsTrap(
                                 "load out of bounds", base_val,
-                                bound.lower, bound.upper)
+                                bound.lower, bound.upper,
+                                pc=(func.name, ip - 1))
                     cycles += 1 + hierarchy.access_cycles(ea, size, False)
                     value = memory.load_int(ea, size, ins.signed)
                     regs[ins.dst] = value & U64
@@ -250,18 +261,25 @@ class Interpreter:
                     base_val = regs[ins.a]
                     if base_val >> 62:
                         raise PoisonTrap(
-                            "store through poisoned pointer", base_val)
+                            "store through poisoned pointer", base_val,
+                            pc=(func.name, ip - 1))
                     ea = ((base_val & ADDRESS_MASK) + ins.imm) & ADDRESS_MASK
                     bound = bnds[ins.a]
                     size = ins.size
                     if bound is not None:
                         stats.implicit_checks += 1
-                        if not (bound.lower <= ea
-                                and ea + size <= bound.upper):
+                        passed = (bound.lower <= ea
+                                  and ea + size <= bound.upper)
+                        if obs is not None:
+                            obs.emit(CheckEvent(
+                                (func.name, ip - 1), "store", False, ea,
+                                size, passed))
+                        if not passed:
                             stats.check_failures += 1
                             raise BoundsTrap(
                                 "store out of bounds", base_val,
-                                bound.lower, bound.upper)
+                                bound.lower, bound.upper,
+                                pc=(func.name, ip - 1))
                     cycles += 1 + hierarchy.access_cycles(ea, size, True)
                     memory.store_int(ea, regs[ins.b], size)
 
@@ -369,10 +387,22 @@ class Interpreter:
                         regs[ins.dst] = regs[ins.a]
                         bnds[ins.dst] = None
                     else:
-                        result = self.ifp.promote(regs[ins.a])
+                        value = regs[ins.a]
+                        if obs is not None:
+                            # Unit-level events (metadata fetch, MAC,
+                            # narrowing) inherit this site attribution.
+                            obs.site = (func.name, ip - 1)
+                        result = self.ifp.promote(value)
                         cycles += result.cycles
                         regs[ins.dst] = result.pointer
                         bnds[ins.dst] = result.bounds
+                        if obs is not None:
+                            obs.emit(PromoteEvent(
+                                obs.site, value,
+                                _SCHEME_NAMES[(value >> 60) & 3],
+                                result.outcome.value, result.narrowed,
+                                result.cycles))
+                            obs.site = None
 
                 elif op == Op.IFPADD:
                     arith_i += 1
@@ -424,8 +454,13 @@ class Interpreter:
                     if bound is not None:
                         address = value & ADDRESS_MASK
                         stats.implicit_checks += 1
-                        if not (bound.lower <= address
-                                and address + ins.imm <= bound.upper):
+                        passed = (bound.lower <= address
+                                  and address + ins.imm <= bound.upper)
+                        if obs is not None:
+                            obs.emit(CheckEvent(
+                                (func.name, ip - 1), "ifpchk", True,
+                                address, ins.imm, passed))
+                        if not passed:
                             stats.check_failures += 1
                             value = (value & ~(3 << 62)) | (1 << 62)
                     regs[ins.dst] = value
@@ -456,6 +491,12 @@ class Interpreter:
                         stats.local_objects += 1
                         if ins.name == "local+lt":
                             stats.local_objects_lt += 1
+                        if obs is not None:
+                            obs.site = (func.name, ip - 1)
+                            obs.scheme_assigned(
+                                "local", regs[ins.dst], 0,
+                                ins.name == "local+lt")
+                            obs.site = None
 
                 elif op == Op.IFPMAC:
                     arith_i += 1
@@ -467,6 +508,9 @@ class Interpreter:
 
                 elif op == Op.LDBND:
                     bls_i += 1
+                    if obs is not None:
+                        obs.emit(BoundsSpillEvent((func.name, ip - 1),
+                                                  False))
                     ea = (regs[ins.a] & ADDRESS_MASK) + ins.imm
                     cycles += 1 + hierarchy.access_cycles(ea, 16, False)
                     if not memory.is_mapped(ea, 16):
@@ -480,6 +524,9 @@ class Interpreter:
 
                 elif op == Op.STBND:
                     bls_i += 1
+                    if obs is not None:
+                        obs.emit(BoundsSpillEvent((func.name, ip - 1),
+                                                  True))
                     ea = (regs[ins.a] & ADDRESS_MASK) + ins.imm
                     cycles += 1 + hierarchy.access_cycles(ea, 16, True)
                     if not memory.is_mapped(ea, 16):

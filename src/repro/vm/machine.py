@@ -73,6 +73,9 @@ class Machine:
         self.clock_cycles_base = 0
         #: optional execution tracer (see repro.debug.attach_tracer)
         self.tracer = None
+        #: optional observer (see repro.obs.attach_observer); None keeps
+        #: every instrumented site on its zero-cost disabled path
+        self.obs = None
 
         # Stack management (grows down; pages mapped on demand).
         self.stack_top = self.layout.stack_top
@@ -144,6 +147,10 @@ class Machine:
         finally:
             sys.setrecursionlimit(old_limit)
         self._finalize_stats()
+        if trap is not None and self.obs is not None:
+            # Machine state (memory, metadata, tracer) is still live, so
+            # forensics can decode the offending pointer in place.
+            self.obs.on_trap(self, trap)
         return RunResult(exit_code, trap, self.stats, self.output)
 
     def _finalize_stats(self) -> None:

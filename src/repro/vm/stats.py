@@ -68,6 +68,25 @@ class RunStats:
         return (self.promote_instructions + self.ifp_arith_instructions
                 + self.bounds_ls_instructions)
 
+    def compact(self) -> str:
+        """One-line snapshot, embedded in harness error messages and
+        forensics reports."""
+        parts = [
+            f"instr={self.total_instructions}",
+            f"cycles={self.cycles}",
+            f"checks={self.implicit_checks}"
+            f"({self.check_failures} failed)",
+            f"objs={self.global_objects}g/{self.local_objects}l"
+            f"/{self.heap_objects}h",
+        ]
+        if self.ifp is not None:
+            parts.append(f"promotes={self.ifp.promotes_total}"
+                         f"({self.ifp.promotes_valid} valid)")
+            if self.ifp.narrow_attempts:
+                parts.append(f"narrow={self.ifp.narrow_success}"
+                             f"/{self.ifp.narrow_attempts}")
+        return " ".join(parts)
+
     def summary(self) -> str:
         lines = [
             f"instructions: {self.total_instructions:,} "

@@ -68,6 +68,68 @@ class TestTracer:
             == traced.stats.total_instructions
 
 
+class TestTracerEdgeCases:
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=-1)
+
+    def test_zero_capacity_counts_without_recording(self):
+        program = compile_source(SOURCE, CompilerOptions.wrapped())
+        machine = Machine(program)
+        tracer = attach_tracer(machine, capacity=0)
+        result = machine.run()
+        assert result.ok
+        assert tracer.recorded == result.stats.total_instructions \
+            - result.stats.builtin_instructions
+        assert len(tracer.events) == 0
+        assert tracer.tail(10) == []
+        assert tracer.snapshot() == ()
+
+    def test_tail_truncation_drops_oldest_first(self):
+        program = compile_source(SOURCE, CompilerOptions.baseline())
+        machine = Machine(program)
+        full = attach_tracer(machine, capacity=100_000)
+        machine.run()
+        truncated_machine = Machine(program)
+        truncated = attach_tracer(truncated_machine, capacity=16)
+        truncated_machine.run()
+        # the bounded ring keeps exactly the last 16, in execution order
+        assert list(truncated.events) == list(full.events)[-16:]
+        assert truncated.tail(4) == list(full.events)[-4:]
+
+    def test_tail_count_edge_values(self):
+        program = compile_source(SOURCE, CompilerOptions.baseline())
+        machine = Machine(program)
+        tracer = attach_tracer(machine, capacity=16)
+        machine.run()
+        assert tracer.tail(0) == []
+        assert tracer.tail(-3) == []
+        assert len(tracer.tail(5)) == 5
+        # asking for more than capacity returns everything kept
+        assert tracer.tail(1000) == list(tracer.events)
+
+    def test_snapshot_while_tracing_is_detached(self):
+        tracer = Tracer(capacity=4)
+
+        from repro.compiler.ir import MNEMONICS
+
+        class _Ins:
+            op = next(iter(MNEMONICS))
+            dst = 0
+            a = -1
+            b = -1
+
+        for i in range(3):
+            tracer.record("f", i, _Ins(), [])
+        before = tracer.snapshot()
+        for i in range(3, 9):
+            tracer.record("f", i, _Ins(), [])
+        # the earlier snapshot is unaffected by later evictions
+        assert [e.index for e in before] == [0, 1, 2]
+        assert [e.index for e in tracer.snapshot()] == [5, 6, 7, 8]
+        assert tracer.recorded == 9
+
+
 class TestAnatomy:
     def _machine(self, options=None):
         program = compile_source("int main(void) { return 0; }",
