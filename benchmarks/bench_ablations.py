@@ -55,7 +55,10 @@ def test_ablation_single_scheme(benchmark):
     assert full.stats.ifp.lookups_local_offset > 0
 
     # Capacity pressure: a heap-churning workload exhausts the table.
+    # Under the default policy the runtime degrades to untagged legacy
+    # pointers and completes; the strict policy preserves the trap.
     from repro.errors import ResourceExhausted
+    from repro.resil.policy import STRICT_POLICY
     source = """
     int main(void) {
         char *keep[5000];
@@ -66,6 +69,10 @@ def test_ablation_single_scheme(benchmark):
     """
     program = compile_source(source, options)
     result = Machine(program, MachineConfig(ifp=gt_only)).run()
+    assert result.ok, result.trap
+    assert result.stats.degraded_allocs > 0
+    result = Machine(program, MachineConfig(
+        ifp=gt_only, policy=STRICT_POLICY)).run()
     assert isinstance(result.trap, ResourceExhausted)
 
 

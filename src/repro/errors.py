@@ -115,6 +115,43 @@ class SyscallError(SimTrap):
     """Invalid syscall or syscall arguments from the guest program."""
 
 
+class StepBudgetExceeded(SimTrap):
+    """The interpreter's instruction step-budget ran out.
+
+    This is the watchdog that turns a runaway guest (infinite loop,
+    pathological input) into a deterministic trap instead of an unbounded
+    simulation.  ``executed`` is the number of instructions retired when
+    the budget tripped.
+    """
+
+    def __init__(self, message: str, executed: int = 0, limit: int = 0,
+                 pc: object = None):
+        super().__init__(message, pc)
+        self.executed = executed
+        self.limit = limit
+
+
+class InvalidFree(SimTrap):
+    """A free-path violation detected by a runtime allocator.
+
+    ``kind`` distinguishes the failure modes the allocators can tell
+    apart: ``double_free`` (the chunk/slot is already free),
+    ``unknown_pointer`` (the address belongs to no live allocation of
+    this allocator), and ``interior_pointer`` (the address lies inside
+    an allocation but is not its start).  ``allocator`` names the
+    allocator that rejected the free so the trap message carries full
+    context without a debugger.
+    """
+
+    def __init__(self, message: str, address: int = 0,
+                 allocator: str = "", kind: str = "unknown_pointer",
+                 pc: object = None):
+        super().__init__(message, pc)
+        self.address = address
+        self.allocator = allocator
+        self.kind = kind
+
+
 # ---------------------------------------------------------------------------
 # Evaluation-harness errors (differential running of one program under
 # several configurations)
@@ -192,6 +229,33 @@ class OutputDivergence(HarnessError):
         self.workload = workload
         self.outputs = outputs
         self.stats = stats or {}
+
+
+class WorkloadTimeout(HarnessError):
+    """A run exceeded its wall-clock budget and was killed by the watchdog.
+
+    Raised from inside the interpreter loop (which polls the machine's
+    deadline every few thousand instructions) and re-raised by the
+    harness enriched with workload/config identity.  Deliberately *not*
+    a :class:`SimTrap`: a timeout is a verdict about the harness budget,
+    not an architectural event, so ``Machine.run`` must not fold it into
+    the trap-result path where it could be mistaken for a detection.
+    """
+
+    def __init__(self, message: str, workload: str = "", config: str = "",
+                 seconds: float = 0.0, executed: int = 0, stats=None):
+        super().__init__(message)
+        self.workload = workload
+        self.config = config
+        self.seconds = seconds
+        self.executed = executed
+        self.stats = stats
+
+    def with_context(self, workload: str, config: str) -> "WorkloadTimeout":
+        """Re-wrap with run identity (used by the harness)."""
+        return WorkloadTimeout(
+            f"{workload} [{config}] {self.args[0]}", workload, config,
+            self.seconds, self.executed, self.stats)
 
 
 class GuestExit(ReproError):

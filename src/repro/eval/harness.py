@@ -13,11 +13,12 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.compiler import compile_source
 from repro.errors import (
-    OutputDivergence, UnexpectedOutput, WorkloadTrapped,
+    OutputDivergence, UnexpectedOutput, WorkloadTimeout, WorkloadTrapped,
 )
 from repro.eval.configs import (
     CONFIG_NAMES, build_machine_config, build_options,
 )
+from repro.resil.retry import call_with_retry
 from repro.vm import Machine, RunStats
 from repro.workloads import Workload, all_workloads
 
@@ -51,7 +52,8 @@ class WorkloadRun:
 def run_workload(workload: Workload, config: str, scale: int = 1,
                  max_instructions: Optional[int] = None,
                  observe: bool = False,
-                 forensics_dir: Optional[str] = None) -> WorkloadRun:
+                 forensics_dir: Optional[str] = None,
+                 timeout_seconds: Optional[float] = None) -> WorkloadRun:
     """Compile and execute one workload under one configuration.
 
     Raises :class:`repro.errors.WorkloadTrapped` when the run traps and
@@ -64,6 +66,10 @@ def run_workload(workload: Workload, config: str, scale: int = 1,
     profiling + trap forensics); on a trap, the forensics report is
     written into ``forensics_dir`` (when given) and its path included
     in the raised error.
+
+    ``timeout_seconds`` arms the wall-clock watchdog: a run that fails
+    to finish raises :class:`repro.errors.WorkloadTimeout` (tagged with
+    workload/config identity) instead of hanging the harness.
     """
     options = build_options(config)
     program = compile_source(workload.source(scale), options)
@@ -74,7 +80,10 @@ def run_workload(workload: Workload, config: str, scale: int = 1,
     if observe:
         from repro.obs import attach_observer
         observer = attach_observer(machine, profile=True, forensics=True)
-    result = machine.run()
+    try:
+        result = machine.run(timeout_seconds=timeout_seconds)
+    except WorkloadTimeout as exc:
+        raise exc.with_context(workload.name, config) from None
     if result.trap is not None:
         forensics_path = ""
         if observer is not None and observer.last_report is not None \
@@ -115,19 +124,40 @@ def verify_runs_agree(runs: Iterable[WorkloadRun]) -> None:
 
 
 class Sweep:
-    """Memoising runner over (workload, config) pairs."""
+    """Memoising runner over (workload, config) pairs.
+
+    ``timeout_seconds`` arms the per-run wall-clock watchdog; timed-out
+    runs are retried up to ``retries`` extra times with exponential
+    backoff (wall-clock timeouts are host-load-dependent, so a retry on
+    a quieter machine can legitimately succeed) before the final
+    :class:`~repro.errors.WorkloadTimeout` propagates.
+    """
 
     def __init__(self, scale: int = 1,
-                 workloads: Optional[List[Workload]] = None):
+                 workloads: Optional[List[Workload]] = None,
+                 timeout_seconds: Optional[float] = None,
+                 retries: int = 2, backoff_base: float = 0.1):
         self.scale = scale
         self.workloads = workloads if workloads is not None \
             else all_workloads()
+        self.timeout_seconds = timeout_seconds
+        self.retries = retries
+        self.backoff_base = backoff_base
         self._cache: Dict[Tuple[str, str], WorkloadRun] = {}
 
     def run(self, workload: Workload, config: str) -> WorkloadRun:
         key = (workload.name, config)
         if key not in self._cache:
-            self._cache[key] = run_workload(workload, config, self.scale)
+            if self.timeout_seconds is None:
+                self._cache[key] = run_workload(workload, config,
+                                                self.scale)
+            else:
+                self._cache[key] = call_with_retry(
+                    lambda _attempt: run_workload(
+                        workload, config, self.scale,
+                        timeout_seconds=self.timeout_seconds),
+                    attempts=1 + self.retries,
+                    base_delay=self.backoff_base)
         return self._cache[key]
 
     def baseline(self, workload: Workload) -> WorkloadRun:

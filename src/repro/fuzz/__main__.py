@@ -56,6 +56,17 @@ def main(argv=None) -> int:
     parser.add_argument("--plant-bug", action="store_true",
                         help="self-test: feed one attacked program to "
                              "the clean oracle to force a failure")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock watchdog per execution; timed-"
+                             "out iterations retry with a derived seed")
+    parser.add_argument("--retries", type=int, default=2,
+                        help="reseed retries per timed-out iteration "
+                             "(default 2)")
+    parser.add_argument("--backoff", type=float, default=0.1,
+                        metavar="SECONDS",
+                        help="base of the exponential retry backoff "
+                             "(default 0.1)")
     parser.add_argument("--replay", type=str, metavar="JSON",
                         help="re-run one corpus entry verbatim")
     parser.add_argument("--metrics-out", type=str, metavar="JSON",
@@ -86,7 +97,9 @@ def main(argv=None) -> int:
         minimize=not args.no_minimize,
         max_attacks_per_program=args.max_attacks,
         plant_bug=args.plant_bug, log=log,
-        progress_every=0 if args.quiet else 25)
+        progress_every=0 if args.quiet else 25,
+        timeout_seconds=args.timeout, retries=args.retries,
+        backoff_base=args.backoff)
     print(stats.summary())
     if args.metrics_out:
         from repro.obs.metrics import metrics_document, write_metrics

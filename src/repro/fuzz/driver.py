@@ -74,6 +74,10 @@ class FuzzStats:
     attacks_detected: int = 0
     expected_evasions: int = 0
     evasions_confirmed: int = 0
+    #: iterations re-run with a derived seed after a wall-clock timeout
+    reseed_retries: int = 0
+    #: iterations abandoned after exhausting their retry budget
+    timeouts: int = 0
     #: (config, trap class) -> count, over attack runs
     trap_histogram: Counter = field(default_factory=Counter)
     failures: List[FailureRecord] = field(default_factory=list)
@@ -104,6 +108,10 @@ class FuzzStats:
             f"/{self.expected_evasions}",
             f"  divergences        : {self.divergences}",
         ]
+        if self.reseed_retries or self.timeouts:
+            lines.append(f"  timeout recovery   : "
+                         f"{self.reseed_retries} reseed retries, "
+                         f"{self.timeouts} iterations abandoned")
         if self.trap_histogram:
             lines.append("  trap histogram     :")
             for (config, trap), count in sorted(
@@ -140,6 +148,8 @@ class FuzzStats:
             "expected_evasions": self.expected_evasions,
             "evasions_confirmed": self.evasions_confirmed,
             "divergences": self.divergences,
+            "reseed_retries": self.reseed_retries,
+            "timeouts": self.timeouts,
             "elapsed_seconds": self.elapsed,
             "programs_per_second": self.programs / elapsed,
             "executions_per_second": self.executions / elapsed,
@@ -293,27 +303,45 @@ def run_fuzz(iterations: int, seed: int = 0,
              max_attacks_per_program: int = 2,
              plant_bug: bool = False,
              log: Optional[Callable[[str], None]] = None,
-             progress_every: int = 25) -> FuzzStats:
-    """Run the fuzzing loop; returns the run's :class:`FuzzStats`."""
+             progress_every: int = 25,
+             timeout_seconds: Optional[float] = None,
+             retries: int = 2,
+             backoff_base: float = 0.1) -> FuzzStats:
+    """Run the fuzzing loop; returns the run's :class:`FuzzStats`.
+
+    ``timeout_seconds`` arms the per-execution wall-clock watchdog; an
+    iteration whose program times out is retried up to ``retries``
+    times, each attempt with a deterministically derived seed
+    (:func:`repro.resil.derive_seed` — a genuinely hanging program
+    would just hang again) and exponential backoff.  An iteration that
+    exhausts its budget is counted in ``stats.timeouts`` and skipped;
+    corpus entries record the *effective* seed so replays stay exact.
+    """
+    from repro.errors import WorkloadTimeout
+    from repro.resil.retry import call_with_retry, derive_seed
+
     configs = list(configs) if configs else list(DEFAULT_CONFIGS)
     log = log or (lambda message: print(message))
     stats = FuzzStats(seed=seed, iterations=iterations, configs=configs)
     started = time.monotonic()
-    for offset in range(iterations):
-        iteration = start + offset
-        program = generate_program(seed, iteration)
+
+    def one_iteration(iteration: int, iter_seed: int,
+                      allow_plant: bool) -> None:
+        program = generate_program(iter_seed, iteration)
         stats.programs += 1
-        rng = random.Random(iteration_seed(seed, iteration) ^ 0xA77AC4)
+        rng = random.Random(iteration_seed(iter_seed, iteration)
+                            ^ 0xA77AC4)
 
         if clean:
             source = program.source
-            planted = plant_bug and offset == 0
+            planted = plant_bug and allow_plant
             planted_attack = planted_site = None
             if planted:
                 source, planted_attack, planted_site = \
                     _plant_bug_program(program, rng)
             runs, divergences = check_clean(
-                source, configs, name=f"fuzz-i{iteration}")
+                source, configs, name=f"fuzz-i{iteration}",
+                timeout_seconds=timeout_seconds)
             stats.clean_runs += len(configs)
             stats.executions += len(configs)
             for divergence in divergences:
@@ -321,7 +349,7 @@ def run_fuzz(iterations: int, seed: int = 0,
                     stats, kind=divergence.kind,
                     detail=divergence.detail
                     + (" (planted via --plant-bug)" if planted else ""),
-                    config=divergence.config, seed=seed,
+                    config=divergence.config, seed=iter_seed,
                     iteration=iteration, configs=configs, source=source,
                     attack=planted_attack,
                     site_dict=planted_site.to_dict()
@@ -336,8 +364,9 @@ def run_fuzz(iterations: int, seed: int = 0,
             rng.shuffle(sites)
             for site in sites[:max_attacks_per_program]:
                 attack = rng.choice(attacks_for(site))
-                source, verdict = check_attack(program.spec, attack,
-                                               configs)
+                source, verdict = check_attack(
+                    program.spec, attack, configs,
+                    timeout_seconds=timeout_seconds)
                 stats.attacks_injected += 1
                 stats.attack_runs += len(configs)
                 stats.executions += len(configs)
@@ -355,7 +384,7 @@ def run_fuzz(iterations: int, seed: int = 0,
                     _record_failure(
                         stats, kind=divergence.kind,
                         detail=divergence.detail,
-                        config=divergence.config, seed=seed,
+                        config=divergence.config, seed=iter_seed,
                         iteration=iteration, configs=configs,
                         source=source, attack=attack,
                         site_dict=site.to_dict(), corpus_dir=corpus_dir,
@@ -363,6 +392,35 @@ def run_fuzz(iterations: int, seed: int = 0,
                         predicate=_predicate_for(divergence, configs,
                                                  attack, source),
                         log=log)
+
+    for offset in range(iterations):
+        iteration = start + offset
+
+        def attempt_iteration(attempt: int, _iteration=iteration,
+                              _first=(offset == 0)) -> None:
+            one_iteration(_iteration, derive_seed(seed, attempt), _first)
+
+        def note_retry(attempt: int, exc: BaseException,
+                       delay: float, _iteration=iteration) -> None:
+            stats.reseed_retries += 1
+            log(f"[repro.fuzz] iteration {_iteration} timed out "
+                f"({exc}); retrying with derived seed "
+                f"{derive_seed(seed, attempt + 1)} "
+                f"after {delay:.2f}s backoff")
+
+        if timeout_seconds is None:
+            one_iteration(iteration, seed, offset == 0)
+        else:
+            try:
+                call_with_retry(attempt_iteration,
+                                attempts=1 + max(0, retries),
+                                base_delay=backoff_base,
+                                on_retry=note_retry)
+            except WorkloadTimeout as exc:
+                stats.timeouts += 1
+                log(f"[repro.fuzz] iteration {iteration} abandoned "
+                    f"after {1 + max(0, retries)} timed-out attempts: "
+                    f"{exc}")
 
         done = offset + 1
         if progress_every and done % progress_every == 0 \

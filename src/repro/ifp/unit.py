@@ -79,6 +79,12 @@ class MetadataPort:
         # decoding multiple fields of one metadata record costs a single
         # cache access.
         self._buffered_line = -1
+        #: fault injector (repro.resil.faults); None on the hot path
+        self.faults = None
+        #: what the current fetch serves ("metadata" | "layout" | None),
+        #: set by the promote engine so injected corruption can target
+        #: metadata words vs. layout-table entries
+        self.phase = None
 
     def load(self, address: int, size: int) -> int:
         self.loads += 1
@@ -91,7 +97,11 @@ class MetadataPort:
             else:
                 self.cycles += 1
             self._buffered_line = last_line
-        return self.memory.load_int(address, size)
+        value = self.memory.load_int(address, size)
+        if self.faults is not None:
+            value = self.faults.on_metadata_load(address, size, value,
+                                                 self.phase)
+        return value
 
     def add_cycles(self, cycles: int) -> None:
         self.cycles += cycles
@@ -140,6 +150,9 @@ class IFPUnit:
         #: observer shared with the machine (repro.obs.attach_observer);
         #: None keeps every emission on its zero-cost disabled path
         self.obs = None
+        #: fault injector (repro.resil.faults.FaultInjector.arm); None
+        #: keeps promote on its zero-cost path
+        self.faults = None
 
     # -- the promote instruction ----------------------------------------------
 
@@ -149,6 +162,8 @@ class IFPUnit:
         config = self.config
         stats.promotes_total += 1
         start_cycles = self.port.cycles
+        if self.faults is not None:
+            pointer = self.faults.on_promote(pointer)
         tag = unpack_tag(pointer)
         address = address_of(pointer)
 
@@ -176,6 +191,7 @@ class IFPUnit:
         # 3. Scheme dispatch and metadata lookup.
         narrow_attempted = False
         start_loads = self.port.loads
+        self.port.phase = "metadata"
         if tag.scheme is Scheme.LOCAL_OFFSET:
             stats.lookups_local_offset += 1
             metadata, mac_checked = self.local_offset.lookup(
@@ -188,6 +204,7 @@ class IFPUnit:
             stats.lookups_global_table += 1
             metadata, mac_checked = self.global_table.lookup(
                 address, tag, self.port, self.control)
+        self.port.phase = None
 
         obs = self.obs
         if obs is not None:
@@ -224,9 +241,11 @@ class IFPUnit:
                     obs.narrow("disabled" if not config.narrowing_enabled
                                else "no_layout_table")
             else:
+                self.port.phase = "layout"
                 result = narrow_bounds(self.port, config,
                                        metadata.layout_ptr, bounds,
                                        address, subobject_index)
+                self.port.phase = None
                 if result.exact:
                     stats.narrow_success += 1
                     narrowed = True

@@ -31,9 +31,9 @@ JSON against the schema.
 """
 
 from repro.obs.events import (
-    AllocEvent, BoundsSpillEvent, CheckEvent, Event, EventBus,
-    MacVerifyEvent, MetadataFetchEvent, NarrowEvent, PromoteEvent,
-    SchemeAssignEvent, TrapEvent,
+    AllocEvent, BoundsSpillEvent, CheckEvent, DegradeEvent, Event,
+    EventBus, FaultEvent, MacVerifyEvent, MetadataFetchEvent, NarrowEvent,
+    PromoteEvent, SchemeAssignEvent, TrapEvent,
 )
 from repro.obs.forensics import ForensicsReport, capture_forensics
 from repro.obs.metrics import (
@@ -44,7 +44,8 @@ from repro.obs.observer import Observer, attach_observer
 from repro.obs.profile import HotSiteProfiler, SiteStats
 
 __all__ = [
-    "AllocEvent", "BoundsSpillEvent", "CheckEvent", "Event", "EventBus",
+    "AllocEvent", "BoundsSpillEvent", "CheckEvent", "DegradeEvent",
+    "Event", "EventBus", "FaultEvent",
     "ForensicsReport", "HotSiteProfiler", "MacVerifyEvent",
     "MetadataFetchEvent", "NarrowEvent", "Observer", "PromoteEvent",
     "SCHEMA", "SchemeAssignEvent", "SiteStats", "TrapEvent",

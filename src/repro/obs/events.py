@@ -134,9 +134,31 @@ class TrapEvent(Event):
     pointer: Optional[int]
 
 
+@dataclass(frozen=True)
+class DegradeEvent(Event):
+    kind: ClassVar[str] = "degrade"
+
+    #: exhausted resource: 'global_table' | 'subheap_registers'
+    resource: str
+    #: fallback taken: 'legacy_pointer' | 'global_table_fallback'
+    action: str
+    size: int           #: size of the allocation that was downgraded
+    address: int        #: address handed out untagged (0 if none yet)
+
+
+@dataclass(frozen=True)
+class FaultEvent(Event):
+    kind: ClassVar[str] = "fault"
+
+    fault: str          #: fault class (repro.resil.faults.FAULT_CLASSES)
+    target: str         #: perturbed object ('pointer', 'metadata', ...)
+    detail: str         #: human-readable description of the perturbation
+
+
 EVENT_KINDS = tuple(cls.kind for cls in (
     PromoteEvent, CheckEvent, BoundsSpillEvent, MetadataFetchEvent,
-    MacVerifyEvent, NarrowEvent, SchemeAssignEvent, AllocEvent, TrapEvent))
+    MacVerifyEvent, NarrowEvent, SchemeAssignEvent, AllocEvent, TrapEvent,
+    DegradeEvent, FaultEvent))
 
 
 class EventBus:

@@ -18,8 +18,8 @@ from collections import deque
 from typing import Deque, List, Optional, Tuple
 
 from repro.obs.events import (
-    AllocEvent, Event, EventBus, MacVerifyEvent, MetadataFetchEvent,
-    NarrowEvent, SchemeAssignEvent, TrapEvent,
+    AllocEvent, DegradeEvent, Event, EventBus, FaultEvent, MacVerifyEvent,
+    MetadataFetchEvent, NarrowEvent, SchemeAssignEvent, TrapEvent,
 )
 from repro.obs.forensics import ForensicsReport, capture_forensics
 from repro.obs.profile import HotSiteProfiler
@@ -79,6 +79,14 @@ class Observer:
 
     def narrow(self, result: str) -> None:
         self.bus.emit(NarrowEvent(self.site, result))
+
+    def degrade(self, resource: str, action: str, size: int,
+                address: int) -> None:
+        self.bus.emit(DegradeEvent(self.site, resource, action, size,
+                                   address))
+
+    def fault_injected(self, fault: str, target: str, detail: str) -> None:
+        self.bus.emit(FaultEvent(self.site, fault, target, detail))
 
     # -- trap hook (called by Machine.run) -----------------------------------
 

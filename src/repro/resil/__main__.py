@@ -1,0 +1,106 @@
+"""CLI entry point: ``python -m repro.resil``.
+
+Runs a resilience campaign — every selected workload under every
+selected fault class and metadata scheme — and writes the resulting
+fault class × scheme matrix as a ``repro.obs.metrics/v1`` document.
+
+Examples::
+
+    # the standard campaign: 3 workloads x 3 schemes x 7 fault classes
+    python -m repro.resil --out resil-matrix.json
+
+    # quick smoke (one workload, the MAC-protected fault classes)
+    python -m repro.resil --workloads treeadd \\
+        --faults metadata_corrupt,mac_corrupt --out matrix.json
+
+    # strict policy: resource exhaustion traps instead of degrading
+    python -m repro.resil --strict --faults global_table_exhaust
+
+The exit code is non-zero when any MAC-protected metadata fault ended
+in silent corruption — the property CI enforces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.resil.faults import FAULT_CLASSES
+from repro.workloads import WORKLOADS
+
+
+def main(argv=None) -> int:
+    from repro.resil.matrix import (
+        DEFAULT_WORKLOADS, SCHEMES, run_campaign,
+    )
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.resil",
+        description="Fault-injection resilience campaign for the IFP "
+                    "pipeline.")
+    parser.add_argument("--workloads", type=str,
+                        default=",".join(DEFAULT_WORKLOADS),
+                        help="comma-separated workload list "
+                             f"(default: {','.join(DEFAULT_WORKLOADS)})")
+    parser.add_argument("--schemes", type=str, default=",".join(SCHEMES),
+                        help="comma-separated scheme list "
+                             f"(available: {', '.join(SCHEMES)})")
+    parser.add_argument("--faults", type=str,
+                        default=",".join(FAULT_CLASSES),
+                        help="comma-separated fault-class list "
+                             f"(available: {', '.join(FAULT_CLASSES)})")
+    parser.add_argument("--seed", "-s", type=int, default=0,
+                        help="campaign master seed (default 0)")
+    parser.add_argument("--scale", type=int, default=1,
+                        help="workload scale factor (default 1)")
+    parser.add_argument("--timeout", type=float, default=120.0,
+                        metavar="SECONDS",
+                        help="wall-clock watchdog per run (default 120)")
+    parser.add_argument("--strict", action="store_true",
+                        help="strict degradation policy: resource "
+                             "exhaustion traps instead of degrading")
+    parser.add_argument("--out", type=str, metavar="JSON",
+                        help="write the matrix as a repro.obs "
+                             "schema-v1 metrics document")
+    parser.add_argument("--quiet", "-q", action="store_true",
+                        help="suppress per-cell progress lines")
+    args = parser.parse_args(argv)
+
+    workloads = tuple(w.strip() for w in args.workloads.split(",")
+                      if w.strip())
+    schemes = tuple(s.strip() for s in args.schemes.split(",")
+                    if s.strip())
+    faults = tuple(f.strip() for f in args.faults.split(",") if f.strip())
+    unknown = [w for w in workloads if w not in WORKLOADS]
+    if unknown:
+        parser.error(f"unknown workload(s): {', '.join(unknown)}")
+    unknown = [s for s in schemes if s not in SCHEMES]
+    if unknown:
+        parser.error(f"unknown scheme(s): {', '.join(unknown)}")
+    unknown = [f for f in faults if f not in FAULT_CLASSES]
+    if unknown:
+        parser.error(f"unknown fault class(es): {', '.join(unknown)}")
+
+    log = (lambda message: None) if args.quiet else print
+    campaign = run_campaign(
+        workloads=workloads, schemes=schemes, faults=faults,
+        seed=args.seed, scale=args.scale,
+        timeout_seconds=args.timeout if args.timeout > 0 else None,
+        strict=args.strict, log=log)
+    print(campaign.render())
+
+    if args.out:
+        from repro.obs.metrics import metrics_document, write_metrics
+        path = write_metrics(args.out, metrics_document(
+            "resil",
+            {"seed": args.seed, "scale": args.scale,
+             "policy": campaign.policy_name,
+             "workloads": ",".join(workloads),
+             "schemes": ",".join(schemes),
+             "faults": ",".join(faults)},
+            campaign.metrics()))
+        print(f"matrix written to {path}")
+    return 0 if campaign.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""Degradation policy: what the runtime does when a fixed-size
+architectural resource runs out (paper Section 3.3.3 / Section 6).
+
+The paper's metadata schemes are capacity-limited by construction — 4096
+global-table rows, 16 subheap control registers — and its stated answer
+to exhaustion is that the runtime "can always fall back to legacy
+pointers": an object that cannot be registered simply receives an
+untagged pointer and loses (only) its own bounds protection, while the
+program keeps running.  The seed reproduction instead hard-trapped with
+:class:`~repro.errors.ResourceExhausted`, killing the whole workload.
+
+:class:`DegradationPolicy` makes that choice explicit and per-resource:
+
+* ``degrade`` — fall back gracefully (untagged legacy pointer for the
+  global table; global-table fallback, then legacy, for subheap register
+  pressure), emitting a typed ``repro.obs`` degradation event and
+  counting the downgrade in ``RunStats.degraded_allocs``;
+* ``strict`` — preserve the trap, for evaluations that want exhaustion
+  to be loud (e.g. the global-table-only capacity ablation).
+
+The policy lives on :class:`~repro.vm.machine.MachineConfig` so every
+layer (allocators, builtins, the campaign runner) reads one source of
+truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Fall back to a weaker scheme / untagged pointer and keep running.
+DEGRADE = "degrade"
+#: Preserve the seed behaviour: raise ResourceExhausted.
+STRICT = "strict"
+
+_MODES = (DEGRADE, STRICT)
+
+
+@dataclass(frozen=True)
+class DegradationPolicy:
+    """Per-resource exhaustion behaviour (``degrade`` | ``strict``)."""
+
+    #: global metadata table out of rows
+    global_table_exhaustion: str = DEGRADE
+    #: all subheap control registers in use when a new pool is created
+    subheap_register_exhaustion: str = DEGRADE
+
+    def validate(self) -> None:
+        for name in ("global_table_exhaustion",
+                     "subheap_register_exhaustion"):
+            value = getattr(self, name)
+            if value not in _MODES:
+                raise ValueError(
+                    f"{name} must be one of {_MODES}, got {value!r}")
+
+    @property
+    def name(self) -> str:
+        """Compact label for reports ('degrade', 'strict', or 'mixed')."""
+        modes = {self.global_table_exhaustion,
+                 self.subheap_register_exhaustion}
+        return modes.pop() if len(modes) == 1 else "mixed"
+
+
+#: Default: degrade gracefully (the paper's legacy-pointer fallback).
+DEFAULT_POLICY = DegradationPolicy()
+#: Every resource exhaustion traps (the seed repo's behaviour).
+STRICT_POLICY = DegradationPolicy(global_table_exhaustion=STRICT,
+                                  subheap_register_exhaustion=STRICT)

@@ -1,0 +1,75 @@
+"""Deterministic retry with exponential backoff.
+
+Transient harness failures — above all :class:`WorkloadTimeout` — are
+retried a bounded number of times.  Two properties matter for a
+reproduction harness:
+
+* **Determinism**: a retried attempt must not silently re-run the same
+  seed (a genuinely deterministic hang would just hang again) nor draw
+  from global randomness (the campaign would stop being replayable).
+  :func:`derive_seed` folds the attempt number into the base seed with
+  a splitmix64-style mix, so attempt *k* of seed *s* is a pure function
+  of ``(s, k)``.
+* **Bounded, predictable backoff**: delays grow as
+  ``base_delay * 2**attempt`` with no jitter — jitter buys nothing
+  single-process and costs reproducibility.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional, Tuple, Type
+
+from repro.errors import WorkloadTimeout
+
+_MASK64 = (1 << 64) - 1
+
+
+def derive_seed(seed: int, attempt: int) -> int:
+    """Deterministically derive the seed for retry ``attempt``.
+
+    Attempt 0 returns ``seed`` unchanged (the first run is the plain
+    run); later attempts mix the attempt index in with the splitmix64
+    finalizer so nearby seeds diverge completely.
+    """
+    if attempt == 0:
+        return seed
+    z = (seed + attempt * 0x9E3779B97F4A7C15) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (z ^ (z >> 31)) & _MASK64
+
+
+def call_with_retry(fn: Callable[[int], object], *,
+                    attempts: int = 3,
+                    base_delay: float = 0.1,
+                    transient: Tuple[Type[BaseException], ...] = (
+                        WorkloadTimeout,),
+                    sleep: Optional[Callable[[float], None]] = None,
+                    on_retry: Optional[
+                        Callable[[int, BaseException, float], None]] = None):
+    """Call ``fn(attempt)`` until it succeeds or attempts are exhausted.
+
+    ``fn`` receives the 0-based attempt number (so it can re-derive its
+    seed via :func:`derive_seed`).  Only exceptions in ``transient`` are
+    retried; everything else propagates immediately.  After the last
+    attempt the final transient exception propagates.
+
+    ``sleep`` is injectable for tests (defaults to :func:`time.sleep`);
+    ``on_retry(attempt, exc, delay)`` observes each retry decision.
+    """
+    if attempts < 1:
+        raise ValueError(f"attempts must be >= 1, got {attempts}")
+    do_sleep = time.sleep if sleep is None else sleep
+    for attempt in range(attempts):
+        try:
+            return fn(attempt)
+        except transient as exc:
+            if attempt == attempts - 1:
+                raise
+            delay = base_delay * (2 ** attempt)
+            if on_retry is not None:
+                on_retry(attempt, exc, delay)
+            if delay > 0:
+                do_sleep(delay)
+    raise AssertionError("unreachable")

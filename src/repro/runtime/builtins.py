@@ -16,7 +16,8 @@ from repro.ifp.poison import Poison
 from repro.ifp.schemes.local_offset import (
     LocalOffsetScheme, METADATA_BYTES,
 )
-from repro.ifp.tag import address_of
+from repro.ifp.tag import Scheme, address_of, unpack_tag
+from repro.resil.policy import STRICT
 from repro.runtime.buddy import BuddyAllocator
 from repro.runtime.freelist import FreeListAllocator
 from repro.runtime.global_table import GlobalTableManager
@@ -148,10 +149,24 @@ def install(machine) -> Dict[str, callable]:
 
     def ifp_register_gt(mach, args, bounds):
         address, size, lt = args[0] & ((1 << 48) - 1), args[1], args[2]
-        tagged, cycles, instrs = global_table.register(address, size, lt)
+        if mach.config.policy.global_table_exhaustion == STRICT:
+            registered = global_table.register(address, size, lt)
+        else:
+            registered = global_table.try_register(address, size, lt)
         mach.stats.local_objects += 1
         if lt:
             mach.stats.local_objects_lt += 1
+        if registered is None:
+            # Table full under degrade policy: the oversize local keeps
+            # its storage but escapes as an unprotected legacy pointer.
+            mach.stats.degraded_allocs += 1
+            if mach.obs is not None:
+                mach.obs.degrade("global_table", "legacy_pointer", size,
+                                 address)
+                mach.obs.alloc_decision("global_table", "legacy_degrade",
+                                        size, address)
+            return address, None, 4, 4
+        tagged, cycles, instrs = registered
         if mach.obs is not None:
             mach.obs.alloc_decision("global_table", "oversize_local",
                                     size, address)
@@ -159,6 +174,10 @@ def install(machine) -> Dict[str, callable]:
         return tagged, Bounds(address, address + size), cycles, instrs
 
     def ifp_deregister_gt(mach, args, bounds):
+        # Degraded locals come back as legacy pointers with no row to
+        # release; clearing row 0 by mistake would corrupt a live entry.
+        if unpack_tag(args[0]).scheme is not Scheme.GLOBAL_TABLE:
+            return 0, None, 2, 2
         cycles, instrs = global_table.deregister(args[0])
         return 0, None, cycles, instrs
 
@@ -182,8 +201,21 @@ def install(machine) -> Dict[str, callable]:
                                                        size)
                     instrs = 20
                 else:
-                    tagged, cycles, instrs = global_table.register(
-                        address, size, lt_addr)
+                    if (mach.config.policy.global_table_exhaustion
+                            == STRICT):
+                        registered = global_table.register(
+                            address, size, lt_addr)
+                    else:
+                        registered = global_table.try_register(
+                            address, size, lt_addr)
+                    if registered is None:
+                        mach.stats.degraded_allocs += 1
+                        if mach.obs is not None:
+                            mach.obs.degrade("global_table",
+                                             "legacy_pointer", size,
+                                             address)
+                        registered = (address, 4, 4)
+                    tagged, cycles, instrs = registered
                 mach.stats.global_objects += 1
                 if lt_addr:
                     mach.stats.global_objects_lt += 1
@@ -191,8 +223,11 @@ def install(machine) -> Dict[str, callable]:
                     mach.obs.scheme_assigned("global", tagged, size,
                                              bool(lt_addr))
                 getptr_cache[name] = tagged
-                bound = Bounds(address_of(tagged),
-                               address_of(tagged) + size)
+                if unpack_tag(tagged).scheme is Scheme.LEGACY:
+                    bound = None  # degraded: no metadata, no checking
+                else:
+                    bound = Bounds(address_of(tagged),
+                                   address_of(tagged) + size)
                 machine_bounds_cache[name] = bound
                 return tagged, bound, cycles, instrs
             return tagged, machine_bounds_cache[name], 4, 4

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from repro.errors import SimTrap
+from repro.errors import InvalidFree
 
 #: Chunk header size (stored immediately before the payload).
 HEADER_BYTES = 16
@@ -84,10 +84,28 @@ class FreeListAllocator:
             return 2, 2
         chunk = payload - HEADER_BYTES
         instrs = _FREE_BASE
+        # Range-check before touching the header: a wild pointer must not
+        # fault inside the simulator's own memory model.
+        if chunk < self.base or chunk >= self.brk:
+            raise InvalidFree(
+                f"invalid free of 0x{payload:x}: outside freelist heap "
+                f"[0x{self.base + HEADER_BYTES:x}, 0x{self.brk:x})",
+                address=payload, allocator="freelist",
+                kind="unknown_pointer")
         cycles = self.hierarchy.access_cycles(chunk, 8, False)
-        chunk_size = self.memory.load_u64(chunk) & ~1
-        if chunk_size == 0 or chunk < self.base or chunk >= self.brk:
-            raise SimTrap(f"invalid free of 0x{payload:x}")
+        header = self.memory.load_u64(chunk)
+        chunk_size = header & ~1
+        if chunk_size == 0:
+            raise InvalidFree(
+                f"invalid free of 0x{payload:x}: no chunk header at "
+                f"0x{chunk:x} (not an allocation start)",
+                address=payload, allocator="freelist",
+                kind="unknown_pointer")
+        if not header & 1:
+            raise InvalidFree(
+                f"double free of 0x{payload:x}: freelist chunk 0x{chunk:x} "
+                f"({chunk_size} bytes) is already free",
+                address=payload, allocator="freelist", kind="double_free")
         cycles += self._write_header(chunk, chunk_size, in_use=False)
         self.live_bytes -= chunk_size
         self._insert_free(chunk, chunk_size)

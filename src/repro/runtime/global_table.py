@@ -29,12 +29,41 @@ class GlobalTableManager:
         self._free_rows: List[int] = list(range(self.rows - 1, -1, -1))
         self.live_rows = 0
         self.peak_live_rows = 0
+        #: registrations refused because the table was full (the callers
+        #: decide — per DegradationPolicy — whether that traps or degrades)
+        self.exhaustion_events = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return not self._free_rows
+
+    @property
+    def free_rows(self) -> int:
+        return len(self._free_rows)
+
+    def try_register(self, address: int, size: int,
+                     layout_ptr: int) -> Optional[Tuple[int, int, int]]:
+        """Claim a row if one is free; returns None when the table is
+        full (the degradation-policy path — callers fall back to an
+        untagged legacy pointer instead of trapping)."""
+        if not self._free_rows:
+            self.exhaustion_events += 1
+            return None
+        return self.register(address, size, layout_ptr)
 
     def register(self, address: int, size: int,
                  layout_ptr: int) -> Tuple[int, int, int]:
-        """Claim a row; returns (tagged pointer, cycles, instrs)."""
+        """Claim a row; returns (tagged pointer, cycles, instrs).
+
+        Raises :class:`ResourceExhausted` when the table is full — the
+        strict-policy path.  Policy-aware callers use
+        :meth:`try_register` instead.
+        """
         if not self._free_rows:
-            raise ResourceExhausted("global metadata table full")
+            self.exhaustion_events += 1
+            raise ResourceExhausted(
+                f"global metadata table full "
+                f"({self.rows} rows, {self.live_rows} live)")
         index = self._free_rows.pop()
         memory = self.machine.memory
         self.scheme.write_row(memory, self.table_base, index, address,

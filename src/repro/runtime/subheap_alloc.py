@@ -31,12 +31,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import ResourceExhausted
+from repro.errors import InvalidFree, ResourceExhausted
 from repro.ifp.bounds import Bounds
 from repro.ifp.schemes.subheap import (
     METADATA_BYTES, SubheapRegion, SubheapScheme,
 )
 from repro.ifp.tag import Scheme, address_of, unpack_tag
+from repro.resil.policy import STRICT
 
 #: (max slot size, block order) classes, ascending.  Objects above the
 #: last class go to the free-list + global-table fallback: pooling unique
@@ -94,7 +95,21 @@ class SubheapAllocator:
         instrs = _ALLOC_HOT_COST
         pool = self.pools.get((size, layout_ptr))
         if pool is None:
-            pool = self._new_pool(size, layout_ptr, order)
+            try:
+                pool = self._new_pool(size, layout_ptr, order)
+            except ResourceExhausted:
+                # Out of subheap control registers.  Strict policy lets
+                # the trap propagate; degrade policy demotes this object
+                # to the global-table scheme (and from there, possibly
+                # to an untagged legacy pointer).
+                if (machine.config.policy.subheap_register_exhaustion
+                        == STRICT):
+                    raise
+                machine.stats.degraded_allocs += 1
+                if machine.obs is not None:
+                    machine.obs.degrade("subheap_registers",
+                                        "global_table_fallback", size, 0)
+                return self._fallback_malloc(size, layout_ptr)
             self.pools[(size, layout_ptr)] = pool
         if pool.free_slots:
             address = pool.free_slots.pop()
@@ -137,10 +152,45 @@ class SubheapAllocator:
             return cycles + _FREE_COST, instrs + _FREE_COST
         pool = self._pool_of(address)
         if pool is None:
-            # Tolerate frees of foreign pointers like free() would not;
-            # this is a guest bug surfaced as a trap.
-            from repro.errors import SimTrap
-            raise SimTrap(f"subheap free of unknown pointer 0x{address:x}")
+            if (tag.scheme is Scheme.LEGACY
+                    and machine.freelist.base <= address
+                    < machine.freelist.brk):
+                # A degraded (untagged) allocation: its memory came from
+                # the free-list fallback, so route the free there.
+                cycles, instrs = machine.heap_freelist_free(address)
+                machine.stats.heap_frees += 1
+                if machine.obs is not None:
+                    machine.obs.alloc_decision("subheap", "legacy_free",
+                                               0, address)
+                return cycles + _FREE_COST, instrs + _FREE_COST
+            # Frees of foreign pointers are guest bugs surfaced as traps.
+            raise InvalidFree(
+                f"subheap free of unknown pointer 0x{address:x}: "
+                f"no pool owns this block",
+                address=address, allocator="subheap",
+                kind="unknown_pointer")
+        block = address & ~((1 << pool.region.block_log2) - 1)
+        slot_start = _align(METADATA_BYTES, max(self.config.granule, 16))
+        if (address - block - slot_start) % pool.slot_size:
+            raise InvalidFree(
+                f"subheap free of interior pointer 0x{address:x}: "
+                f"not a slot base in pool(size={pool.object_size}, "
+                f"slot={pool.slot_size}) of block 0x{block:x}",
+                address=address, allocator="subheap",
+                kind="interior_pointer")
+        if block == pool.bump_block and address >= pool.bump_next:
+            raise InvalidFree(
+                f"subheap free of unallocated slot 0x{address:x}: "
+                f"beyond bump pointer 0x{pool.bump_next:x} in "
+                f"block 0x{block:x}",
+                address=address, allocator="subheap",
+                kind="unknown_pointer")
+        if address in pool.free_slots:
+            raise InvalidFree(
+                f"double free of 0x{address:x}: slot already on the "
+                f"free list of pool(size={pool.object_size}) "
+                f"in block 0x{block:x}",
+                address=address, allocator="subheap", kind="double_free")
         pool.free_slots.append(address)
         machine.stats.heap_frees += 1
         if machine.obs is not None:
@@ -151,8 +201,15 @@ class SubheapAllocator:
         tag = unpack_tag(pointer)
         if tag.scheme is Scheme.GLOBAL_TABLE:
             return self.global_table.row_info(pointer)[1]
-        pool = self._pool_of(address_of(pointer))
-        return pool.object_size if pool else 0
+        address = address_of(pointer)
+        pool = self._pool_of(address)
+        if pool is not None:
+            return pool.object_size
+        freelist = self.machine.freelist
+        if freelist.base <= address < freelist.brk:
+            # Degraded legacy allocation backed by the free list.
+            return freelist.usable_size(address)
+        return 0
 
     def layout_ptr_of(self, pointer: int) -> int:
         tag = unpack_tag(pointer)
@@ -176,8 +233,25 @@ class SubheapAllocator:
         address, cycles, instrs = machine.heap_freelist_malloc(size)
         if address == 0:
             return 0, None, cycles, instrs
-        tagged, reg_cycles, reg_instrs = self.global_table.register(
-            address, size, layout_ptr)
+        if machine.config.policy.global_table_exhaustion == STRICT:
+            registered = self.global_table.register(
+                address, size, layout_ptr)
+        else:
+            registered = self.global_table.try_register(
+                address, size, layout_ptr)
+        if registered is None:
+            # Global table also full: last rung of the degradation
+            # ladder — an untagged legacy pointer with no metadata.
+            machine.stats.heap_objects += 1
+            machine.stats.degraded_allocs += 1
+            obs = machine.obs
+            if obs is not None:
+                obs.degrade("global_table", "legacy_pointer", size,
+                            address)
+                obs.alloc_decision("subheap", "legacy_degrade", size,
+                                   address)
+            return address, None, cycles + 2, instrs + 2
+        tagged, reg_cycles, reg_instrs = registered
         machine.stats.heap_objects += 1
         if layout_ptr:
             machine.stats.heap_objects_lt += 1

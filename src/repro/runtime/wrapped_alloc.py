@@ -19,6 +19,7 @@ from repro.ifp.schemes.local_offset import (
     LocalOffsetScheme, METADATA_BYTES, align_up,
 )
 from repro.ifp.tag import Scheme, address_of, unpack_tag
+from repro.resil.policy import STRICT
 
 #: modelled extra instructions for metadata setup / teardown
 _REGISTER_COST = 12
@@ -64,8 +65,26 @@ class WrappedAllocator:
             address, cycles, instrs = self.freelist.malloc(size)
             if address == 0:
                 return 0, None, cycles, instrs
-            tagged, reg_cycles, reg_instrs = self.global_table.register(
-                address, size, layout_ptr)
+            if machine.config.policy.global_table_exhaustion == STRICT:
+                registered = self.global_table.register(
+                    address, size, layout_ptr)
+            else:
+                registered = self.global_table.try_register(
+                    address, size, layout_ptr)
+            if registered is None:
+                # Table full under the degrade policy: the object keeps
+                # its memory but loses its metadata — hand out an
+                # untagged legacy pointer (paper Section 6 fallback).
+                machine.stats.heap_objects += 1
+                machine.stats.degraded_allocs += 1
+                obs = machine.obs
+                if obs is not None:
+                    obs.degrade("global_table", "legacy_pointer", size,
+                                address)
+                    obs.alloc_decision("wrapped", "legacy_degrade", size,
+                                       address)
+                return address, None, cycles + 2, instrs + 2
+            tagged, reg_cycles, reg_instrs = registered
             cycles += reg_cycles
             instrs += reg_instrs
             bounds = Bounds(address, address + size)

@@ -19,10 +19,12 @@ Semantics notes:
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import (
     BoundsTrap, GuestExit, LinkError, PoisonTrap, SimTrap,
+    StepBudgetExceeded, WorkloadTimeout,
 )
 from repro.compiler.ir import IRFunction, Op
 from repro.ifp.bounds import Bounds
@@ -70,9 +72,23 @@ class Interpreter:
         self._subheap_sub_bits = cfg.subheap_subobj_bits
         self.executed = 0
         self._limit = machine.config.max_instructions
+        #: wall-clock deadline (time.monotonic value; 0.0 disables).
+        #: Checked every _DEADLINE_STRIDE instructions so the watchdog
+        #: costs one mask-and-test per instruction when armed.
+        self._deadline = 0.0
+        self._timeout_seconds = 0.0
         self._no_promote = machine.config.no_promote
         self._mac_key = machine.config.mac_key
         self._prepare()
+
+    def arm_deadline(self, timeout_seconds: Optional[float]) -> None:
+        """Arm (or disarm, with None) the wall-clock watchdog."""
+        if timeout_seconds is None or timeout_seconds <= 0:
+            self._deadline = 0.0
+            self._timeout_seconds = 0.0
+        else:
+            self._timeout_seconds = timeout_seconds
+            self._deadline = time.monotonic() + timeout_seconds
 
     def _prepare(self) -> None:
         """Assign integer codes to BIN/BINI variants for fast dispatch."""
@@ -145,7 +161,20 @@ class Interpreter:
                 ip += 1
                 self.executed += 1
                 if self.executed > self._limit:
-                    raise SimTrap("instruction limit exceeded")
+                    raise StepBudgetExceeded(
+                        f"instruction limit exceeded "
+                        f"({self.executed:,} > {self._limit:,})",
+                        executed=self.executed, limit=self._limit,
+                        pc=(func.name, ip - 1))
+                if (self._deadline and not self.executed & 0xFFF
+                        and time.monotonic() > self._deadline):
+                    raise WorkloadTimeout(
+                        f"wall-clock timeout after "
+                        f"{self._timeout_seconds:g}s "
+                        f"({self.executed:,} instructions executed, "
+                        f"at {func.name}+{ip - 1})",
+                        seconds=self._timeout_seconds,
+                        executed=self.executed)
                 op = ins.op
 
                 if op == Op.BIN or op == Op.BINI:

@@ -8,11 +8,12 @@ from typing import Dict, List, Optional
 
 from repro.cache import CacheHierarchy, HierarchyConfig
 from repro.compiler.ir import IRProgram
-from repro.errors import GuestExit, ReproError, SimTrap
+from repro.errors import GuestExit, ReproError, SimTrap, WorkloadTimeout
 from repro.ifp.config import IFPConfig, DEFAULT_CONFIG
 from repro.ifp.unit import IFPUnit
 from repro.mem import Memory
 from repro.mem.layout import DEFAULT_LAYOUT, AddressSpaceLayout
+from repro.resil.policy import DEFAULT_POLICY, DegradationPolicy
 from repro.vm.loader import LoadedImage, load_program
 from repro.vm.stats import RunStats
 
@@ -31,6 +32,12 @@ class MachineConfig:
     max_instructions: int = 500_000_000
     #: glibc strlen reads whole words — the over-read the paper hit in bc
     strlen_word_reads: bool = True
+    #: what happens when fixed-size metadata resources run out
+    #: (see repro.resil.policy): degrade to untagged pointers or trap
+    policy: DegradationPolicy = DEFAULT_POLICY
+    #: wall-clock watchdog for one run (seconds; None disables).  Checked
+    #: coarsely by the interpreter; raises WorkloadTimeout, not a trap.
+    wall_clock_timeout: Optional[float] = None
 
 
 @dataclass
@@ -128,9 +135,19 @@ class Machine:
 
     # -- run harness ---------------------------------------------------------------
 
-    def run(self, entry: Optional[str] = None) -> RunResult:
-        """Execute the program to completion, trap, or instruction limit."""
+    def run(self, entry: Optional[str] = None,
+            timeout_seconds: Optional[float] = None) -> RunResult:
+        """Execute the program to completion, trap, or instruction limit.
+
+        ``timeout_seconds`` (or ``config.wall_clock_timeout``) arms the
+        wall-clock watchdog; on expiry a :class:`WorkloadTimeout`
+        propagates (it is *not* a guest trap, so it is never reported as
+        a detection) with finalized stats attached.
+        """
         entry = entry or self.program.entry
+        timeout = (timeout_seconds if timeout_seconds is not None
+                   else self.config.wall_clock_timeout)
+        self.interp.arm_deadline(timeout)
         old_limit = sys.getrecursionlimit()
         sys.setrecursionlimit(40_000)
         exit_code: Optional[int] = None
@@ -144,6 +161,10 @@ class Machine:
             exit_code = exc.code
         except SimTrap as exc:
             trap = exc
+        except WorkloadTimeout as exc:
+            self._finalize_stats()
+            exc.stats = self.stats
+            raise
         finally:
             sys.setrecursionlimit(old_limit)
         self._finalize_stats()
@@ -173,8 +194,6 @@ def run_source(source: str, options=None,
     program = compile_source(source, options)
     config = machine_config or MachineConfig(no_promote=options.no_promote)
     if options.no_promote and not config.no_promote:
-        config = MachineConfig(hierarchy=config.hierarchy, ifp=config.ifp,
-                               layout=config.layout, no_promote=True,
-                               mac_key=config.mac_key,
-                               max_instructions=config.max_instructions)
+        from dataclasses import replace
+        config = replace(config, no_promote=True)
     return Machine(program, config).run()

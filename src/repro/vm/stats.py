@@ -49,6 +49,9 @@ class RunStats:
     heap_objects: int = 0
     heap_objects_lt: int = 0
     heap_frees: int = 0
+    #: allocations downgraded to a weaker scheme / untagged pointer when
+    #: a fixed-size metadata resource ran out (see repro.resil.policy)
+    degraded_allocs: int = 0
 
     # -- attached at end of run -----------------------------------------------------
     ifp: Optional[IFPUnitStats] = None
