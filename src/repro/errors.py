@@ -11,8 +11,30 @@ host-side tooling (bad mini-C source, compiler misuse) derive from
 from __future__ import annotations
 
 
+def _rebuild_error(cls, args, state):
+    """Unpickle helper: rebuild without re-running ``cls.__init__``.
+
+    Most exceptions in this hierarchy take richer constructor
+    signatures than their ``args`` tuple (which holds only the rendered
+    message), so the default ``Exception`` pickling — ``cls(*args)`` —
+    either crashes on required parameters (``WorkloadTrapped``) or
+    silently drops attributes (``MemoryFault.address``).  Rebuilding
+    from ``__dict__`` restores every attribute exactly, which the
+    ``repro.par`` worker pool relies on to ship typed failures across
+    process boundaries.
+    """
+    exc = cls.__new__(cls)
+    Exception.__init__(exc, *args)
+    exc.__dict__.update(state)
+    return exc
+
+
 class ReproError(Exception):
     """Base class for all errors raised by this package."""
+
+    def __reduce__(self):
+        return (_rebuild_error,
+                (type(self), self.args, dict(self.__dict__)))
 
 
 # ---------------------------------------------------------------------------

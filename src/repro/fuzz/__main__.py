@@ -14,6 +14,10 @@ Examples::
 
     # re-run a persisted failure, verbatim from its seed
     python -m repro.fuzz --replay corpus/<name>.json
+
+    # the same campaign sharded across 4 worker processes, resumable
+    python -m repro.fuzz --iterations 200 --seed 0 --jobs 4 \\
+        --checkpoint ckpt-fuzz
 """
 
 from __future__ import annotations
@@ -67,6 +71,21 @@ def main(argv=None) -> int:
                         metavar="SECONDS",
                         help="base of the exponential retry backoff "
                              "(default 0.1)")
+    parser.add_argument("--jobs", "-j", type=int, default=1,
+                        help="worker processes; >1 shards the campaign "
+                             "via repro.par (default 1, sequential)")
+    parser.add_argument("--shard-size", type=int, default=0,
+                        help="iterations per shard when sharded "
+                             "(default: auto, 4 shards per worker)")
+    parser.add_argument("--checkpoint", type=str, metavar="DIR",
+                        help="resumable checkpoint directory (implies "
+                             "the sharded path even at --jobs 1)")
+    parser.add_argument("--shard-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock budget per shard attempt "
+                             "(sharded path only)")
+    parser.add_argument("--shard-retries", type=int, default=2,
+                        help="requeues per failed shard (default 2)")
     parser.add_argument("--replay", type=str, metavar="JSON",
                         help="re-run one corpus entry verbatim")
     parser.add_argument("--metrics-out", type=str, metavar="JSON",
@@ -90,26 +109,50 @@ def main(argv=None) -> int:
     if unknown:
         parser.error(f"unknown configuration(s): {', '.join(unknown)}")
 
-    stats = run_fuzz(
-        iterations=args.iterations, seed=args.seed, configs=configs,
-        start=args.start, clean=not args.inject_only,
-        inject=not args.no_inject, corpus_dir=args.corpus,
-        minimize=not args.no_minimize,
-        max_attacks_per_program=args.max_attacks,
-        plant_bug=args.plant_bug, log=log,
-        progress_every=0 if args.quiet else 25,
-        timeout_seconds=args.timeout, retries=args.retries,
-        backoff_base=args.backoff)
+    ok = True
+    if args.jobs > 1 or args.checkpoint:
+        from repro.par.engine import parallel_fuzz, plan_fuzz
+        plan = plan_fuzz(
+            args.iterations, args.seed, configs=configs,
+            start=args.start, clean=not args.inject_only,
+            inject=not args.no_inject, corpus_dir=args.corpus,
+            minimize=not args.no_minimize,
+            max_attacks=args.max_attacks, plant_bug=args.plant_bug,
+            timeout_seconds=args.timeout, retries=args.retries,
+            backoff_base=args.backoff, jobs=args.jobs,
+            shard_size=args.shard_size)
+        stats, outcome = parallel_fuzz(
+            plan, jobs=args.jobs, checkpoint_dir=args.checkpoint,
+            shard_timeout=args.shard_timeout,
+            shard_retries=args.shard_retries, log=log)
+        if not args.quiet:
+            print(outcome.summary())
+        ok = outcome.ok
+    else:
+        stats = run_fuzz(
+            iterations=args.iterations, seed=args.seed, configs=configs,
+            start=args.start, clean=not args.inject_only,
+            inject=not args.no_inject, corpus_dir=args.corpus,
+            minimize=not args.no_minimize,
+            max_attacks_per_program=args.max_attacks,
+            plant_bug=args.plant_bug, log=log,
+            progress_every=0 if args.quiet else 25,
+            timeout_seconds=args.timeout, retries=args.retries,
+            backoff_base=args.backoff)
     print(stats.summary())
     if args.metrics_out:
         from repro.obs.metrics import metrics_document, write_metrics
+        # The config/payload deliberately exclude jobs and pool
+        # accounting: a --jobs N document must compare equal to the
+        # --jobs 1 document for the same seed (the CI determinism
+        # gate diffs them with `python -m repro.par diff`).
         path = write_metrics(args.metrics_out, metrics_document(
             "fuzz",
             {"seed": args.seed, "iterations": args.iterations,
              "configs": ",".join(configs)},
             stats.metrics()))
         print(f"metrics written to {path}")
-    return 0 if stats.ok else 1
+    return 0 if stats.ok and ok else 1
 
 
 if __name__ == "__main__":

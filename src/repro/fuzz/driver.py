@@ -57,6 +57,23 @@ class FailureRecord:
     #: trap-forensics dump written next to the corpus entry, if any
     forensics_path: str = ""
 
+    def to_dict(self) -> dict:
+        return {
+            "entry": self.entry.to_dict(),
+            "json_path": self.json_path,
+            "minimized_lines": self.minimized_lines,
+            "original_lines": self.original_lines,
+            "forensics_path": self.forensics_path,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FailureRecord":
+        return cls(entry=CorpusEntry.from_dict(data["entry"]),
+                   json_path=data["json_path"],
+                   minimized_lines=data["minimized_lines"],
+                   original_lines=data["original_lines"],
+                   forensics_path=data.get("forensics_path", ""))
+
 
 @dataclass
 class FuzzStats:
@@ -158,6 +175,53 @@ class FuzzStats:
                 for (config, trap), count
                 in sorted(self.trap_histogram.items())},
         }
+
+    def to_dict(self) -> dict:
+        """Full JSON form — lossless (unlike :meth:`metrics`, which is
+        the schema-v1 numeric subset).  The shape parallel shard
+        results travel in and checkpoints persist."""
+        return {
+            "seed": self.seed, "iterations": self.iterations,
+            "configs": list(self.configs), "programs": self.programs,
+            "executions": self.executions,
+            "clean_runs": self.clean_runs,
+            "attack_runs": self.attack_runs,
+            "attacks_injected": self.attacks_injected,
+            "attacks_detectable": self.attacks_detectable,
+            "attacks_detected": self.attacks_detected,
+            "expected_evasions": self.expected_evasions,
+            "evasions_confirmed": self.evasions_confirmed,
+            "reseed_retries": self.reseed_retries,
+            "timeouts": self.timeouts,
+            "trap_histogram": [
+                [config, trap, count]
+                for (config, trap), count
+                in sorted(self.trap_histogram.items())],
+            "failures": [record.to_dict()
+                         for record in self.failures],
+            "elapsed": self.elapsed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FuzzStats":
+        stats = cls(
+            seed=data["seed"], iterations=data["iterations"],
+            configs=list(data["configs"]), programs=data["programs"],
+            executions=data["executions"],
+            clean_runs=data["clean_runs"],
+            attack_runs=data["attack_runs"],
+            attacks_injected=data["attacks_injected"],
+            attacks_detectable=data["attacks_detectable"],
+            attacks_detected=data["attacks_detected"],
+            expected_evasions=data["expected_evasions"],
+            evasions_confirmed=data["evasions_confirmed"],
+            reseed_retries=data["reseed_retries"],
+            timeouts=data["timeouts"], elapsed=data["elapsed"])
+        for config, trap, count in data["trap_histogram"]:
+            stats.trap_histogram[(config, trap)] = count
+        stats.failures = [FailureRecord.from_dict(record)
+                          for record in data["failures"]]
+        return stats
 
 
 # ---------------------------------------------------------------------------

@@ -12,6 +12,9 @@ Examples::
     # trap forensics demo: a forced intra-object overflow
     python -m repro.obs forensics
 
+    # per-worker utilization of a sharded campaign (repro.par)
+    python -m repro.obs report --par-events ckpt/events.jsonl
+
     # validate metrics JSON against the schema (CI does this)
     python -m repro.obs validate BENCH_fuzz_throughput.json
 """
@@ -47,7 +50,71 @@ int main(void) {
 """
 
 
+def render_pool_events(records) -> str:
+    """Per-worker utilization from a repro.par shard-event stream.
+
+    ``records`` is an iterable of event dicts (the ``events.jsonl``
+    rows a checkpointed/evented pool run writes): ``shard_start``,
+    ``shard_done``, ``shard_retry`` and ``steal`` kinds are consumed,
+    anything else is ignored so the stream can be mixed.
+    """
+    workers: dict = {}
+    wall = 0.0
+    done = retries = steals = failures = 0
+
+    def slot(worker: int) -> dict:
+        return workers.setdefault(
+            worker, {"busy": 0.0, "done": 0, "steals": 0, "retries": 0})
+
+    for record in records:
+        kind = record.get("kind")
+        if kind not in ("shard_start", "shard_done", "shard_retry",
+                        "steal"):
+            continue
+        wall = max(wall, float(record.get("t", 0.0)))
+        if kind == "shard_done":
+            entry = slot(record["worker"])
+            entry["busy"] += float(record.get("seconds", 0.0))
+            if record.get("status") == "ok":
+                entry["done"] += 1
+                done += 1
+            else:
+                failures += 1
+        elif kind == "shard_retry":
+            retries += 1
+            if record.get("worker", -1) >= 0:
+                slot(record["worker"])["retries"] += 1
+        elif kind == "steal":
+            steals += 1
+            slot(record["worker"])["steals"] += 1
+    if not workers:
+        return "no shard events found"
+    lines = [f"pool: {done} shards ok, {failures} failed attempts, "
+             f"{retries} retries, {steals} steals "
+             f"({wall:.1f}s wall)"]
+    denominator = wall or 1e-9
+    for worker in sorted(workers):
+        entry = workers[worker]
+        lines.append(
+            f"  worker {worker}: {entry['done']} shards, "
+            f"busy {entry['busy']:.1f}s "
+            f"({100.0 * entry['busy'] / denominator:.0f}%), "
+            f"{entry['steals']} steals, {entry['retries']} retries")
+    return "\n".join(lines)
+
+
 def _cmd_report(args) -> int:
+    if args.par_events:
+        try:
+            with open(args.par_events) as handle:
+                records = [json.loads(line) for line in handle
+                           if line.strip()]
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"cannot read {args.par_events}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(render_pool_events(records))
+        return 0
     from repro.eval.harness import run_workload
     from repro.workloads import WORKLOADS
     workload = WORKLOADS.get(args.workload)
@@ -136,6 +203,10 @@ def main(argv=None) -> int:
                         help="write schema-v1 metrics JSON here")
     report.add_argument("--prometheus", action="store_true",
                         help="also print Prometheus text format")
+    report.add_argument("--par-events", metavar="JSONL",
+                        help="instead of running a workload, render "
+                             "per-worker utilization from a repro.par "
+                             "events.jsonl stream")
     report.set_defaults(func=_cmd_report)
 
     forensics = sub.add_parser(

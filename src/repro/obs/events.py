@@ -155,10 +155,63 @@ class FaultEvent(Event):
     detail: str         #: human-readable description of the perturbation
 
 
+@dataclass(frozen=True)
+class ShardStartEvent(Event):
+    """A worker began executing one campaign shard (repro.par)."""
+
+    kind: ClassVar[str] = "shard_start"
+
+    shard_id: int
+    worker: int         #: worker slot executing the shard
+    attempt: int        #: 0-based execution attempt
+    t: float            #: seconds since the pool started
+
+
+@dataclass(frozen=True)
+class ShardDoneEvent(Event):
+    """One shard reached a terminal state for this attempt."""
+
+    kind: ClassVar[str] = "shard_done"
+
+    shard_id: int
+    worker: int
+    attempt: int
+    t: float
+    status: str         #: 'ok' | 'error' | 'timeout' | 'crash' | 'failed'
+    seconds: float      #: wall-clock spent on this attempt
+
+
+@dataclass(frozen=True)
+class ShardRetryEvent(Event):
+    """A failed-retryable shard was requeued with backoff."""
+
+    kind: ClassVar[str] = "shard_retry"
+
+    shard_id: int
+    worker: int         #: worker whose attempt failed (-1 if unknown)
+    attempt: int        #: the attempt that failed
+    t: float
+    reason: str         #: 'error' | 'timeout' | 'crash'
+    delay: float        #: backoff before the shard re-enters the queue
+
+
+@dataclass(frozen=True)
+class StealEvent(Event):
+    """A worker took a shard preferred to a different worker slot."""
+
+    kind: ClassVar[str] = "steal"
+
+    shard_id: int
+    worker: int         #: the thief
+    preferred: int      #: the slot the plan assigned the shard to
+    t: float
+
+
 EVENT_KINDS = tuple(cls.kind for cls in (
     PromoteEvent, CheckEvent, BoundsSpillEvent, MetadataFetchEvent,
     MacVerifyEvent, NarrowEvent, SchemeAssignEvent, AllocEvent, TrapEvent,
-    DegradeEvent, FaultEvent))
+    DegradeEvent, FaultEvent, ShardStartEvent, ShardDoneEvent,
+    ShardRetryEvent, StealEvent))
 
 
 class EventBus:

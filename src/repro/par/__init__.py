@@ -1,0 +1,63 @@
+"""Sharded parallel campaign execution: ``repro.par``.
+
+The layer every large-scale experiment runs on.  A campaign — fuzz
+iterations, resilience-matrix cells, Juliet cases, bench
+configurations — is deterministically split into independent shards
+(splitmix64 seed-splitting), executed by a crash-recovering
+multiprocessing pool with a work-stealing queue and per-shard
+wall-clock budgets, and merged back into outputs byte-identical to a
+sequential run of the same seed (timing fields aside).
+
+==============  ======================================================
+module          role
+==============  ======================================================
+`seeds`         the repo's one splitmix64: retry reseeding, shard seed
+                namespaces, the shared backoff schedule
+`plan`          :class:`ShardPlan` / :class:`ShardSpec` — deterministic
+                order-preserving campaign splitting
+`pool`          the worker pool: work stealing, budgets, requeue-with-
+                backoff crash recovery, typed :class:`ShardFailure`
+`checkpoint`    resumable on-disk manifest + per-shard result files
+`merge`         fold shard results into sequential-identical artifacts;
+                timing-insensitive document diffing
+`campaigns`     worker-side shard runners per campaign kind
+`engine`        plan → execute → merge entry points for the CLIs
+==============  ======================================================
+"""
+
+from repro.par.seeds import (
+    GOLDEN_GAMMA, backoff_delay, derive_seed, shard_seed, splitmix64,
+)
+from repro.par.plan import (
+    PLAN_KINDS, ShardPlan, ShardSpec, default_shard_count,
+    plan_indices, plan_range, split_evenly,
+)
+from repro.par.checkpoint import Checkpoint, CheckpointMismatch
+from repro.par.pool import (
+    PlanResult, ShardFailure, WorkerStats, resolve_runner, run_plan,
+)
+from repro.par.merge import (
+    canonical_metrics, diff_documents, merge_bench, merge_campaign,
+    merge_fuzz_stats, merge_juliet,
+)
+from repro.par.campaigns import SHARD_RUNNERS, runner_for
+from repro.par.engine import (
+    parallel_bench, parallel_fuzz, parallel_juliet, parallel_resil,
+    plan_bench, plan_fuzz, plan_juliet, plan_resil, resume_checkpoint,
+)
+
+__all__ = [
+    "GOLDEN_GAMMA", "backoff_delay", "derive_seed", "shard_seed",
+    "splitmix64",
+    "PLAN_KINDS", "ShardPlan", "ShardSpec", "default_shard_count",
+    "plan_indices", "plan_range", "split_evenly",
+    "Checkpoint", "CheckpointMismatch",
+    "PlanResult", "ShardFailure", "WorkerStats", "resolve_runner",
+    "run_plan",
+    "canonical_metrics", "diff_documents", "merge_bench",
+    "merge_campaign", "merge_fuzz_stats", "merge_juliet",
+    "SHARD_RUNNERS", "runner_for",
+    "parallel_bench", "parallel_fuzz", "parallel_juliet",
+    "parallel_resil", "plan_bench", "plan_fuzz", "plan_juliet",
+    "plan_resil", "resume_checkpoint",
+]

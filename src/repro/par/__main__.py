@@ -1,0 +1,226 @@
+"""CLI entry point: ``python -m repro.par``.
+
+Ad-hoc sharded campaign execution plus the determinism tooling the CI
+gates use.
+
+Examples::
+
+    # the Juliet suite across 4 workers, resumable
+    python -m repro.par juliet --jobs 4 --checkpoint ckpt-juliet
+
+    # ad-hoc sharded bench sweep, merged into one metrics document
+    python -m repro.par bench --workloads treeadd,anagram \\
+        --configs baseline,wrapped,subheap --jobs 2 --out sweep.json
+
+    # resume any interrupted checkpointed campaign
+    python -m repro.par resume --checkpoint ckpt-juliet --jobs 4
+
+    # CI determinism gate: --jobs N output == --jobs 1 output
+    python -m repro.par diff metrics-j1.json metrics-j4.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.par.engine import (
+    parallel_bench, parallel_juliet, plan_bench, plan_juliet,
+    resume_checkpoint,
+)
+from repro.par.merge import diff_documents
+
+
+def _log_for(args):
+    return (lambda message: None) if args.quiet else print
+
+
+def _print_outcome(outcome, quiet: bool) -> None:
+    if not quiet:
+        print(outcome.summary())
+
+
+def _cmd_juliet(args) -> int:
+    plan = plan_juliet(seed=args.seed, allocator=args.allocator,
+                       jobs=args.jobs, shard_size=args.shard_size)
+    report, outcome = parallel_juliet(
+        plan, jobs=args.jobs, checkpoint_dir=args.checkpoint,
+        shard_timeout=args.shard_timeout, shard_retries=args.retries,
+        log=_log_for(args))
+    print(report.summary())
+    _print_outcome(outcome, args.quiet)
+    if args.out:
+        from repro.obs.metrics import metrics_document, write_metrics
+        by_cwe = {cwe: dict(row)
+                  for cwe, row in report.by_cwe().items()}
+        path = write_metrics(args.out, metrics_document(
+            "juliet_parallel",
+            {"seed": args.seed, "allocator": args.allocator},
+            {"total": report.total, "detected": report.detected,
+             "bad_total": report.bad_total,
+             "false_positives": report.false_positives,
+             "good_total": report.good_total, "by_cwe": by_cwe,
+             "pool": outcome.utilization_metrics()}))
+        print(f"metrics written to {path}")
+    return 0 if report.all_passed and outcome.ok else 1
+
+
+def _cmd_bench(args) -> int:
+    workloads = [w.strip() for w in args.workloads.split(",")
+                 if w.strip()]
+    configs = [c.strip() for c in args.configs.split(",") if c.strip()]
+    from repro.eval.configs import CONFIG_NAMES
+    from repro.workloads import WORKLOADS
+    unknown = [w for w in workloads if w not in WORKLOADS]
+    if unknown:
+        print(f"unknown workload(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        return 2
+    unknown = [c for c in configs if c not in CONFIG_NAMES]
+    if unknown:
+        print(f"unknown configuration(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        return 2
+    plan = plan_bench(workloads=workloads, configs=configs,
+                      scale=args.scale,
+                      timeout_seconds=args.shard_timeout,
+                      seed=args.seed, jobs=args.jobs,
+                      shard_size=args.shard_size)
+    cells, outcome = parallel_bench(
+        plan, jobs=args.jobs, checkpoint_dir=args.checkpoint,
+        shard_timeout=args.shard_timeout, shard_retries=args.retries,
+        log=_log_for(args))
+    for key in cells:
+        print(f"  {key:30s} instructions="
+              f"{cells[key].get('total_instructions', 0)}")
+    _print_outcome(outcome, args.quiet)
+    if args.out:
+        from repro.obs.metrics import metrics_document, write_metrics
+        path = write_metrics(args.out, metrics_document(
+            "bench_sweep",
+            {"workloads": ",".join(workloads),
+             "configs": ",".join(configs), "scale": args.scale},
+            {"cells": cells, "pool": outcome.utilization_metrics()}))
+        print(f"metrics written to {path}")
+    return 0 if outcome.ok else 1
+
+
+def _cmd_resume(args) -> int:
+    try:
+        kind, merged, outcome = resume_checkpoint(
+            args.checkpoint, jobs=args.jobs,
+            shard_timeout=args.shard_timeout,
+            shard_retries=args.retries, log=_log_for(args))
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"cannot resume: {exc}", file=sys.stderr)
+        return 2
+    if kind == "fuzz":
+        print(merged.summary())
+        ok = merged.ok
+    elif kind == "resil":
+        print(merged.render())
+        ok = merged.ok
+    elif kind == "juliet":
+        print(merged.summary())
+        ok = merged.all_passed
+    else:
+        print(json.dumps(merged, indent=2, sort_keys=True))
+        ok = True
+    _print_outcome(outcome, args.quiet)
+    return 0 if ok and outcome.ok else 1
+
+
+def _cmd_diff(args) -> int:
+    with open(args.first) as handle:
+        first = json.load(handle)
+    with open(args.second) as handle:
+        second = json.load(handle)
+    differences = diff_documents(first, second,
+                                 ignore_timing=not args.strict_timing)
+    if differences:
+        print(f"{args.first} != {args.second} "
+              f"({len(differences)} difference(s)):")
+        for line in differences[:args.max_diffs]:
+            print(f"  {line}")
+        if len(differences) > args.max_diffs:
+            print(f"  ... {len(differences) - args.max_diffs} more")
+        return 1
+    timing_note = "" if args.strict_timing \
+        else " (timing fields ignored)"
+    print(f"identical: {args.first} == {args.second}{timing_note}")
+    return 0
+
+
+def _add_pool_args(parser) -> None:
+    parser.add_argument("--jobs", "-j", type=int, default=1,
+                        help="worker processes (default 1)")
+    parser.add_argument("--shard-size", type=int, default=0,
+                        help="items per shard (default: auto, "
+                             "4 shards per worker)")
+    parser.add_argument("--checkpoint", metavar="DIR",
+                        help="resumable checkpoint directory")
+    parser.add_argument("--shard-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock budget per shard attempt")
+    parser.add_argument("--retries", type=int, default=2,
+                        help="requeues per failed shard (default 2)")
+    parser.add_argument("--seed", "-s", type=int, default=0,
+                        help="campaign master seed (default 0)")
+    parser.add_argument("--quiet", "-q", action="store_true")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.par",
+        description="Sharded parallel campaign execution for the IFP "
+                    "pipeline.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    juliet = sub.add_parser(
+        "juliet", help="run the Juliet-style suite across workers")
+    juliet.add_argument("--allocator", choices=("wrapped", "subheap"),
+                        default="wrapped")
+    juliet.add_argument("--out", metavar="JSON",
+                        help="write schema-v1 metrics JSON here")
+    _add_pool_args(juliet)
+    juliet.set_defaults(func=_cmd_juliet)
+
+    bench = sub.add_parser(
+        "bench", help="ad-hoc sharded (workload x config) sweep")
+    bench.add_argument("--workloads", default="treeadd,anagram",
+                       help="comma-separated workload list")
+    bench.add_argument("--configs", default="baseline,wrapped,subheap",
+                       help="comma-separated configuration list")
+    bench.add_argument("--scale", type=int, default=1)
+    bench.add_argument("--out", metavar="JSON",
+                       help="write schema-v1 metrics JSON here")
+    _add_pool_args(bench)
+    bench.set_defaults(func=_cmd_bench)
+
+    resume = sub.add_parser(
+        "resume", help="resume a checkpointed campaign of any kind")
+    resume.add_argument("--checkpoint", required=True, metavar="DIR")
+    resume.add_argument("--jobs", "-j", type=int, default=1)
+    resume.add_argument("--shard-timeout", type=float, default=None,
+                        metavar="SECONDS")
+    resume.add_argument("--retries", type=int, default=2)
+    resume.add_argument("--quiet", "-q", action="store_true")
+    resume.set_defaults(func=_cmd_resume)
+
+    diff = sub.add_parser(
+        "diff", help="compare two metrics documents, ignoring "
+                     "wall-clock-derived fields")
+    diff.add_argument("first", metavar="A.json")
+    diff.add_argument("second", metavar="B.json")
+    diff.add_argument("--strict-timing", action="store_true",
+                      help="also compare timing fields")
+    diff.add_argument("--max-diffs", type=int, default=20)
+    diff.set_defaults(func=_cmd_diff)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,191 @@
+"""Resumable on-disk checkpointing for sharded campaigns.
+
+A checkpoint directory holds:
+
+* ``manifest.json`` — the full :class:`~repro.par.plan.ShardPlan`, its
+  fingerprint, and the per-shard status table
+  (``pending`` → ``running`` → ``done`` | ``failed``);
+* ``shard-<id>.json`` — one result document per completed shard;
+* ``events.jsonl`` — the pool's shard/steal event stream (written by
+  the engine when events are enabled; consumed by
+  ``python -m repro.obs report --par-events``).
+
+The manifest is rewritten atomically (temp file + ``os.replace``) after
+every state change, so a campaign killed at any instant resumes from
+the last completed shard.  A resume validates the plan fingerprint:
+shards from two different campaigns can never be mixed, and a plan
+whose parameters changed (different seed, configs, budgets, …) is a
+*different campaign* by construction.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Set
+
+from repro.par.plan import ShardPlan
+
+MANIFEST_SCHEMA = "repro.par.checkpoint/v1"
+MANIFEST_NAME = "manifest.json"
+EVENTS_NAME = "events.jsonl"
+
+
+class CheckpointMismatch(ValueError):
+    """The manifest on disk belongs to a different campaign plan."""
+
+
+def _atomic_write_json(path: str, payload: Dict[str, Any]) -> None:
+    tmp = path + ".tmp"
+    with open(tmp, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+
+
+class Checkpoint:
+    """Manifest + per-shard result files under one directory."""
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        self.manifest_path = os.path.join(directory, MANIFEST_NAME)
+        self.events_path = os.path.join(directory, EVENTS_NAME)
+        self._manifest: Optional[Dict[str, Any]] = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def exists(self) -> bool:
+        return os.path.exists(self.manifest_path)
+
+    def open(self, plan: ShardPlan) -> Set[int]:
+        """Bind this checkpoint to ``plan``; returns the set of shard
+        ids already completed (to be restored instead of re-run).
+
+        A fresh directory gets a new manifest; an existing manifest is
+        validated against the plan fingerprint and its ``done`` shards
+        are returned.  ``running``/``failed`` shards from an interrupted
+        or partially-failed run are demoted to ``pending`` so the pool
+        re-executes them.
+        """
+        os.makedirs(self.directory, exist_ok=True)
+        fingerprint = plan.fingerprint()
+        if self.exists():
+            manifest = self._load()
+            if manifest.get("fingerprint") != fingerprint:
+                raise CheckpointMismatch(
+                    f"{self.manifest_path}: manifest fingerprint "
+                    f"{manifest.get('fingerprint')!r} does not match "
+                    f"this campaign ({fingerprint}); refusing to mix "
+                    f"shards from different campaigns")
+            completed: Set[int] = set()
+            for key, row in manifest["shards"].items():
+                if row["status"] == "done":
+                    completed.add(int(key))
+                else:
+                    row["status"] = "pending"
+                    row["error"] = None
+            self._manifest = manifest
+            self._flush()
+            return completed
+        self._manifest = {
+            "schema": MANIFEST_SCHEMA,
+            "fingerprint": fingerprint,
+            "plan": plan.to_dict(),
+            "shards": {
+                str(shard.shard_id): {
+                    "status": "pending", "attempts": 0,
+                    "result": None, "error": None,
+                }
+                for shard in plan.shards
+            },
+        }
+        self._flush()
+        return set()
+
+    def load_plan(self) -> ShardPlan:
+        """Reconstruct the campaign plan from the manifest (used by
+        ``python -m repro.par resume``)."""
+        return ShardPlan.from_dict(self._load()["plan"])
+
+    # -- state transitions --------------------------------------------------
+
+    def mark_running(self, shard_id: int, attempt: int) -> None:
+        row = self._row(shard_id)
+        row["status"] = "running"
+        row["attempts"] = attempt + 1
+        self._flush()
+
+    def record_result(self, shard_id: int, attempts: int,
+                      result: Dict[str, Any]) -> str:
+        """Persist one shard result and mark the shard done."""
+        path = self.result_path(shard_id)
+        _atomic_write_json(path, {
+            "schema": "repro.par.shard_result/v1",
+            "shard_id": shard_id, "attempts": attempts,
+            "result": result,
+        })
+        row = self._row(shard_id)
+        row["status"] = "done"
+        row["attempts"] = attempts
+        row["result"] = os.path.basename(path)
+        row["error"] = None
+        self._flush()
+        return path
+
+    def record_failure(self, shard_id: int, attempts: int,
+                       reason: str, detail: str) -> None:
+        row = self._row(shard_id)
+        row["status"] = "failed"
+        row["attempts"] = attempts
+        row["error"] = {"reason": reason, "detail": detail}
+        self._flush()
+
+    # -- reads --------------------------------------------------------------
+
+    def result_path(self, shard_id: int) -> str:
+        return os.path.join(self.directory, f"shard-{shard_id:04d}.json")
+
+    def load_result(self, shard_id: int) -> Dict[str, Any]:
+        with open(self.result_path(shard_id)) as handle:
+            document = json.load(handle)
+        if document.get("shard_id") != shard_id:
+            raise ValueError(
+                f"{self.result_path(shard_id)}: shard_id "
+                f"{document.get('shard_id')!r} != {shard_id}")
+        return document["result"]
+
+    def statuses(self) -> Dict[int, str]:
+        return {int(key): row["status"]
+                for key, row in self._load()["shards"].items()}
+
+    def failures(self) -> List[Dict[str, Any]]:
+        return [
+            {"shard_id": int(key), "attempts": row["attempts"],
+             **row["error"]}
+            for key, row in self._load()["shards"].items()
+            if row["status"] == "failed" and row["error"]]
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _row(self, shard_id: int) -> Dict[str, Any]:
+        manifest = self._load()
+        try:
+            return manifest["shards"][str(shard_id)]
+        except KeyError:
+            raise KeyError(f"shard {shard_id} not in manifest "
+                           f"{self.manifest_path}") from None
+
+    def _load(self) -> Dict[str, Any]:
+        if self._manifest is None:
+            with open(self.manifest_path) as handle:
+                manifest = json.load(handle)
+            if manifest.get("schema") != MANIFEST_SCHEMA:
+                raise ValueError(
+                    f"{self.manifest_path}: unknown schema "
+                    f"{manifest.get('schema')!r}")
+            self._manifest = manifest
+        return self._manifest
+
+    def _flush(self) -> None:
+        assert self._manifest is not None
+        _atomic_write_json(self.manifest_path, self._manifest)

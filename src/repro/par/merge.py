@@ -1,0 +1,196 @@
+"""Folding per-shard results back into sequential-identical outputs.
+
+The determinism contract: for every campaign kind, merging the shard
+results *in shard order* produces the same artifact a one-process run
+of the same seed would have produced — same corpus entries, same
+resilience cells in the same order, same counters.  The only fields
+that can legitimately differ are wall-clock derived (elapsed seconds,
+throughput rates, timestamps, per-worker utilization); those are
+enumerated in :data:`TIMING_KEYS`/:data:`TIMING_SUFFIXES` and excluded
+by :func:`canonical_metrics`, which is what
+``python -m repro.par diff`` and the CI determinism gates compare.
+"""
+
+from __future__ import annotations
+
+import copy
+from collections import Counter
+from typing import Any, Dict, List, Optional, Sequence
+
+#: metric/document keys that measure wall-clock, not campaign content
+TIMING_KEYS = frozenset({
+    "timestamp", "elapsed", "elapsed_seconds", "wall_seconds",
+    "busy_seconds", "utilization", "throughput",
+})
+#: key suffixes that denote rates derived from wall-clock
+TIMING_SUFFIXES = ("_per_second", "_seconds")
+
+
+def _is_timing_key(key: str) -> bool:
+    return key in TIMING_KEYS \
+        or any(key.endswith(suffix) for suffix in TIMING_SUFFIXES)
+
+
+def canonical_metrics(doc: Any) -> Any:
+    """Deep-copy ``doc`` with every wall-clock-derived key removed, at
+    any nesting depth.  Two runs of the same campaign seed must be
+    *equal* under this projection regardless of ``--jobs``."""
+    if isinstance(doc, dict):
+        return {key: canonical_metrics(value)
+                for key, value in doc.items()
+                if not (isinstance(key, str) and _is_timing_key(key))}
+    if isinstance(doc, list):
+        return [canonical_metrics(item) for item in doc]
+    return copy.deepcopy(doc)
+
+
+def diff_documents(a: Any, b: Any, *, ignore_timing: bool = True,
+                   path: str = "$") -> List[str]:
+    """Structural diff of two JSON documents; returns human-readable
+    difference lines (empty = equal).  Timing keys are projected out
+    first unless ``ignore_timing=False``."""
+    if ignore_timing:
+        return diff_documents(canonical_metrics(a),
+                              canonical_metrics(b),
+                              ignore_timing=False, path=path)
+    differences: List[str] = []
+    if isinstance(a, dict) and isinstance(b, dict):
+        for key in sorted(set(a) | set(b)):
+            if key not in a:
+                differences.append(f"{path}.{key}: only in second")
+            elif key not in b:
+                differences.append(f"{path}.{key}: only in first")
+            else:
+                differences.extend(diff_documents(
+                    a[key], b[key], ignore_timing=False,
+                    path=f"{path}.{key}"))
+        return differences
+    if isinstance(a, list) and isinstance(b, list):
+        if len(a) != len(b):
+            differences.append(
+                f"{path}: length {len(a)} != {len(b)}")
+            return differences
+        for index, (left, right) in enumerate(zip(a, b)):
+            differences.extend(diff_documents(
+                left, right, ignore_timing=False,
+                path=f"{path}[{index}]"))
+        return differences
+    if a != b or type(a) is not type(b):
+        differences.append(f"{path}: {a!r} != {b!r}")
+    return differences
+
+
+# ---------------------------------------------------------------------------
+# Fuzz campaign merge
+# ---------------------------------------------------------------------------
+
+def merge_fuzz_stats(shard_results: Sequence[Optional[Dict[str, Any]]],
+                     *, seed: int,
+                     configs: Sequence[str]) -> "FuzzStats":
+    """Fold per-shard ``FuzzStats.to_dict()`` payloads (in shard order)
+    into one :class:`~repro.fuzz.driver.FuzzStats`.
+
+    Counters sum, trap histograms sum, and failure records concatenate
+    — shard order *is* iteration order because the plan splits the
+    iteration range contiguously, so the merged failure list matches a
+    sequential run record-for-record.  ``None`` entries (shards that
+    exhausted their retry budget) are skipped; the caller reports them
+    as typed :class:`~repro.par.pool.ShardFailure` results.
+    """
+    from repro.fuzz.driver import FuzzStats
+
+    merged = FuzzStats(seed=seed, configs=list(configs))
+    histogram: Counter = Counter()
+    for payload in shard_results:
+        if payload is None:
+            continue
+        shard = FuzzStats.from_dict(payload)
+        merged.iterations += shard.iterations
+        merged.programs += shard.programs
+        merged.executions += shard.executions
+        merged.clean_runs += shard.clean_runs
+        merged.attack_runs += shard.attack_runs
+        merged.attacks_injected += shard.attacks_injected
+        merged.attacks_detectable += shard.attacks_detectable
+        merged.attacks_detected += shard.attacks_detected
+        merged.expected_evasions += shard.expected_evasions
+        merged.evasions_confirmed += shard.evasions_confirmed
+        merged.reseed_retries += shard.reseed_retries
+        merged.timeouts += shard.timeouts
+        histogram.update(shard.trap_histogram)
+        merged.failures.extend(shard.failures)
+    merged.trap_histogram = histogram
+    return merged
+
+
+# ---------------------------------------------------------------------------
+# Resilience campaign merge
+# ---------------------------------------------------------------------------
+
+def merge_campaign(shard_results: Sequence[Optional[Dict[str, Any]]],
+                   *, seed: int, policy_name: str,
+                   workloads: Sequence[str], schemes: Sequence[str],
+                   faults: Sequence[str]) -> "CampaignResult":
+    """Fold per-shard cell lists (in shard order) into one
+    :class:`~repro.resil.matrix.CampaignResult`.
+
+    Shards carry contiguous slices of the
+    :func:`~repro.resil.matrix.enumerate_cells` order, so plain
+    concatenation reproduces the sequential cell order exactly.
+    """
+    from repro.resil.matrix import CampaignResult, CellResult
+
+    campaign = CampaignResult(
+        seed=seed, policy_name=policy_name,
+        workloads=list(workloads), schemes=list(schemes),
+        faults=list(faults))
+    for payload in shard_results:
+        if payload is None:
+            continue
+        campaign.cells.extend(CellResult.from_dict(cell)
+                              for cell in payload["cells"])
+    return campaign
+
+
+# ---------------------------------------------------------------------------
+# Juliet suite merge
+# ---------------------------------------------------------------------------
+
+def merge_juliet(shard_results: Sequence[Optional[Dict[str, Any]]]
+                 ) -> "JulietReport":
+    """Fold per-shard case verdicts into one
+    :class:`~repro.juliet.runner.JulietReport`.
+
+    Cases are regenerated deterministically on the merge side (they are
+    a pure function of nothing but the generator code), so shard
+    payloads only carry ``(case_index, trapped, trap)`` triples.
+    """
+    from repro.juliet.cases import generate_cases
+    from repro.juliet.runner import CaseResult, JulietReport
+
+    cases = generate_cases()
+    report = JulietReport()
+    for payload in shard_results:
+        if payload is None:
+            continue
+        for row in payload["cases"]:
+            case = cases[row["case_index"]]
+            report.results.append(CaseResult(
+                case=case, trapped=row["trapped"], trap=row["trap"]))
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Bench sweep merge
+# ---------------------------------------------------------------------------
+
+def merge_bench(shard_results: Sequence[Optional[Dict[str, Any]]]
+                ) -> Dict[str, Any]:
+    """Fold per-shard ``{cell_key: metrics}`` maps into one metrics
+    mapping keyed ``<workload>/<config>``."""
+    merged: Dict[str, Any] = {}
+    for payload in shard_results:
+        if payload is None:
+            continue
+        merged.update(payload["cells"])
+    return dict(sorted(merged.items()))

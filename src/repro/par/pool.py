@@ -1,0 +1,580 @@
+"""The multiprocessing worker pool behind every ``--jobs N`` flag.
+
+Execution model
+===============
+
+The parent owns the schedule: it dispatches one shard at a time into
+each worker's private task queue, so shard ownership is a parent-side
+fact established at dispatch — never inferred from worker messages a
+dying process could fail to send.  The plan assigns each shard a
+*preferred* worker slot (round-robin, so a perfectly balanced plan
+maps onto static assignment), but any idle worker is handed the next
+pending shard; when that worker is not the preferred slot the pool
+emits a :class:`~repro.obs.events.StealEvent`.  Fast workers therefore
+drain slow workers' backlogs automatically.
+
+Crash recovery
+==============
+
+Three failure modes mark a shard *failed-retryable*:
+
+* the runner **raises** — the worker reports the exception and stays
+  alive;
+* the worker **dies** (``os._exit``, segfault, OOM-kill) — detected by
+  process liveness polling, and a replacement worker is spawned;
+* the shard **exceeds its wall-clock budget** — the parent terminates
+  the worker, spawns a replacement, and requeues.
+
+A failed-retryable shard re-enters the queue up to ``retries`` times
+with the deterministic exponential backoff shared with
+:mod:`repro.resil.retry` (:func:`repro.par.seeds.backoff_delay`).
+Backoff is *scheduled*, not slept: the parent keeps draining other
+shards while a requeued shard waits out its delay.  A shard that
+exhausts its budget is recorded as a typed :class:`ShardFailure`
+instead of sinking the campaign.
+
+Retries re-execute the *same* shard spec (same seed): a shard's output
+must stay a pure function of its spec or the merge layer's
+byte-identical guarantee dies.  Seed *derivation* on retry only happens
+one level down, inside runners that own a cooperative timeout (the fuzz
+driver's per-iteration watchdog) — never at the shard level.
+"""
+
+from __future__ import annotations
+
+import importlib
+import queue as queue_mod
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.obs.events import (
+    EventBus, ShardDoneEvent, ShardRetryEvent, ShardStartEvent,
+    StealEvent,
+)
+from repro.par.checkpoint import Checkpoint
+from repro.par.plan import ShardPlan, ShardSpec
+from repro.par.seeds import backoff_delay
+
+#: how long the parent blocks on the result queue per scheduling turn
+_POLL_SECONDS = 0.05
+
+
+class ShardRunnerError(RuntimeError):
+    """A shard runner reference could not be resolved."""
+
+
+def resolve_runner(runner_ref: str) -> Callable[[Dict[str, Any], int],
+                                                Dict[str, Any]]:
+    """Resolve a ``"module:function"`` reference to the callable.
+
+    Runners are passed by reference, not by value, so worker processes
+    (including ``spawn``-start ones) import them fresh — the only
+    pickling a task needs is its JSON-scalar shard dict.
+    """
+    module_name, _, func_name = runner_ref.partition(":")
+    if not module_name or not func_name:
+        raise ShardRunnerError(
+            f"runner reference {runner_ref!r} is not 'module:function'")
+    try:
+        module = importlib.import_module(module_name)
+        return getattr(module, func_name)
+    except (ImportError, AttributeError) as exc:
+        raise ShardRunnerError(
+            f"cannot resolve runner {runner_ref!r}: {exc}") from exc
+
+
+@dataclass
+class ShardFailure:
+    """A shard that exhausted its retry budget — a typed campaign
+    result, not an exception: the rest of the campaign still merges."""
+
+    shard_id: int
+    reason: str          #: 'error' | 'timeout' | 'crash'
+    attempts: int
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"shard_id": self.shard_id, "reason": self.reason,
+                "attempts": self.attempts, "detail": self.detail}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ShardFailure":
+        return cls(shard_id=data["shard_id"], reason=data["reason"],
+                   attempts=data["attempts"],
+                   detail=data.get("detail", ""))
+
+
+@dataclass
+class WorkerStats:
+    """Per-worker-slot utilization accounting."""
+
+    worker: int
+    shards_done: int = 0
+    steals: int = 0
+    busy_seconds: float = 0.0
+    respawns: int = 0
+
+
+@dataclass
+class PlanResult:
+    """Everything one pool run produced."""
+
+    results: Dict[int, Dict[str, Any]] = field(default_factory=dict)
+    failures: List[ShardFailure] = field(default_factory=list)
+    workers: List[WorkerStats] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    executed: List[int] = field(default_factory=list)
+    restored: List[int] = field(default_factory=list)
+    retries: int = 0
+    steals: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def ordered_results(self, plan: ShardPlan
+                        ) -> List[Optional[Dict[str, Any]]]:
+        """Shard results in ``shard_id`` order (None for failed shards)
+        — the input shape the merge layer expects."""
+        return [self.results.get(shard.shard_id)
+                for shard in plan.shards]
+
+    def utilization_metrics(self) -> Dict[str, Any]:
+        """Schema-v1 metrics fragment describing pool efficiency."""
+        wall = self.wall_seconds or 1e-9
+        return {
+            "shards_executed": len(self.executed),
+            "shards_restored": len(self.restored),
+            "shard_failures": len(self.failures),
+            "shard_retries": self.retries,
+            "steals": self.steals,
+            "wall_seconds": self.wall_seconds,
+            "workers": {
+                str(w.worker): {
+                    "shards_done": w.shards_done,
+                    "steals": w.steals,
+                    "busy_seconds": w.busy_seconds,
+                    "utilization": w.busy_seconds / wall,
+                    "respawns": w.respawns,
+                }
+                for w in self.workers},
+        }
+
+    def summary(self) -> str:
+        lines = [f"repro.par: {len(self.executed)} shards executed, "
+                 f"{len(self.restored)} restored from checkpoint, "
+                 f"{self.retries} retries, {self.steals} steals, "
+                 f"{len(self.failures)} failed "
+                 f"({self.wall_seconds:.1f}s)"]
+        wall = self.wall_seconds or 1e-9
+        for w in self.workers:
+            lines.append(
+                f"  worker {w.worker}: {w.shards_done} shards, "
+                f"busy {w.busy_seconds:.1f}s "
+                f"({100.0 * w.busy_seconds / wall:.0f}%), "
+                f"{w.steals} steals"
+                + (f", {w.respawns} respawns" if w.respawns else ""))
+        for failure in self.failures:
+            lines.append(f"  FAILED shard {failure.shard_id} "
+                         f"({failure.reason} after {failure.attempts} "
+                         f"attempts): {failure.detail}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+def _worker_main(worker_id: int, runner_ref: str, task_queue,
+                 result_queue) -> None:
+    """Worker loop: execute dispatched tasks until the ``None``
+    sentinel.
+
+    Scheduling is entirely parent-side: each worker has a private task
+    queue the parent dispatches into one shard at a time, so ownership
+    is known at dispatch — a worker that dies can never take a claimed
+    shard's identity with it (there is no claim message to lose).  A
+    runner that raises is reported as an ``error`` message and the
+    worker lives on to take the next task.
+    """
+    runner = resolve_runner(runner_ref)
+    while True:
+        task = task_queue.get()
+        if task is None:
+            return
+        shard_dict, attempt = task
+        shard_id = shard_dict["shard_id"]
+        try:
+            result = runner(shard_dict, attempt)
+        except BaseException as exc:  # noqa: BLE001 — reported, retried
+            result_queue.put(("error", shard_id, worker_id, attempt,
+                              f"{type(exc).__name__}: {exc}"))
+        else:
+            result_queue.put(("done", shard_id, worker_id, attempt,
+                              result))
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _Running:
+    shard: ShardSpec
+    attempt: int
+    worker: int
+    started: float
+
+
+class _Pool:
+    """One pool run: parent-side scheduling state."""
+
+    def __init__(self, plan: ShardPlan, runner_ref: str, *, jobs: int,
+                 shard_timeout: Optional[float], retries: int,
+                 backoff_base: float, checkpoint: Optional[Checkpoint],
+                 bus: Optional[EventBus],
+                 log: Optional[Callable[[str], None]]):
+        self.plan = plan
+        self.runner_ref = runner_ref
+        self.jobs = max(1, jobs)
+        self.shard_timeout = shard_timeout
+        self.retries = max(0, retries)
+        self.backoff_base = backoff_base
+        self.checkpoint = checkpoint
+        self.bus = bus
+        self.log = log or (lambda message: None)
+        self.preferred: Dict[int, int] = {}
+        self.result = PlanResult(
+            workers=[WorkerStats(worker=i) for i in range(self.jobs)])
+
+    # -- events -------------------------------------------------------------
+
+    def _emit(self, event) -> None:
+        if self.bus is not None:
+            self.bus.emit(event)
+
+    def _now(self) -> float:
+        return time.monotonic() - self._t0
+
+    # -- shared outcome handling -------------------------------------------
+
+    def _complete(self, shard: ShardSpec, attempt: int, worker: int,
+                  seconds: float, payload: Dict[str, Any]) -> None:
+        sid = shard.shard_id
+        self.result.results[sid] = payload
+        self.result.executed.append(sid)
+        stats = self.result.workers[worker]
+        stats.shards_done += 1
+        stats.busy_seconds += seconds
+        self._emit(ShardDoneEvent(site=None, shard_id=sid,
+                                  worker=worker, attempt=attempt,
+                                  t=self._now(), status="ok",
+                                  seconds=seconds))
+        if self.checkpoint is not None:
+            self.checkpoint.record_result(sid, attempt + 1, payload)
+
+    def _fail(self, shard: ShardSpec, attempt: int, worker: int,
+              reason: str, detail: str, seconds: float) -> None:
+        """Terminal failure: retries exhausted."""
+        sid = shard.shard_id
+        failure = ShardFailure(shard_id=sid, reason=reason,
+                               attempts=attempt + 1, detail=detail)
+        self.result.failures.append(failure)
+        if worker >= 0:
+            self.result.workers[worker].busy_seconds += seconds
+        self._emit(ShardDoneEvent(site=None, shard_id=sid,
+                                  worker=worker, attempt=attempt,
+                                  t=self._now(), status=reason,
+                                  seconds=seconds))
+        if self.checkpoint is not None:
+            self.checkpoint.record_failure(sid, attempt + 1, reason,
+                                           detail)
+        self.log(f"[repro.par] shard {sid} FAILED ({reason}) after "
+                 f"{attempt + 1} attempts: {detail}")
+
+    def _started(self, shard: ShardSpec, attempt: int,
+                 worker: int) -> None:
+        sid = shard.shard_id
+        self._emit(ShardStartEvent(site=None, shard_id=sid,
+                                   worker=worker, attempt=attempt,
+                                   t=self._now()))
+        preferred = self.preferred.get(sid, worker)
+        if worker != preferred:
+            self.result.steals += 1
+            self.result.workers[worker].steals += 1
+            self._emit(StealEvent(site=None, shard_id=sid,
+                                  worker=worker, preferred=preferred,
+                                  t=self._now()))
+        if self.checkpoint is not None:
+            self.checkpoint.mark_running(sid, attempt)
+
+    # -- inline execution (jobs == 1, no extra processes) -------------------
+
+    def run_inline(self) -> PlanResult:
+        """Sequential execution in this process.
+
+        The retry loop and event stream behave exactly like the
+        multiprocess path; what an inline run *cannot* provide is
+        preemption, so wall-clock budgets rely on the runner's own
+        cooperative timeout (e.g. the fuzz driver's watchdog).
+        """
+        self._t0 = time.monotonic()
+        runner = resolve_runner(self.runner_ref)
+        todo = self._plan_order()
+        for shard in todo:
+            attempt = 0
+            while True:
+                self._started(shard, attempt, worker=0)
+                started = time.monotonic()
+                try:
+                    payload = runner(shard.to_dict(), attempt)
+                except KeyboardInterrupt:
+                    raise
+                except BaseException as exc:  # noqa: BLE001
+                    seconds = time.monotonic() - started
+                    detail = f"{type(exc).__name__}: {exc}"
+                    if attempt >= self.retries:
+                        self._fail(shard, attempt, 0, "error", detail,
+                                   seconds)
+                        break
+                    delay = backoff_delay(self.backoff_base, attempt)
+                    self.result.retries += 1
+                    self._emit(ShardRetryEvent(
+                        site=None, shard_id=shard.shard_id, worker=0,
+                        attempt=attempt, t=self._now(), reason="error",
+                        delay=delay))
+                    self.result.workers[0].busy_seconds += seconds
+                    if delay > 0:
+                        time.sleep(delay)
+                    attempt += 1
+                else:
+                    self._complete(shard, attempt, 0,
+                                   time.monotonic() - started, payload)
+                    break
+        self.result.wall_seconds = time.monotonic() - self._t0
+        return self.result
+
+    # -- multiprocess execution --------------------------------------------
+
+    def run_processes(self) -> PlanResult:
+        """Parent-side scheduling: each worker has a private task queue
+        the parent dispatches into one shard at a time.
+
+        Ownership is therefore known at dispatch, never inferred from
+        worker messages — a worker that dies (``os._exit``, segfault,
+        OOM-kill) cannot silently lose a claimed shard, because there is
+        no claim message to lose.  Work stealing falls out of the
+        scheduler: an idle worker is handed the next pending shard even
+        when its preferred slot is busy.
+        """
+        import multiprocessing as mp
+        method = "fork" if "fork" in mp.get_all_start_methods() \
+            else "spawn"
+        ctx = mp.get_context(method)
+        self._t0 = time.monotonic()
+
+        result_queue = ctx.Queue()
+        task_queues: List[Any] = [None] * self.jobs
+        workers: List[Any] = [None] * self.jobs
+
+        def spawn(worker_id: int) -> None:
+            # A fresh task queue per (re)spawn: a terminated worker may
+            # have died holding the old queue's lock.
+            task_queues[worker_id] = ctx.Queue()
+            process = ctx.Process(
+                target=_worker_main,
+                args=(worker_id, self.runner_ref,
+                      task_queues[worker_id], result_queue),
+                daemon=True)
+            process.start()
+            workers[worker_id] = process
+
+        todo = self._plan_order()
+        total = len(todo)
+        pending: List[Tuple[ShardSpec, int]] = [(s, 0) for s in todo]
+        #: shards waiting out a backoff delay: (ready_time, shard, attempt)
+        delayed: List[Tuple[float, ShardSpec, int]] = []
+        running: Dict[int, _Running] = {}       # worker_id -> in flight
+        idle: List[int] = list(range(self.jobs))
+        resolved: Set[int] = set()
+        current_attempt: Dict[int, int] = {s.shard_id: 0 for s in todo}
+
+        for worker_id in range(self.jobs):
+            spawn(worker_id)
+
+        def dispatch() -> None:
+            while pending and idle:
+                shard, attempt = pending.pop(0)
+                preferred = self.preferred.get(shard.shard_id, idle[0])
+                worker = preferred if preferred in idle else idle[0]
+                idle.remove(worker)
+                current_attempt[shard.shard_id] = attempt
+                running[worker] = _Running(
+                    shard=shard, attempt=attempt, worker=worker,
+                    started=time.monotonic())
+                task_queues[worker].put((shard.to_dict(), attempt))
+                self._started(shard, attempt, worker)
+
+        def retry_or_fail(shard: ShardSpec, attempt: int, worker: int,
+                          reason: str, detail: str,
+                          seconds: float) -> None:
+            if attempt >= self.retries:
+                self._fail(shard, attempt, worker, reason, detail,
+                           seconds)
+                resolved.add(shard.shard_id)
+                return
+            delay = backoff_delay(self.backoff_base, attempt)
+            self.result.retries += 1
+            # Invalidate in-flight messages from the failed attempt
+            # *now* (not at re-dispatch time): a "done" racing with a
+            # terminate must not double-complete the shard.
+            current_attempt[shard.shard_id] = attempt + 1
+            if worker >= 0:
+                self.result.workers[worker].busy_seconds += seconds
+            self._emit(ShardRetryEvent(
+                site=None, shard_id=shard.shard_id, worker=worker,
+                attempt=attempt, t=self._now(), reason=reason,
+                delay=delay))
+            self.log(f"[repro.par] shard {shard.shard_id} {reason} "
+                     f"(attempt {attempt + 1}); requeued after "
+                     f"{delay:.2f}s backoff")
+            delayed.append((time.monotonic() + delay, shard,
+                            attempt + 1))
+
+        def respawn(worker_id: int) -> None:
+            self.result.workers[worker_id].respawns += 1
+            spawn(worker_id)
+            if worker_id not in idle:
+                idle.append(worker_id)
+
+        try:
+            while len(resolved) < total:
+                # release shards whose backoff elapsed, then hand work
+                # to every idle worker
+                now = time.monotonic()
+                for item in [d for d in delayed if d[0] <= now]:
+                    delayed.remove(item)
+                    pending.append((item[1], item[2]))
+                dispatch()
+
+                # drain one message
+                try:
+                    message = result_queue.get(timeout=_POLL_SECONDS)
+                except queue_mod.Empty:
+                    message = None
+                if message is not None:
+                    tag, sid, worker, attempt, payload = message
+                    run = running.get(worker)
+                    live = (run is not None
+                            and run.shard.shard_id == sid
+                            and run.attempt == attempt
+                            and sid not in resolved
+                            and attempt == current_attempt.get(sid))
+                    # A stale message (from an attempt already timed
+                    # out and re-dispatched) must not touch idle
+                    # state: its worker was respawned by the handler
+                    # that invalidated it.
+                    if live:
+                        running.pop(worker)
+                        idle.append(worker)
+                        seconds = time.monotonic() - run.started
+                        if tag == "done":
+                            self._complete(run.shard, attempt, worker,
+                                           seconds, payload)
+                            resolved.add(sid)
+                        else:   # "error": runner raised, worker lives
+                            retry_or_fail(run.shard, attempt, worker,
+                                          "error", payload, seconds)
+
+                # enforce wall-clock budgets
+                if self.shard_timeout is not None:
+                    now = time.monotonic()
+                    for worker_id in [
+                            w for w, r in running.items()
+                            if now - r.started > self.shard_timeout]:
+                        run = running.pop(worker_id)
+                        process = workers[worker_id]
+                        process.terminate()
+                        process.join(5.0)
+                        if process.is_alive():
+                            process.kill()
+                            process.join(5.0)
+                        retry_or_fail(
+                            run.shard, run.attempt, worker_id,
+                            "timeout",
+                            f"exceeded {self.shard_timeout:g}s shard "
+                            f"budget", now - run.started)
+                        respawn(worker_id)
+
+                # detect dead workers (crashed mid-shard)
+                for worker_id, process in enumerate(workers):
+                    if process.is_alive():
+                        continue
+                    run = running.pop(worker_id, None)
+                    if run is not None:
+                        retry_or_fail(
+                            run.shard, run.attempt, worker_id, "crash",
+                            f"worker {worker_id} died "
+                            f"(exitcode {process.exitcode})",
+                            time.monotonic() - run.started)
+                    respawn(worker_id)
+        finally:
+            for worker_id, process in enumerate(workers):
+                try:
+                    task_queues[worker_id].put(None)
+                except (ValueError, OSError):
+                    pass
+            for process in workers:
+                process.join(2.0)
+                if process.is_alive():
+                    process.terminate()
+                    process.join(2.0)
+            for task_queue in task_queues:
+                task_queue.close()
+            result_queue.close()
+
+        self.result.wall_seconds = time.monotonic() - self._t0
+        return self.result
+
+    # -- helpers ------------------------------------------------------------
+
+    def _plan_order(self) -> List[ShardSpec]:
+        """Shards still to execute, with round-robin preferred slots."""
+        todo = [shard for shard in self.plan.shards
+                if shard.shard_id not in self.result.results]
+        for position, shard in enumerate(todo):
+            self.preferred[shard.shard_id] = position % self.jobs
+        return todo
+
+
+def run_plan(plan: ShardPlan, runner_ref: str, *, jobs: int = 1,
+             shard_timeout: Optional[float] = None, retries: int = 2,
+             backoff_base: float = 0.05,
+             checkpoint: Optional[Checkpoint] = None,
+             bus: Optional[EventBus] = None,
+             log: Optional[Callable[[str], None]] = None) -> PlanResult:
+    """Execute ``plan`` with ``jobs`` workers; returns a
+    :class:`PlanResult`.
+
+    ``checkpoint`` (when given) is opened against the plan: shards it
+    already holds results for are *restored* instead of re-run, and
+    every completion/failure is persisted as it happens, so the run can
+    be killed and resumed at shard granularity.
+    """
+    pool = _Pool(plan, runner_ref, jobs=jobs,
+                 shard_timeout=shard_timeout, retries=retries,
+                 backoff_base=backoff_base, checkpoint=checkpoint,
+                 bus=bus, log=log)
+    if checkpoint is not None:
+        for shard_id in sorted(checkpoint.open(plan)):
+            pool.result.results[shard_id] = \
+                checkpoint.load_result(shard_id)
+            pool.result.restored.append(shard_id)
+    if all(shard.shard_id in pool.result.results
+           for shard in plan.shards):
+        pool.result.wall_seconds = 0.0
+        return pool.result
+    if jobs <= 1:
+        return pool.run_inline()
+    return pool.run_processes()

@@ -1,0 +1,73 @@
+"""Deterministic seed derivation: the one splitmix64 in the repo.
+
+Every place the harness needs "a fresh seed that is a pure function of
+an existing seed plus an index" goes through this module:
+
+* :func:`derive_seed` — retry reseeding (``repro.resil.retry``) and any
+  other attempt-indexed derivation.  Attempt 0 returns the base seed
+  unchanged, so the first run is the plain run.
+* :func:`shard_seed` — per-shard seed namespaces for ``repro.par``
+  campaign shards.  Domain-separated from :func:`derive_seed` so a
+  shard index can never collide with a retry attempt of the same base
+  seed.
+* :func:`backoff_delay` — the exponential backoff schedule shared by
+  iteration-level retries (``repro.resil.retry``) and shard-level
+  requeues (``repro.par.pool``).  No jitter: jitter buys nothing for a
+  deterministic harness and costs reproducibility.
+
+The mixing function is the splitmix64 finalizer (Steele, Lea & Flood,
+"Fast splittable pseudorandom number generators", OOPSLA 2014) — the
+same construction numpy's ``SeedSequence`` and Java's
+``SplittableRandom`` rely on for exactly this split-without-coordination
+use case.  Golden-value tests in ``tests/test_par.py`` pin the output
+sequences; they must never change silently, because persisted corpus
+entries and resilience matrices record derived seeds.
+"""
+
+from __future__ import annotations
+
+_MASK64 = (1 << 64) - 1
+
+#: 2**64 / golden-ratio increment ("gamma") of the splitmix64 stream.
+GOLDEN_GAMMA = 0x9E3779B97F4A7C15
+
+#: domain-separation salt for shard seeds (``b"SHARD"`` as an integer).
+_SHARD_SALT = 0x5348415244
+
+
+def splitmix64(z: int) -> int:
+    """The splitmix64 finalizer: a 64-bit bijective avalanche mix."""
+    z &= _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (z ^ (z >> 31)) & _MASK64
+
+
+def derive_seed(seed: int, attempt: int) -> int:
+    """Deterministically derive the seed for retry ``attempt``.
+
+    Attempt 0 returns ``seed`` unchanged (the first run is the plain
+    run); later attempts step the splitmix64 stream ``attempt`` gammas
+    from ``seed`` so nearby seeds diverge completely.
+    """
+    if attempt == 0:
+        return seed
+    return splitmix64((seed + attempt * GOLDEN_GAMMA) & _MASK64)
+
+
+def shard_seed(seed: int, shard_index: int) -> int:
+    """Deterministically derive the seed namespace of one shard.
+
+    A pure function of ``(seed, shard_index)``, domain-separated from
+    :func:`derive_seed` by a salt so shard 3 of seed *s* can never equal
+    retry attempt 3 of seed *s*.
+    """
+    if shard_index < 0:
+        raise ValueError(f"shard_index must be >= 0, got {shard_index}")
+    return splitmix64(
+        (seed ^ _SHARD_SALT) + (shard_index + 1) * GOLDEN_GAMMA)
+
+
+def backoff_delay(base_delay: float, attempt: int) -> float:
+    """Delay before re-running 0-based ``attempt``: ``base * 2**attempt``."""
+    return base_delay * (2 ** attempt)

@@ -16,6 +16,10 @@ Examples::
     # strict policy: resource exhaustion traps instead of degrading
     python -m repro.resil --strict --faults global_table_exhaust
 
+    # the full matrix sharded across 4 worker processes, resumable
+    python -m repro.resil --jobs 4 --checkpoint ckpt-resil \\
+        --out resil-matrix.json
+
 The exit code is non-zero when any MAC-protected metadata fault ended
 in silent corruption — the property CI enforces.
 """
@@ -58,6 +62,21 @@ def main(argv=None) -> int:
     parser.add_argument("--strict", action="store_true",
                         help="strict degradation policy: resource "
                              "exhaustion traps instead of degrading")
+    parser.add_argument("--jobs", "-j", type=int, default=1,
+                        help="worker processes; >1 shards the campaign "
+                             "via repro.par (default 1, sequential)")
+    parser.add_argument("--shard-size", type=int, default=0,
+                        help="cells per shard when sharded (default: "
+                             "auto, 4 shards per worker)")
+    parser.add_argument("--checkpoint", type=str, metavar="DIR",
+                        help="resumable checkpoint directory (implies "
+                             "the sharded path even at --jobs 1)")
+    parser.add_argument("--shard-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock budget per shard attempt "
+                             "(sharded path only)")
+    parser.add_argument("--shard-retries", type=int, default=2,
+                        help="requeues per failed shard (default 2)")
     parser.add_argument("--out", type=str, metavar="JSON",
                         help="write the matrix as a repro.obs "
                              "schema-v1 metrics document")
@@ -81,15 +100,34 @@ def main(argv=None) -> int:
         parser.error(f"unknown fault class(es): {', '.join(unknown)}")
 
     log = (lambda message: None) if args.quiet else print
-    campaign = run_campaign(
-        workloads=workloads, schemes=schemes, faults=faults,
-        seed=args.seed, scale=args.scale,
-        timeout_seconds=args.timeout if args.timeout > 0 else None,
-        strict=args.strict, log=log)
+    timeout = args.timeout if args.timeout > 0 else None
+    pool_ok = True
+    if args.jobs > 1 or args.checkpoint:
+        from repro.par.engine import parallel_resil, plan_resil
+        plan = plan_resil(
+            workloads=list(workloads), schemes=list(schemes),
+            faults=list(faults), seed=args.seed, scale=args.scale,
+            timeout_seconds=timeout, strict=args.strict,
+            jobs=args.jobs, shard_size=args.shard_size)
+        campaign, outcome = parallel_resil(
+            plan, jobs=args.jobs, checkpoint_dir=args.checkpoint,
+            shard_timeout=args.shard_timeout,
+            shard_retries=args.shard_retries, log=log)
+        if not args.quiet:
+            print(outcome.summary())
+        pool_ok = outcome.ok
+    else:
+        campaign = run_campaign(
+            workloads=workloads, schemes=schemes, faults=faults,
+            seed=args.seed, scale=args.scale, timeout_seconds=timeout,
+            strict=args.strict, log=log)
     print(campaign.render())
 
     if args.out:
         from repro.obs.metrics import metrics_document, write_metrics
+        # config/payload exclude jobs and pool accounting so --jobs N
+        # output compares equal to --jobs 1 for the same seed (the CI
+        # determinism gate)
         path = write_metrics(args.out, metrics_document(
             "resil",
             {"seed": args.seed, "scale": args.scale,
@@ -99,7 +137,7 @@ def main(argv=None) -> int:
              "faults": ",".join(faults)},
             campaign.metrics()))
         print(f"matrix written to {path}")
-    return 0 if campaign.ok else 1
+    return 0 if campaign.ok and pool_ok else 1
 
 
 if __name__ == "__main__":

@@ -90,6 +90,19 @@ class FaultSpec:
         if self.start < 0 or self.bits < 1 or self.payload < 0:
             raise ValueError("start/payload must be >= 0, bits >= 1")
 
+    def to_dict(self) -> dict:
+        return {"fault": self.fault, "period": self.period,
+                "start": self.start, "bits": self.bits,
+                "payload": self.payload}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        return cls(fault=data["fault"],
+                   period=data.get("period", 1),
+                   start=data.get("start", 0),
+                   bits=data.get("bits", 1),
+                   payload=data.get("payload", 0))
+
 
 @dataclass(frozen=True)
 class FaultPlan:
@@ -105,6 +118,16 @@ class FaultPlan:
     @classmethod
     def single(cls, fault: str, seed: int, **kwargs) -> "FaultPlan":
         return cls(seed=seed, specs=(FaultSpec(fault=fault, **kwargs),))
+
+    def to_dict(self) -> dict:
+        return {"seed": self.seed,
+                "specs": [spec.to_dict() for spec in self.specs]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        return cls(seed=data["seed"],
+                   specs=tuple(FaultSpec.from_dict(spec)
+                               for spec in data["specs"]))
 
 
 @dataclass

@@ -122,6 +122,22 @@ class CellResult:
                 f"{self.fault:25s} {self.outcome:18s} "
                 f"inj={self.injections:<4d} {self.detail}")
 
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload, "scheme": self.scheme,
+            "fault": self.fault, "outcome": self.outcome,
+            "detail": self.detail, "injections": self.injections,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CellResult":
+        return cls(workload=data["workload"], scheme=data["scheme"],
+                   fault=data["fault"], outcome=data["outcome"],
+                   detail=data.get("detail", ""),
+                   injections=data.get("injections", 0),
+                   seed=data.get("seed", 0))
+
 
 @dataclass
 class _Reference:
@@ -190,6 +206,24 @@ class CampaignResult:
                 for fault, by_scheme in self.matrix.items()},
         }
 
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed, "policy_name": self.policy_name,
+            "workloads": list(self.workloads),
+            "schemes": list(self.schemes),
+            "faults": list(self.faults),
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignResult":
+        return cls(seed=data["seed"], policy_name=data["policy_name"],
+                   workloads=list(data["workloads"]),
+                   schemes=list(data["schemes"]),
+                   faults=list(data["faults"]),
+                   cells=[CellResult.from_dict(cell)
+                          for cell in data["cells"]])
+
     def render(self) -> str:
         """Human-readable matrix + per-cell rows."""
         lines = [
@@ -237,6 +271,22 @@ _ABBREV = {
     "silent_corruption": "SIL",
     "unaffected": "ok",
 }
+
+
+def enumerate_cells(faults: Tuple[str, ...],
+                    schemes: Tuple[str, ...],
+                    workload_names: Tuple[str, ...]
+                    ) -> List[Tuple[str, str, str]]:
+    """The campaign's cell order: ``(fault, scheme, workload)`` tuples
+    with fault outermost.  Cell *i* always runs with seed
+    ``derive_seed(campaign_seed, i + 1)`` — the sequential loop and the
+    ``repro.par`` shard runners both index into this list, which is
+    what makes a sharded campaign byte-identical to a sequential one.
+    """
+    return [(fault, scheme, name)
+            for fault in faults
+            for scheme in schemes
+            for name in workload_names]
 
 
 class CampaignRunner:
@@ -353,17 +403,14 @@ class CampaignRunner:
             seed=seed, policy_name=self.policy.name,
             workloads=list(workload_names), schemes=list(schemes),
             faults=list(faults))
-        index = 0
-        for fault in faults:
-            for scheme in schemes:
-                for name in workload_names:
-                    cell_seed = derive_seed(seed, index + 1)
-                    index += 1
-                    cell = self.run_cell(get_workload(name), scheme,
-                                         fault, cell_seed)
-                    campaign.cells.append(cell)
-                    if log is not None:
-                        log("  " + cell.row())
+        cells = enumerate_cells(faults, schemes, workload_names)
+        for index, (fault, scheme, name) in enumerate(cells):
+            cell_seed = derive_seed(seed, index + 1)
+            cell = self.run_cell(get_workload(name), scheme, fault,
+                                 cell_seed)
+            campaign.cells.append(cell)
+            if log is not None:
+                log("  " + cell.row())
         return campaign
 
 

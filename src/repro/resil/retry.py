@@ -7,12 +7,18 @@ reproduction harness:
 * **Determinism**: a retried attempt must not silently re-run the same
   seed (a genuinely deterministic hang would just hang again) nor draw
   from global randomness (the campaign would stop being replayable).
-  :func:`derive_seed` folds the attempt number into the base seed with
-  a splitmix64-style mix, so attempt *k* of seed *s* is a pure function
-  of ``(s, k)``.
+  :func:`repro.par.seeds.derive_seed` (re-exported here) folds the
+  attempt number into the base seed with the splitmix64 finalizer, so
+  attempt *k* of seed *s* is a pure function of ``(s, k)``.
 * **Bounded, predictable backoff**: delays grow as
-  ``base_delay * 2**attempt`` with no jitter — jitter buys nothing
-  single-process and costs reproducibility.
+  ``base_delay * 2**attempt`` (:func:`repro.par.seeds.backoff_delay`)
+  with no jitter — jitter buys nothing single-process and costs
+  reproducibility.
+
+Seed derivation and the backoff schedule live in
+:mod:`repro.par.seeds` so the parallel campaign engine shares the
+exact same sequences; this module keeps its historical names as
+re-exports.
 """
 
 from __future__ import annotations
@@ -21,23 +27,9 @@ import time
 from typing import Callable, Optional, Tuple, Type
 
 from repro.errors import WorkloadTimeout
+from repro.par.seeds import backoff_delay, derive_seed
 
-_MASK64 = (1 << 64) - 1
-
-
-def derive_seed(seed: int, attempt: int) -> int:
-    """Deterministically derive the seed for retry ``attempt``.
-
-    Attempt 0 returns ``seed`` unchanged (the first run is the plain
-    run); later attempts mix the attempt index in with the splitmix64
-    finalizer so nearby seeds diverge completely.
-    """
-    if attempt == 0:
-        return seed
-    z = (seed + attempt * 0x9E3779B97F4A7C15) & _MASK64
-    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
-    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
-    return (z ^ (z >> 31)) & _MASK64
+__all__ = ["backoff_delay", "call_with_retry", "derive_seed"]
 
 
 def call_with_retry(fn: Callable[[int], object], *,
@@ -67,7 +59,7 @@ def call_with_retry(fn: Callable[[int], object], *,
         except transient as exc:
             if attempt == attempts - 1:
                 raise
-            delay = base_delay * (2 ** attempt)
+            delay = backoff_delay(base_delay, attempt)
             if on_retry is not None:
                 on_retry(attempt, exc, delay)
             if delay > 0:

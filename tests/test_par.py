@@ -1,0 +1,406 @@
+"""Tests for repro.par: deterministic seed-splitting, shard planning,
+the crash-recovering worker pool, checkpoint resume, and the merge
+layer's sequential-identical guarantee."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.compiler import CompilerOptions
+from repro.errors import (
+    MemoryFault, SourceError, StepBudgetExceeded, WorkloadTrapped,
+)
+from repro.fuzz.corpus import CorpusEntry
+from repro.fuzz.driver import FuzzStats, run_fuzz
+from repro.par import (
+    GOLDEN_GAMMA, Checkpoint, CheckpointMismatch, PlanResult,
+    ShardFailure, ShardPlan, ShardSpec, backoff_delay,
+    canonical_metrics, derive_seed, diff_documents, plan_indices,
+    plan_range, run_plan, shard_seed, split_evenly, splitmix64,
+)
+from repro.par.engine import (
+    parallel_fuzz, parallel_resil, plan_fuzz, plan_resil,
+)
+from repro.resil.faults import FaultPlan
+
+SELFTEST = "repro.par.campaigns:run_selftest_shard"
+
+
+# ---------------------------------------------------------------------------
+# seeds: the repo's one splitmix64
+# ---------------------------------------------------------------------------
+
+class TestSeeds:
+    def test_splitmix64_golden_vector(self):
+        # the standard splitmix64 test vector: first output for seed 0
+        assert splitmix64(GOLDEN_GAMMA) == 0xE220A8397B1DCDAF
+
+    def test_derive_seed_golden_values(self):
+        # pinned: these exact values seed persisted resil campaigns
+        assert derive_seed(0, 1) == 0xE220A8397B1DCDAF
+        assert derive_seed(42, 3) == 0x47526757130F9F52
+
+    def test_derive_seed_attempt_zero_is_identity(self):
+        assert derive_seed(1234, 0) == 1234
+
+    def test_retry_module_reexports_shared_helpers(self):
+        # satellite 1: resil.retry must use the exact same splitmix64
+        from repro.resil import retry
+        assert retry.derive_seed is derive_seed
+        assert retry.backoff_delay is backoff_delay
+
+    def test_shard_seed_distinct_and_64bit(self):
+        seeds = [shard_seed(7, i) for i in range(100)]
+        assert len(set(seeds)) == 100
+        assert all(0 <= s < 2 ** 64 for s in seeds)
+
+    def test_shard_seed_differs_from_retry_namespace(self):
+        # domain separation: shard i's seed is not retry attempt i's
+        assert shard_seed(0, 0) != derive_seed(0, 1)
+
+    def test_shard_seed_rejects_negative_index(self):
+        with pytest.raises(ValueError):
+            shard_seed(0, -1)
+
+    def test_backoff_delay_doubles(self):
+        assert [backoff_delay(0.1, a) for a in range(4)] \
+            == [0.1, 0.2, 0.4, 0.8]
+
+
+# ---------------------------------------------------------------------------
+# planning
+# ---------------------------------------------------------------------------
+
+class TestPlan:
+    def test_split_evenly_partitions_contiguously(self):
+        chunks = split_evenly(10, 3)
+        assert chunks == [(0, 4), (4, 3), (7, 3)]
+        assert sum(count for _, count in chunks) == 10
+
+    def test_split_evenly_more_parts_than_items(self):
+        assert split_evenly(2, 5) == [(0, 1), (1, 1)]
+
+    def test_plan_range_covers_the_range_in_order(self):
+        plan = plan_range("selftest", 3, 11, params={}, shards=4)
+        spans = [(s.items[0], s.items[1]) for s in plan.shards]
+        assert sum(count for _, count in spans) == 11
+        ends = [start + count for start, count in spans]
+        starts = [start for start, _ in spans]
+        assert starts[1:] == ends[:-1]     # contiguous, ordered
+
+    def test_plan_shards_get_distinct_derived_seeds(self):
+        plan = plan_indices("selftest", 9, list(range(8)), params={},
+                            shards=4)
+        seeds = [s.seed for s in plan.shards]
+        assert seeds == [shard_seed(9, i) for i in range(4)]
+        assert len(set(seeds)) == 4
+
+    def test_plan_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            ShardPlan(kind="nope", seed=0, params={}, shards=[])
+
+    def test_fingerprint_is_stable_and_content_sensitive(self):
+        a = plan_indices("selftest", 1, [0, 1], params={"x": 1},
+                         shards=2)
+        b = plan_indices("selftest", 1, [0, 1], params={"x": 1},
+                         shards=2)
+        c = plan_indices("selftest", 2, [0, 1], params={"x": 1},
+                         shards=2)
+        assert a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() != c.fingerprint()
+
+    def test_plan_round_trips_through_dict(self):
+        plan = plan_indices("selftest", 5, list(range(6)),
+                            params={"mode": "ok"}, shards=3)
+        again = ShardPlan.from_dict(plan.to_dict())
+        assert again.fingerprint() == plan.fingerprint()
+        assert again.shards[1].items == plan.shards[1].items
+
+
+# ---------------------------------------------------------------------------
+# satellite 2: artifacts must survive pickling (multiprocessing) and
+# JSON round-trips (checkpoint shard results)
+# ---------------------------------------------------------------------------
+
+class TestPicklability:
+    def test_errors_pickle_with_custom_init_signatures(self):
+        trap = StepBudgetExceeded("budget", executed=10, limit=5)
+        cases = [
+            SourceError("bad token", line=3, col=7),
+            MemoryFault("unmapped", address=0xDEAD),
+            trap,
+            WorkloadTrapped("treeadd", "wrapped", trap),
+        ]
+        for exc in cases:
+            clone = pickle.loads(pickle.dumps(exc))
+            assert type(clone) is type(exc)
+            assert str(clone) == str(exc)
+            for key, value in exc.__dict__.items():
+                cloned = clone.__dict__[key]
+                if isinstance(value, BaseException):
+                    # exceptions compare by identity; match by repr
+                    assert repr(cloned) == repr(value)
+                else:
+                    assert cloned == value, key
+
+    def test_compiler_options_pickle(self):
+        options = CompilerOptions.subheap()
+        clone = pickle.loads(pickle.dumps(options))
+        assert clone == options
+
+    def test_fault_plan_json_round_trip(self):
+        plan = FaultPlan.single("metadata_corrupt", seed=3)
+        clone = FaultPlan.from_dict(
+            json.loads(json.dumps(plan.to_dict())))
+        assert clone == plan
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+    def test_corpus_entry_json_round_trip(self):
+        entry = CorpusEntry(
+            name="x-s1-i2-abc", kind="false_positive", detail="d",
+            seed=1, iteration=2, iteration_seed=99,
+            configs=["baseline"], source_sha256="ab" * 32,
+            repro="python -m repro.fuzz --seed 1",
+            config="baseline", extra={"minimized_lines": 5})
+        clone = CorpusEntry.from_dict(
+            json.loads(json.dumps(entry.to_dict())))
+        assert clone == entry
+        assert pickle.loads(pickle.dumps(entry)) == entry
+
+    def test_fuzz_stats_round_trip_is_lossless(self):
+        stats = FuzzStats(seed=3, configs=["baseline", "wrapped"])
+        stats.programs = 4
+        stats.attacks_injected = 2
+        stats.trap_histogram[("wrapped", "PoisonTrap")] = 2
+        clone = FuzzStats.from_dict(
+            json.loads(json.dumps(stats.to_dict())))
+        assert clone.to_dict() == stats.to_dict()
+        assert clone.trap_histogram == stats.trap_histogram
+
+    def test_shard_failure_round_trip(self):
+        failure = ShardFailure(shard_id=3, reason="timeout",
+                               attempts=2, detail="budget")
+        assert ShardFailure.from_dict(
+            json.loads(json.dumps(failure.to_dict()))) == failure
+
+
+# ---------------------------------------------------------------------------
+# the pool: determinism, work stealing, crash recovery
+# ---------------------------------------------------------------------------
+
+def _selftest_plan(seed, total, shards, **params):
+    params.setdefault("fail_shards", [])
+    return plan_indices("selftest", seed, list(range(total)),
+                        params=params, shards=shards)
+
+
+def _values(outcome: PlanResult, plan: ShardPlan):
+    return [outcome.results[s.shard_id]["value"] for s in plan.shards]
+
+
+class TestPool:
+    def test_inline_equals_multiprocess(self):
+        inline = run_plan(_selftest_plan(7, 20, 6), SELFTEST, jobs=1)
+        plan = _selftest_plan(7, 20, 6)
+        multi = run_plan(plan, SELFTEST, jobs=3)
+        assert _values(multi, plan) \
+            == _values(inline, _selftest_plan(7, 20, 6))
+        assert multi.ok and inline.ok
+
+    def test_raise_becomes_typed_failure_after_retries(self):
+        plan = _selftest_plan(2, 8, 4, mode="raise", fail_shards=[1])
+        outcome = run_plan(plan, SELFTEST, jobs=2, retries=1,
+                           backoff_base=0.01)
+        assert [f.shard_id for f in outcome.failures] == [1]
+        assert outcome.failures[0].reason == "error"
+        assert outcome.failures[0].attempts == 2
+        assert outcome.retries == 1
+        assert sorted(outcome.results) == [0, 2, 3]
+
+    def test_worker_crash_is_recovered_and_respawned(self):
+        plan = _selftest_plan(2, 8, 4, mode="crash", fail_shards=[0])
+        outcome = run_plan(plan, SELFTEST, jobs=2, retries=1,
+                           backoff_base=0.01)
+        assert [f.reason for f in outcome.failures] == ["crash"]
+        assert sorted(outcome.results) == [1, 2, 3]
+        assert sum(w.respawns for w in outcome.workers) >= 2
+
+    def test_wall_clock_budget_terminates_hung_shard(self):
+        plan = _selftest_plan(2, 8, 4, mode="hang", fail_shards=[2],
+                              hang_seconds=60.0)
+        outcome = run_plan(plan, SELFTEST, jobs=2, retries=1,
+                           backoff_base=0.01, shard_timeout=0.5)
+        assert [f.reason for f in outcome.failures] == ["timeout"]
+        assert sorted(outcome.results) == [0, 1, 3]
+
+    def test_flaky_shard_recovers_within_retry_budget(self):
+        plan = _selftest_plan(2, 8, 4, mode="flaky", fail_shards=[3],
+                              succeed_attempt=1)
+        outcome = run_plan(plan, SELFTEST, jobs=2, retries=2,
+                           backoff_base=0.01)
+        assert outcome.ok
+        assert outcome.retries == 1
+        # the recovered shard's payload matches a clean sequential run
+        # (the selftest runner's 'attempt' diagnostic aside)
+        reference = run_plan(_selftest_plan(2, 8, 4), SELFTEST, jobs=1)
+        assert outcome.results[3]["value"] \
+            == reference.results[3]["value"]
+        assert outcome.results[3]["items"] \
+            == reference.results[3]["items"]
+
+    def test_steals_are_counted(self):
+        plan = _selftest_plan(7, 20, 6)
+        outcome = run_plan(plan, SELFTEST, jobs=3)
+        assert outcome.steals \
+            == sum(w.steals for w in outcome.workers)
+
+
+class TestCheckpoint:
+    def test_resume_skips_completed_shards(self, tmp_path):
+        marker = tmp_path / "marker"
+        marker.touch()
+        params = {"mode": "marker", "fail_shards": [1],
+                  "marker": str(marker)}
+        plan = plan_indices("selftest", 3, list(range(12)),
+                            params=params, shards=4)
+        first = run_plan(plan, SELFTEST, jobs=2, retries=0,
+                         checkpoint=Checkpoint(str(tmp_path / "ck")))
+        assert [f.shard_id for f in first.failures] == [1]
+
+        marker.unlink()     # the environmental failure clears
+        plan_again = plan_indices("selftest", 3, list(range(12)),
+                                  params=params, shards=4)
+        second = run_plan(plan_again, SELFTEST, jobs=2, retries=0,
+                          checkpoint=Checkpoint(str(tmp_path / "ck")))
+        assert sorted(second.restored) == [0, 2, 3]
+        assert second.executed == [1]
+        assert second.ok
+
+        # merged values match a run that never failed
+        clean = run_plan(_selftest_plan(3, 12, 4), SELFTEST, jobs=1)
+        assert _values(second, plan_again) \
+            == _values(clean, _selftest_plan(3, 12, 4))
+
+    def test_checkpoint_rejects_a_different_plan(self, tmp_path):
+        checkpoint = Checkpoint(str(tmp_path / "ck"))
+        run_plan(_selftest_plan(3, 8, 4), SELFTEST, jobs=1,
+                 checkpoint=checkpoint)
+        with pytest.raises(CheckpointMismatch):
+            Checkpoint(str(tmp_path / "ck")).open(
+                _selftest_plan(4, 8, 4))
+
+    def test_fully_restored_plan_runs_nothing(self, tmp_path):
+        checkpoint = Checkpoint(str(tmp_path / "ck"))
+        run_plan(_selftest_plan(3, 8, 4), SELFTEST, jobs=1,
+                 checkpoint=checkpoint)
+        again = run_plan(_selftest_plan(3, 8, 4), SELFTEST, jobs=2,
+                         checkpoint=Checkpoint(str(tmp_path / "ck")))
+        assert not again.executed
+        assert sorted(again.restored) == [0, 1, 2, 3]
+
+
+# ---------------------------------------------------------------------------
+# merge: sequential-identical campaign outputs
+# ---------------------------------------------------------------------------
+
+class TestMergeDeterminism:
+    FUZZ_CONFIGS = ("baseline", "wrapped")
+
+    def test_parallel_fuzz_matches_sequential(self, tmp_path):
+        sequential = run_fuzz(
+            8, seed=11, configs=list(self.FUZZ_CONFIGS),
+            corpus_dir=str(tmp_path / "seq"), plant_bug=True,
+            log=lambda message: None, progress_every=0)
+        plan = plan_fuzz(8, 11, configs=list(self.FUZZ_CONFIGS),
+                         corpus_dir=str(tmp_path / "par"),
+                         plant_bug=True, jobs=2)
+        merged, outcome = parallel_fuzz(plan, jobs=2)
+        assert outcome.ok
+
+        expected = sequential.to_dict()
+        actual = merged.to_dict()
+        expected.pop("elapsed"), actual.pop("elapsed")
+        # failure records embed their corpus paths; the two runs use
+        # different directories by construction — normalize those
+        normalized = json.loads(
+            json.dumps(expected).replace(str(tmp_path / "seq"),
+                                         str(tmp_path / "par")))
+        assert actual == normalized
+
+        seq_dir, par_dir = tmp_path / "seq", tmp_path / "par"
+        assert sorted(p.name for p in seq_dir.iterdir()) \
+            == sorted(p.name for p in par_dir.iterdir())
+        for path in seq_dir.iterdir():
+            assert (par_dir / path.name).read_bytes() \
+                == path.read_bytes(), path.name
+
+    def test_parallel_resil_matches_sequential(self):
+        from repro.resil.matrix import SCHEMES, run_campaign
+        kwargs = dict(workloads=("treeadd",), schemes=SCHEMES,
+                      faults=("metadata_corrupt",), seed=4)
+        sequential = run_campaign(log=lambda message: None, **kwargs)
+        plan = plan_resil(jobs=2, **{k: list(v) if isinstance(v, tuple)
+                                     else v for k, v in kwargs.items()})
+        merged, outcome = parallel_resil(plan, jobs=2)
+        assert outcome.ok
+        assert canonical_metrics(merged.to_dict()) \
+            == canonical_metrics(sequential.to_dict())
+        assert merged.ok == sequential.ok
+
+
+class TestDiffDocuments:
+    def test_timing_fields_are_ignored_by_default(self):
+        a = {"elapsed": 1.0, "runs_per_second": 9.0, "count": 3,
+             "nested": {"wall_seconds": 2.0, "x": 1}}
+        b = {"elapsed": 5.0, "runs_per_second": 2.0, "count": 3,
+             "nested": {"wall_seconds": 9.0, "x": 1}}
+        assert diff_documents(a, b) == []
+        assert diff_documents(a, b, ignore_timing=False)
+
+    def test_real_differences_are_reported(self):
+        differences = diff_documents({"count": 3}, {"count": 4})
+        assert len(differences) == 1
+        assert "count" in differences[0]
+
+    def test_par_diff_cli(self, tmp_path, capsys):
+        from repro.par.__main__ import main
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        a.write_text(json.dumps({"n": 1, "elapsed": 1.0}))
+        b.write_text(json.dumps({"n": 1, "elapsed": 2.0}))
+        assert main(["diff", str(a), str(b)]) == 0
+        b.write_text(json.dumps({"n": 2, "elapsed": 2.0}))
+        assert main(["diff", str(a), str(b)]) == 1
+        capsys.readouterr()
+
+
+# ---------------------------------------------------------------------------
+# obs integration: shard events drive the utilization report
+# ---------------------------------------------------------------------------
+
+class TestPoolObservability:
+    def test_events_stream_written_and_rendered(self, tmp_path):
+        from repro.obs.__main__ import render_pool_events
+        from repro.par.engine import _execute
+        plan = _selftest_plan(6, 12, 4)
+        outcome = _execute(plan, jobs=2, checkpoint_dir=None,
+                           shard_timeout=None, shard_retries=2,
+                           backoff_base=0.01, log=None,
+                           events_out=str(tmp_path / "events.jsonl"))
+        assert outcome.ok
+        records = [json.loads(line) for line in
+                   (tmp_path / "events.jsonl").read_text().splitlines()]
+        kinds = {record["kind"] for record in records}
+        assert "shard_start" in kinds and "shard_done" in kinds
+        report = render_pool_events(records)
+        assert "worker 0" in report and "worker 1" in report
+        assert "4 shards ok" in report
+
+    def test_utilization_metrics_shape(self):
+        plan = _selftest_plan(6, 8, 4)
+        outcome = run_plan(plan, SELFTEST, jobs=2)
+        metrics = outcome.utilization_metrics()
+        assert metrics["shards_executed"] == 4
+        assert set(metrics["workers"]) == {"0", "1"}
+        for stats in metrics["workers"].values():
+            assert 0.0 <= stats["utilization"]
