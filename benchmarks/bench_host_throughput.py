@@ -1,0 +1,236 @@
+"""Host-throughput benchmark: fastpath vs reference guest-MIPS.
+
+For every selected ``(workload, config)`` cell this script
+
+1. compiles the workload once,
+2. runs it under **both** engines and asserts byte-identical
+   observables (guest output, exit code, trap, and every ``RunStats``
+   field including the IFP unit's cache counters) — the differential
+   gate that backs the fastpath's equivalence contract, and
+3. times each engine over ``--repeats`` fresh runs (best-of), reporting
+   simulated guest instructions per host second (guest-MIPS) and the
+   fastpath/reference speedup.
+
+Results land in ``BENCH_host_throughput.json`` (repro.obs schema v1).
+With ``--baseline`` the run is additionally gated against a committed
+record: any cell whose speedup drops more than ``--max-regression``
+below its baseline speedup fails the run.  Speedup ratios, not raw
+MIPS, are compared across hosts — absolute MIPS varies with the CI
+machine, the ratio of two interpreters on the same machine does not.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_host_throughput.py
+    PYTHONPATH=src python benchmarks/bench_host_throughput.py \\
+        --workloads treeadd,em3d,mst,coremark --configs baseline,subheap \\
+        --baseline benchmarks/baselines/host_throughput.json
+    PYTHONPATH=src python benchmarks/bench_host_throughput.py --verify-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import math
+import os
+import sys
+import time
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.compiler import compile_source
+from repro.eval.configs import CONFIG_NAMES, build_machine_config, \
+    build_options
+from repro.obs.metrics import write_bench
+from repro.vm import Machine
+from repro.workloads import WORKLOADS
+
+DEFAULT_WORKLOADS = "treeadd,em3d,mst,coremark"
+DEFAULT_CONFIGS = "baseline,subheap"
+
+
+def _observables(result) -> Tuple:
+    trap = result.trap
+    return (result.exit_code, result.output,
+            (type(trap).__name__, str(trap)) if trap else None,
+            dataclasses.asdict(result.stats))
+
+
+def _run_once(program, machine_config, engine: str):
+    machine = Machine(program, replace(machine_config, engine=engine))
+    start = time.perf_counter()
+    result = machine.run()
+    elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+def bench_cell(workload: str, config: str, scale: int, repeats: int,
+               verify_only: bool) -> Dict:
+    """Verify and time one (workload, config) cell.
+
+    All cell fields are numeric (the repro.obs schema forbids strings
+    in metrics); the "<workload>/<config>" key carries the identity.
+    """
+    program = compile_source(WORKLOADS[workload].source(scale),
+                             build_options(config))
+    machine_config = build_machine_config(config)
+
+    # Differential gate: one verified pair per cell, always.
+    ref_result, ref_seconds = _run_once(program, machine_config,
+                                        "reference")
+    fast_result, fast_seconds = _run_once(program, machine_config,
+                                          "fastpath")
+    identical = _observables(ref_result) == _observables(fast_result)
+    cell = {
+        "identical": 1 if identical else 0,
+        "instructions": ref_result.stats.total_instructions,
+    }
+    if not identical or verify_only:
+        return cell
+
+    # Timing: best-of over fresh machines (each pays translation once,
+    # like every real harness run does).
+    for _ in range(max(0, repeats - 1)):
+        _, seconds = _run_once(program, machine_config, "reference")
+        ref_seconds = min(ref_seconds, seconds)
+        _, seconds = _run_once(program, machine_config, "fastpath")
+        fast_seconds = min(fast_seconds, seconds)
+    instructions = cell["instructions"]
+    cell.update({
+        "reference_seconds": round(ref_seconds, 6),
+        "fastpath_seconds": round(fast_seconds, 6),
+        "reference_mips": round(instructions / ref_seconds / 1e6, 4),
+        "fastpath_mips": round(instructions / fast_seconds / 1e6, 4),
+        "speedup": round(ref_seconds / fast_seconds, 4),
+    })
+    return cell
+
+
+def check_baseline(cells: Dict[str, Dict], baseline_path: str,
+                   max_regression: float) -> List[str]:
+    """Compare cell speedups against a committed baseline record."""
+    with open(baseline_path) as handle:
+        document = json.load(handle)
+    baseline = {key: cell["speedup"]
+                for key, cell in document["metrics"]["cells"].items()
+                if "speedup" in cell}
+    failures = []
+    for key, cell in cells.items():
+        if "speedup" not in cell:
+            continue
+        expected = baseline.get(key)
+        if expected is None:
+            continue
+        floor = expected * (1.0 - max_regression)
+        if cell["speedup"] < floor:
+            failures.append(
+                f"{key}: speedup {cell['speedup']:.2f}x fell below "
+                f"{floor:.2f}x (baseline {expected:.2f}x - "
+                f"{max_regression:.0%})")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fastpath vs reference host-throughput benchmark "
+                    "with a built-in byte-identity differential gate.")
+    parser.add_argument("--workloads", default=DEFAULT_WORKLOADS,
+                        help=f"comma list (default {DEFAULT_WORKLOADS})")
+    parser.add_argument("--configs", default=DEFAULT_CONFIGS,
+                        help=f"comma list (default {DEFAULT_CONFIGS})")
+    parser.add_argument("--scale", type=int, default=2,
+                        help="workload scale factor (default 2)")
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="timing runs per engine, best-of "
+                             "(default 2)")
+    parser.add_argument("--verify-only", action="store_true",
+                        help="run the byte-identity differential gate "
+                             "only; skip timing")
+    parser.add_argument("--out-dir", default=None,
+                        help="directory for BENCH_host_throughput.json "
+                             "(default: $REPRO_BENCH_DIR or cwd)")
+    parser.add_argument("--baseline", metavar="JSON", default=None,
+                        help="committed BENCH record to gate speedup "
+                             "regressions against")
+    parser.add_argument("--max-regression", type=float, default=0.20,
+                        help="allowed fractional speedup drop vs the "
+                             "baseline (default 0.20)")
+    args = parser.parse_args(argv)
+
+    workloads = [w.strip() for w in args.workloads.split(",")
+                 if w.strip()]
+    configs = [c.strip() for c in args.configs.split(",") if c.strip()]
+    unknown = [w for w in workloads if w not in WORKLOADS]
+    if unknown:
+        parser.error(f"unknown workload(s): {', '.join(unknown)}")
+    unknown = [c for c in configs if c not in CONFIG_NAMES]
+    if unknown:
+        parser.error(f"unknown configuration(s): {', '.join(unknown)}")
+
+    cells: Dict[str, Dict] = {}
+    divergent: List[str] = []
+    for workload in workloads:
+        for config in configs:
+            cell = bench_cell(workload, config, args.scale,
+                              args.repeats, args.verify_only)
+            key = f"{workload}/{config}"
+            cells[key] = cell
+            if not cell["identical"]:
+                divergent.append(key)
+                print(f"  {key:24s} DIVERGED — engines disagree")
+            elif args.verify_only:
+                print(f"  {key:24s} identical "
+                      f"({cell['instructions']:,} instructions)")
+            else:
+                print(f"  {key:24s} ref {cell['reference_mips']:6.2f} "
+                      f"MIPS  fast {cell['fastpath_mips']:6.2f} MIPS  "
+                      f"speedup {cell['speedup']:5.2f}x")
+
+    speedups = [c["speedup"] for c in cells.values() if "speedup" in c]
+    summary: Dict[str, object] = {
+        "cells_verified": sum(1 for c in cells.values()
+                              if c["identical"]),
+        "cells_divergent": len(divergent),
+    }
+    if speedups:
+        summary.update({
+            "geomean_speedup": round(
+                math.exp(sum(math.log(s) for s in speedups)
+                         / len(speedups)), 4),
+            "min_speedup": min(speedups),
+            "max_speedup": max(speedups),
+        })
+        print(f"geomean speedup {summary['geomean_speedup']:.2f}x "
+              f"(min {summary['min_speedup']:.2f}x, "
+              f"max {summary['max_speedup']:.2f}x)")
+
+    if args.out_dir:
+        os.makedirs(args.out_dir, exist_ok=True)
+    path = write_bench(
+        "host_throughput",
+        {"workloads": ",".join(workloads), "configs": ",".join(configs),
+         "scale": str(args.scale), "repeats": str(args.repeats),
+         "verify_only": str(args.verify_only)},
+        {"cells": cells, "summary": summary},
+        directory=args.out_dir)
+    print(f"bench record written to {path}")
+
+    if divergent:
+        print(f"DIFFERENTIAL GATE FAILED: {', '.join(divergent)}",
+              file=sys.stderr)
+        return 1
+    if args.baseline and speedups:
+        failures = check_baseline(cells, args.baseline,
+                                  args.max_regression)
+        if failures:
+            for line in failures:
+                print(f"PERF REGRESSION: {line}", file=sys.stderr)
+            return 1
+        print(f"baseline gate passed "
+              f"(allowed drop {args.max_regression:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

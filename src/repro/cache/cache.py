@@ -78,6 +78,26 @@ class Cache:
         """
         first_line = address >> self._line_shift
         last_line = (address + max(size, 1) - 1) >> self._line_shift
+        if first_line == last_line:
+            # Fast path: the overwhelmingly common single-line access.
+            cache_set = self._sets[first_line & self._set_mask]
+            if cache_set and cache_set[-1] == first_line:
+                # Already MRU — a hit with no recency reordering needed.
+                hit = True
+            else:
+                hit = self._touch_line(first_line)
+            stats = self.stats
+            if hit:
+                if write:
+                    stats.write_hits += 1
+                else:
+                    stats.read_hits += 1
+                return 0
+            if write:
+                stats.write_misses += 1
+            else:
+                stats.read_misses += 1
+            return 1
         misses = 0
         for line in range(first_line, last_line + 1):
             if not self._touch_line(line):

@@ -41,11 +41,15 @@ class CacheHierarchy:
         self.config = config
         self.l1d = Cache(config.l1d_size, config.l1d_ways,
                          config.l1d_line, name="L1D")
+        # Hoisted latency constants — access_cycles is the hottest call in
+        # the whole simulation, so skip the dataclass attribute chain.
+        self._hit_cycles = config.hit_cycles
+        self._miss_penalty = config.miss_penalty
 
     def access_cycles(self, address: int, size: int, write: bool) -> int:
         """Account one data access; return its cycle cost."""
         misses = self.l1d.access(address, size, write)
-        return self.config.hit_cycles + misses * self.config.miss_penalty
+        return self._hit_cycles + misses * self._miss_penalty
 
     # -- stats passthrough --------------------------------------------------
 

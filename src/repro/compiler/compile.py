@@ -18,6 +18,7 @@ from repro.errors import CompileError
 from repro.compiler.codegen import FunctionCodegen
 from repro.compiler.ir import (
     GlobalObject, IRFunction, IRProgram, LayoutTableObject,
+    assign_bin_codes,
 )
 from repro.compiler.layout_gen import LayoutTableRegistry
 from repro.compiler.options import CompilerOptions
@@ -102,6 +103,7 @@ def compile_program(program: Program,
     if options.defense == "asan":
         from repro.baselines.asan import apply_asan_pass
         apply_asan_pass(program_out)
+    assign_bin_codes(program_out)
     return program_out
 
 

@@ -20,7 +20,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import CompileError
+from repro.errors import CompileError, LinkError
 
 
 class Op(enum.IntEnum):
@@ -77,6 +77,38 @@ MNEMONICS: Dict[Op, str] = {
     Op.IFPIDX: "ifpidx", Op.IFPCHK: "ifpchk", Op.IFPEXTRACT: "ifpextract",
     Op.IFPMD: "ifpmd",
 }
+
+
+#: Integer codes for BIN/BINI variants.  Assigned once per program by
+#: :func:`assign_bin_codes` (at compile or load time) so every execution
+#: engine dispatches on a small int instead of the mnemonic string.
+BIN_CODES: Dict[str, int] = {
+    "add": 0, "sub": 1, "mul": 2, "div": 3, "rem": 4, "and": 5, "or": 6,
+    "xor": 7, "shl": 8, "shr": 9, "sar": 10, "seq": 11, "sne": 12,
+    "slt": 13, "sle": 14, "neg": 15, "lnot": 16, "bnot": 17,
+    "pseq": 18, "psne": 19, "pslt": 20, "psle": 21, "psub": 22,
+}
+
+
+def assign_bin_codes(program: "IRProgram") -> None:
+    """Assign :data:`BIN_CODES` to every BIN/BINI instruction, once.
+
+    Ran by ``compile_source`` for compiled programs and by the VM loader
+    for hand-built ones, so an unknown variant surfaces as a
+    :class:`~repro.errors.LinkError` at link time — not on the first
+    ``Machine`` construction of a campaign that builds thousands.
+    """
+    if program.codes_assigned:
+        return
+    for func in program.functions.values():
+        for ins in func.instrs:
+            if ins.op in (Op.BIN, Op.BINI):
+                try:
+                    ins.code = BIN_CODES[ins.name]
+                except KeyError:
+                    raise LinkError(
+                        f"unknown BIN variant {ins.name!r}") from None
+    program.codes_assigned = True
 
 
 class Instr:
@@ -196,6 +228,8 @@ class IRProgram:
     allocator: str = "glibc"
     #: which defense this image was built with: 'ifp'|'asan'|'mpx'|'none'
     defense: str = "none"
+    #: True once :func:`assign_bin_codes` has run over this program
+    codes_assigned: bool = False
 
     def function(self, name: str) -> IRFunction:
         func = self.functions.get(name)

@@ -38,6 +38,8 @@ def build_options(name: str) -> CompilerOptions:
 
 
 def build_machine_config(name: str,
-                         max_instructions: int = 200_000_000) -> MachineConfig:
+                         max_instructions: int = 200_000_000,
+                         engine: str = "auto") -> MachineConfig:
     return MachineConfig(no_promote=name.endswith("-np"),
-                         max_instructions=max_instructions)
+                         max_instructions=max_instructions,
+                         engine=engine)

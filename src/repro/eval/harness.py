@@ -53,7 +53,8 @@ def run_workload(workload: Workload, config: str, scale: int = 1,
                  max_instructions: Optional[int] = None,
                  observe: bool = False,
                  forensics_dir: Optional[str] = None,
-                 timeout_seconds: Optional[float] = None) -> WorkloadRun:
+                 timeout_seconds: Optional[float] = None,
+                 engine: str = "auto") -> WorkloadRun:
     """Compile and execute one workload under one configuration.
 
     Raises :class:`repro.errors.WorkloadTrapped` when the run traps and
@@ -70,12 +71,19 @@ def run_workload(workload: Workload, config: str, scale: int = 1,
     ``timeout_seconds`` arms the wall-clock watchdog: a run that fails
     to finish raises :class:`repro.errors.WorkloadTimeout` (tagged with
     workload/config identity) instead of hanging the harness.
+
+    ``engine`` selects the execution engine ("auto", "fastpath", or
+    "reference"); the default "auto" picks the fastpath whenever no
+    instrument is armed.  Both engines are byte-identical in every
+    simulated observable, so results never depend on this knob.
     """
     options = build_options(config)
     program = compile_source(workload.source(scale), options)
-    machine = Machine(program, build_machine_config(config)
-                      if max_instructions is None
-                      else build_machine_config(config, max_instructions))
+    machine = Machine(program, build_machine_config(
+        config,
+        **({} if max_instructions is None
+           else {"max_instructions": max_instructions}),
+        engine=engine))
     observer = None
     if observe:
         from repro.obs import attach_observer

@@ -86,6 +86,11 @@ def main(argv=None) -> int:
                              "(sharded path only)")
     parser.add_argument("--shard-retries", type=int, default=2,
                         help="requeues per failed shard (default 2)")
+    parser.add_argument("--engine", type=str, default="auto",
+                        choices=("auto", "fastpath", "reference"),
+                        help="execution engine for oracle runs; engines "
+                             "are byte-identical in every simulated "
+                             "observable (default auto)")
     parser.add_argument("--replay", type=str, metavar="JSON",
                         help="re-run one corpus entry verbatim")
     parser.add_argument("--metrics-out", type=str, metavar="JSON",
@@ -120,7 +125,7 @@ def main(argv=None) -> int:
             max_attacks=args.max_attacks, plant_bug=args.plant_bug,
             timeout_seconds=args.timeout, retries=args.retries,
             backoff_base=args.backoff, jobs=args.jobs,
-            shard_size=args.shard_size)
+            shard_size=args.shard_size, engine=args.engine)
         stats, outcome = parallel_fuzz(
             plan, jobs=args.jobs, checkpoint_dir=args.checkpoint,
             shard_timeout=args.shard_timeout,
@@ -138,7 +143,7 @@ def main(argv=None) -> int:
             plant_bug=args.plant_bug, log=log,
             progress_every=0 if args.quiet else 25,
             timeout_seconds=args.timeout, retries=args.retries,
-            backoff_base=args.backoff)
+            backoff_base=args.backoff, engine=args.engine)
     print(stats.summary())
     if args.metrics_out:
         from repro.obs.metrics import metrics_document, write_metrics

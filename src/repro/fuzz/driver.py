@@ -370,8 +370,14 @@ def run_fuzz(iterations: int, seed: int = 0,
              progress_every: int = 25,
              timeout_seconds: Optional[float] = None,
              retries: int = 2,
-             backoff_base: float = 0.1) -> FuzzStats:
+             backoff_base: float = 0.1,
+             engine: str = "auto") -> FuzzStats:
     """Run the fuzzing loop; returns the run's :class:`FuzzStats`.
+
+    ``engine`` selects the execution engine for every oracle run
+    (auto/fastpath/reference); engines are byte-identical in every
+    simulated observable, so fuzz verdicts never depend on this knob —
+    it only changes host throughput.
 
     ``timeout_seconds`` arms the per-execution wall-clock watchdog; an
     iteration whose program times out is retried up to ``retries``
@@ -405,7 +411,7 @@ def run_fuzz(iterations: int, seed: int = 0,
                     _plant_bug_program(program, rng)
             runs, divergences = check_clean(
                 source, configs, name=f"fuzz-i{iteration}",
-                timeout_seconds=timeout_seconds)
+                timeout_seconds=timeout_seconds, engine=engine)
             stats.clean_runs += len(configs)
             stats.executions += len(configs)
             for divergence in divergences:
@@ -430,7 +436,7 @@ def run_fuzz(iterations: int, seed: int = 0,
                 attack = rng.choice(attacks_for(site))
                 source, verdict = check_attack(
                     program.spec, attack, configs,
-                    timeout_seconds=timeout_seconds)
+                    timeout_seconds=timeout_seconds, engine=engine)
                 stats.attacks_injected += 1
                 stats.attack_runs += len(configs)
                 stats.executions += len(configs)

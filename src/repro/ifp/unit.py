@@ -14,12 +14,13 @@ adds to CVA6's execute stage.  It owns:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import List, Optional
 
 from repro.errors import ResourceExhausted
 from repro.ifp.bounds import Bounds
 from repro.ifp.config import IFPConfig, DEFAULT_CONFIG
+from repro.ifp.mac import MacCache
 from repro.ifp.narrow import narrow_bounds
 from repro.ifp.poison import Poison
 from repro.ifp.promote import PromoteOutcome, PromoteResult
@@ -36,7 +37,20 @@ class ControlRegisters:
         self.config = config
         self._subheap: List[Optional[SubheapRegion]] = \
             [None] * config.subheap_register_count
-        self.global_table_base: int = 0
+        self._global_table_base: int = 0
+        #: bumped on every architectural write — keys the promote-result
+        #: cache, so a control-register update invalidates cached promotes
+        #: without scanning them
+        self.version = 0
+
+    @property
+    def global_table_base(self) -> int:
+        return self._global_table_base
+
+    @global_table_base.setter
+    def global_table_base(self, value: int) -> None:
+        self._global_table_base = value
+        self.version += 1
 
     # -- subheap registers ---------------------------------------------------
 
@@ -49,6 +63,7 @@ class ControlRegisters:
         if not (0 <= index < len(self._subheap)):
             raise ValueError("subheap control register index out of range")
         self._subheap[index] = region
+        self.version += 1
 
     def allocate_subheap_register(self, region: SubheapRegion) -> int:
         """Find a free register (or one already holding ``region``)."""
@@ -58,6 +73,7 @@ class ControlRegisters:
         for index, existing in enumerate(self._subheap):
             if existing is None:
                 self._subheap[index] = region
+                self.version += 1
                 return index
         raise ResourceExhausted("all subheap control registers in use")
 
@@ -85,6 +101,12 @@ class MetadataPort:
         #: set by the promote engine so injected corruption can target
         #: metadata words vs. layout-table entries
         self.phase = None
+        # Trace-recording stack for the host-side promote/layout caches:
+        # each frame is ``[loads, extra]`` where ``loads`` is the ordered
+        # (address, size) fetch sequence and ``extra`` the deterministic
+        # add_cycles total.  Nested frames (a layout-walk recording inside
+        # a promote recording) merge into their parent on end_trace.
+        self._trace_stack = []
 
     def load(self, address: int, size: int) -> int:
         self.loads += 1
@@ -98,6 +120,8 @@ class MetadataPort:
                 self.cycles += 1
             self._buffered_line = last_line
         value = self.memory.load_int(address, size)
+        if self._trace_stack:
+            self._trace_stack[-1][0].append((address, size))
         if self.faults is not None:
             value = self.faults.on_metadata_load(address, size, value,
                                                  self.phase)
@@ -105,6 +129,50 @@ class MetadataPort:
 
     def add_cycles(self, cycles: int) -> None:
         self.cycles += cycles
+        if self._trace_stack:
+            self._trace_stack[-1][1] += cycles
+
+    # -- cache support: record / replay fetch sequences -----------------------
+
+    def begin_trace(self) -> None:
+        """Start recording the fetch sequence (nestable)."""
+        self._trace_stack.append([[], 0])
+
+    def end_trace(self):
+        """Stop recording; returns ``(loads, extra)`` and folds the frame
+        into the enclosing recording, if any."""
+        loads, extra = self._trace_stack.pop()
+        if self._trace_stack:
+            outer = self._trace_stack[-1]
+            outer[0].extend(loads)
+            outer[1] += extra
+        return loads, extra
+
+    def replay(self, trace, extra: int) -> None:
+        """Re-apply a recorded fetch sequence without touching memory.
+
+        Reproduces :meth:`load`'s line-buffer and hierarchy effects access
+        by access (so simulated cycles, load counts, and L1 state end up
+        byte-identical to a recomputed promote), then charges the
+        deterministic ``extra`` cycles in one step.
+        """
+        hierarchy = self.hierarchy
+        for address, size in trace:
+            self.loads += 1
+            line = address >> 6
+            last_line = (address + size - 1) >> 6
+            if line != self._buffered_line or last_line != line:
+                if hierarchy is not None:
+                    self.cycles += hierarchy.access_cycles(
+                        address, size, False)
+                else:
+                    self.cycles += 1
+                self._buffered_line = last_line
+        self.cycles += extra
+        if self._trace_stack:
+            frame = self._trace_stack[-1]
+            frame[0].extend(trace)
+            frame[1] += extra
 
 
 @dataclass
@@ -126,11 +194,39 @@ class IFPUnitStats:
     narrow_walk_failures: int = 0
     mac_failures: int = 0
     promote_cycles: int = 0
+    # Host-side cache effectiveness (no simulated-cost meaning; the caches
+    # change nothing about simulated cycles/loads, only host work).
+    mac_cache_hits: int = 0
+    mac_cache_misses: int = 0
+    layout_cache_hits: int = 0
+    layout_cache_misses: int = 0
+    promote_cache_hits: int = 0
+    promote_cache_misses: int = 0
 
     @property
     def promotes_bypassed(self) -> int:
         return (self.promotes_null + self.promotes_legacy
                 + self.promotes_poisoned)
+
+
+#: counters that track cache queries themselves — excluded from the
+#: promote-cache's replayed stat deltas (a replayed promote performs no
+#: MAC/layout-cache queries)
+_CACHE_COUNTER_FIELDS = frozenset((
+    "mac_cache_hits", "mac_cache_misses",
+    "layout_cache_hits", "layout_cache_misses",
+    "promote_cache_hits", "promote_cache_misses",
+))
+
+#: stat fields captured as deltas by the promote-result cache;
+#: ``promote_cycles`` is excluded because a replay recomputes it from the
+#: live metadata-port cycle delta (line-buffer state differs per replay)
+_PROMOTE_DELTA_FIELDS = tuple(
+    f.name for f in fields(IFPUnitStats)
+    if f.name != "promote_cycles" and f.name not in _CACHE_COUNTER_FIELDS)
+
+#: clear-on-full capacity bounding host memory under adversarial inputs
+_PROMOTE_CACHE_CAPACITY = 1 << 15
 
 
 class IFPUnit:
@@ -147,17 +243,146 @@ class IFPUnit:
         self.subheap = SubheapScheme(config)
         self.global_table = GlobalTableScheme(config)
         self.stats = IFPUnitStats()
+        #: memoized MAC engine shared by the schemes' lookup paths
+        self.mac = MacCache(mac_key, self.stats)
         #: observer shared with the machine (repro.obs.attach_observer);
         #: None keeps every emission on its zero-cost disabled path
         self.obs = None
         #: fault injector (repro.resil.faults.FaultInjector.arm); None
         #: keeps promote on its zero-cost path
         self.faults = None
+        # Host-side result caches.  Both are active under *both* execution
+        # engines (reference and fastpath), which is what keeps RunStats /
+        # IFPUnitStats trivially identical across engines; they are
+        # bypassed whenever a fault injector or observer is armed.
+        self._promote_cache = {}      # (pointer, control.version) -> entry
+        self._promote_deps = {}       # 64-byte line number -> {cache keys}
+        self._layout_cache = {}       # (layout_ptr, subobject_index) -> walk
+        self._layout_env = (0, 0)     # [base, end) of compile-time tables
+        # The unit must see every guest store (line-buffer staleness +
+        # cache invalidation), so it claims the memory's snoop hooks.
+        memory.watcher = self.snoop_store
+        memory.unmap_watcher = self.on_unmap
+
+    # -- cache plumbing --------------------------------------------------------
+
+    def set_layout_envelope(self, base: int, end: int) -> None:
+        """Declare the loader's contiguous layout-table region.
+
+        Only walks whose ``layout_ptr`` falls inside the envelope are
+        cached, so store-snooping the region with two compares is a sound
+        invalidation rule (pointers outside it — e.g. forged by a fuzzed
+        guest — always walk live).
+        """
+        self._layout_env = (base, end)
+
+    def snoop_store(self, address: int, size: int) -> None:
+        """Guest-store snoop (installed as ``Memory.watcher``).
+
+        Keeps the metadata line buffer honest (a store to the buffered
+        line must force the next promote to re-fetch it — cycle-model
+        fidelity) and invalidates host-side cache entries whose recorded
+        fetches overlap the stored lines.
+        """
+        first = address >> 6
+        last = (address + size - 1) >> 6
+        port = self.port
+        buffered = port._buffered_line
+        if buffered >= 0 and first <= buffered <= last:
+            port._buffered_line = -1
+        if self._layout_cache:
+            lo, hi = self._layout_env
+            if address < hi and address + size > lo:
+                self._layout_cache.clear()
+        deps = self._promote_deps
+        if deps:
+            cache = self._promote_cache
+            for line in range(first, last + 1):
+                keys = deps.pop(line, None)
+                if keys:
+                    for key in keys:
+                        cache.pop(key, None)
+
+    def on_unmap(self, base: int, size: int) -> None:
+        """Unmap snoop (installed as ``Memory.unmap_watcher``): drop every
+        cached result — unmapped metadata must fault again on promote."""
+        if self._promote_cache:
+            self._promote_cache.clear()
+            self._promote_deps.clear()
+        if self._layout_cache:
+            self._layout_cache.clear()
 
     # -- the promote instruction ----------------------------------------------
 
     def promote(self, pointer: int) -> PromoteResult:
-        """Execute one promote; returns the resulting IFPR."""
+        """Execute one promote; returns the resulting IFPR.
+
+        When no instrument is armed, results are served from / recorded
+        into the promote cache keyed ``(pointer, control.version)``; a
+        replay re-applies the recorded stat deltas and fetch trace through
+        the live metadata port, so every simulated observable (cycles,
+        loads, L1 state, counters) matches a recomputed promote exactly.
+        """
+        if (self.faults is None and self.obs is None
+                and self.port.faults is None):
+            stats = self.stats
+            key = (pointer, self.control.version)
+            cached = self._promote_cache.get(key)
+            if cached is not None:
+                stats.promote_cache_hits += 1
+                return self._replay_promote(cached)
+            stats.promote_cache_misses += 1
+            snapshot = [getattr(stats, name)
+                        for name in _PROMOTE_DELTA_FIELDS]
+            port = self.port
+            port.begin_trace()
+            try:
+                result = self._promote_execute(pointer)
+            finally:
+                trace, extra = port.end_trace()
+            deltas = []
+            for name, before in zip(_PROMOTE_DELTA_FIELDS, snapshot):
+                after = getattr(stats, name)
+                if after != before:
+                    deltas.append((name, after - before))
+            self._remember_promote(key, result, trace, extra, deltas)
+            return result
+        return self._promote_execute(pointer)
+
+    def _replay_promote(self, entry) -> PromoteResult:
+        (pointer, bounds, outcome, narrowed, narrow_attempted,
+         trace, extra, deltas) = entry
+        stats = self.stats
+        for name, delta in deltas:
+            setattr(stats, name, getattr(stats, name) + delta)
+        port = self.port
+        start = port.cycles
+        port.replay(trace, extra)
+        cycles = self.config.promote_base_cycles + (port.cycles - start)
+        stats.promote_cycles += cycles
+        return PromoteResult(pointer, bounds, outcome, narrowed=narrowed,
+                             narrow_attempted=narrow_attempted, cycles=cycles)
+
+    def _remember_promote(self, key, result: PromoteResult, trace,
+                          extra: int, deltas) -> None:
+        cache = self._promote_cache
+        if len(cache) >= _PROMOTE_CACHE_CAPACITY:
+            cache.clear()
+            self._promote_deps.clear()
+        cache[key] = (result.pointer, result.bounds, result.outcome,
+                      result.narrowed, result.narrow_attempted,
+                      trace, extra, tuple(deltas))
+        deps = self._promote_deps
+        for address, size in trace:
+            for line in range(address >> 6, ((address + size - 1) >> 6) + 1):
+                bucket = deps.get(line)
+                if bucket is None:
+                    deps[line] = {key}
+                else:
+                    bucket.add(key)
+
+    def _promote_execute(self, pointer: int) -> PromoteResult:
+        """The uncached promote path (paper Figure 5, exactly as before)."""
         stats = self.stats
         config = self.config
         stats.promotes_total += 1
@@ -195,11 +420,11 @@ class IFPUnit:
         if tag.scheme is Scheme.LOCAL_OFFSET:
             stats.lookups_local_offset += 1
             metadata, mac_checked = self.local_offset.lookup(
-                address, tag, self.port, self.mac_key)
+                address, tag, self.port, self.mac)
         elif tag.scheme is Scheme.SUBHEAP:
             stats.lookups_subheap += 1
             metadata, mac_checked = self.subheap.lookup(
-                address, tag, self.port, self.control, self.mac_key)
+                address, tag, self.port, self.control, self.mac)
         else:
             stats.lookups_global_table += 1
             metadata, mac_checked = self.global_table.lookup(
@@ -241,10 +466,16 @@ class IFPUnit:
                     obs.narrow("disabled" if not config.narrowing_enabled
                                else "no_layout_table")
             else:
+                walk_cache = None
+                if self.faults is None and self.port.faults is None:
+                    env_lo, env_hi = self._layout_env
+                    if env_lo <= metadata.layout_ptr < env_hi:
+                        walk_cache = self._layout_cache
                 self.port.phase = "layout"
                 result = narrow_bounds(self.port, config,
                                        metadata.layout_ptr, bounds,
-                                       address, subobject_index)
+                                       address, subobject_index,
+                                       walk_cache, stats)
                 self.port.phase = None
                 if result.exact:
                     stats.narrow_success += 1

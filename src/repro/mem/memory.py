@@ -33,6 +33,13 @@ class Memory:
         #: memory-overhead evaluation (Figure 12).
         self.mapped_bytes = 0
         self.peak_mapped_bytes = 0
+        #: optional store snoop ``watcher(address, size)`` invoked before
+        #: every write — the IFP unit uses it to invalidate its metadata
+        #: line buffer and host-side promote/layout caches.  ``None``
+        #: keeps writes on their unwatched fast path.
+        self.watcher = None
+        #: optional ``unmap_watcher(base, size)`` invoked on unmap_range.
+        self.unmap_watcher = None
 
     # -- mapping ----------------------------------------------------------
 
@@ -53,6 +60,8 @@ class Memory:
         """Unmap all pages fully contained in ``[base, base + size)``."""
         if size <= 0:
             return
+        if self.unmap_watcher is not None:
+            self.unmap_watcher(base & ADDRESS_MASK, size)
         base &= ADDRESS_MASK
         first_full = -(-base // self.page_size)  # ceil division
         last_full = (base + size) // self.page_size  # exclusive
@@ -74,6 +83,14 @@ class Memory:
         address &= ADDRESS_MASK
         if size < 0:
             raise MemoryFault(f"negative read size {size}", address)
+        offset = address % self.page_size
+        if size and offset + size <= self.page_size:
+            # fast path: the whole read sits inside one page
+            page = self._pages.get(address // self.page_size)
+            if page is None:
+                raise MemoryFault(
+                    f"page fault at 0x{address:012x} (unmapped)", address)
+            return bytes(page[offset:offset + size])
         out = bytearray()
         remaining = size
         cursor = address
@@ -89,6 +106,18 @@ class Memory:
     def write_bytes(self, address: int, data: bytes) -> None:
         """Write ``data``; faults if any byte is unmapped."""
         address &= ADDRESS_MASK
+        size = len(data)
+        if self.watcher is not None:
+            self.watcher(address, size)
+        offset = address % self.page_size
+        if size and offset + size <= self.page_size:
+            # fast path: the whole write sits inside one page
+            page = self._pages.get(address // self.page_size)
+            if page is None:
+                raise MemoryFault(
+                    f"page fault at 0x{address:012x} (unmapped)", address)
+            page[offset:offset + size] = data
+            return
         cursor = address
         view = memoryview(data)
         while view:
@@ -103,6 +132,16 @@ class Memory:
 
     def load_int(self, address: int, size: int, signed: bool = False) -> int:
         """Load a little-endian integer of ``size`` bytes."""
+        address &= ADDRESS_MASK
+        offset = address % self.page_size
+        if size > 0 and offset + size <= self.page_size:
+            # fast path mirroring read_bytes, minus one call and copy
+            page = self._pages.get(address // self.page_size)
+            if page is None:
+                raise MemoryFault(
+                    f"page fault at 0x{address:012x} (unmapped)", address)
+            return int.from_bytes(page[offset:offset + size], "little",
+                                  signed=signed)
         raw = self.read_bytes(address, size)
         return int.from_bytes(raw, "little", signed=signed)
 

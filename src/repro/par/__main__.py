@@ -86,7 +86,7 @@ def _cmd_bench(args) -> int:
                       scale=args.scale,
                       timeout_seconds=args.shard_timeout,
                       seed=args.seed, jobs=args.jobs,
-                      shard_size=args.shard_size)
+                      shard_size=args.shard_size, engine=args.engine)
     cells, outcome = parallel_bench(
         plan, jobs=args.jobs, checkpoint_dir=args.checkpoint,
         shard_timeout=args.shard_timeout, shard_retries=args.retries,
@@ -193,6 +193,10 @@ def main(argv=None) -> int:
     bench.add_argument("--configs", default="baseline,wrapped,subheap",
                        help="comma-separated configuration list")
     bench.add_argument("--scale", type=int, default=1)
+    bench.add_argument("--engine", default="auto",
+                       choices=("auto", "fastpath", "reference"),
+                       help="execution engine; byte-identical results "
+                            "either way (default auto)")
     bench.add_argument("--out", metavar="JSON",
                        help="write schema-v1 metrics JSON here")
     _add_pool_args(bench)

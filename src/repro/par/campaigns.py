@@ -68,7 +68,8 @@ def run_fuzz_shard(shard: Dict[str, Any], attempt: int
         log=lambda message: None, progress_every=0,
         timeout_seconds=params["timeout_seconds"],
         retries=params["retries"],
-        backoff_base=params["backoff_base"])
+        backoff_base=params["backoff_base"],
+        engine=params.get("engine", "auto"))
     return stats.to_dict()
 
 
@@ -98,7 +99,8 @@ def run_resil_shard(shard: Dict[str, Any], attempt: int
     runner = CampaignRunner(
         scale=params["scale"],
         timeout_seconds=params["timeout_seconds"],
-        policy=STRICT_POLICY if params["strict"] else DEFAULT_POLICY)
+        policy=STRICT_POLICY if params["strict"] else DEFAULT_POLICY,
+        engine=params.get("engine", "auto"))
     results = []
     for index in shard["items"]:
         fault, scheme, name = cells[index]
@@ -166,7 +168,8 @@ def run_bench_shard(shard: Dict[str, Any], attempt: int
         workload_name, config = cells[index]
         run = run_workload(get_workload(workload_name), config,
                            scale=params["scale"],
-                           timeout_seconds=params["timeout_seconds"])
+                           timeout_seconds=params["timeout_seconds"],
+                           engine=params.get("engine", "auto"))
         results[f"{workload_name}/{config}"] = stats_to_dict(run.stats)
     return {"cells": results}
 

@@ -68,7 +68,7 @@ def plan_fuzz(iterations: int, seed: int, *, configs: Sequence[str],
               max_attacks: int = 2, plant_bug: bool = False,
               timeout_seconds: Optional[float] = None, retries: int = 2,
               backoff_base: float = 0.1, jobs: int = 1,
-              shard_size: int = 0) -> ShardPlan:
+              shard_size: int = 0, engine: str = "auto") -> ShardPlan:
     """Plan a fuzzing campaign as contiguous iteration-range shards.
 
     The shards partition ``range(start, start + iterations)``; the
@@ -82,6 +82,7 @@ def plan_fuzz(iterations: int, seed: int, *, configs: Sequence[str],
         "minimize": minimize, "max_attacks": max_attacks,
         "plant_bug": False, "timeout_seconds": timeout_seconds,
         "retries": retries, "backoff_base": backoff_base,
+        "engine": engine,
     }
     shards = default_shard_count(iterations, jobs, shard_size)
     plan = plan_range("fuzz", seed, iterations, params=params,
@@ -124,7 +125,7 @@ def plan_resil(*, workloads: Sequence[str], schemes: Sequence[str],
                faults: Sequence[str], seed: int = 0, scale: int = 1,
                timeout_seconds: Optional[float] = 120.0,
                strict: bool = False, jobs: int = 1,
-               shard_size: int = 0) -> ShardPlan:
+               shard_size: int = 0, engine: str = "auto") -> ShardPlan:
     """Plan a resilience campaign as contiguous slices of the global
     cell order (:func:`repro.resil.matrix.enumerate_cells`)."""
     total = len(workloads) * len(schemes) * len(faults)
@@ -132,6 +133,7 @@ def plan_resil(*, workloads: Sequence[str], schemes: Sequence[str],
         "workloads": list(workloads), "schemes": list(schemes),
         "faults": list(faults), "seed": seed, "scale": scale,
         "timeout_seconds": timeout_seconds, "strict": strict,
+        "engine": engine,
     }
     shards = default_shard_count(total, jobs, shard_size)
     return plan_indices("resil", seed, list(range(total)),
@@ -197,13 +199,14 @@ def parallel_juliet(plan: ShardPlan, *, jobs: int,
 def plan_bench(*, workloads: Sequence[str], configs: Sequence[str],
                scale: int = 1, timeout_seconds: Optional[float] = None,
                seed: int = 0, jobs: int = 1,
-               shard_size: int = 0) -> ShardPlan:
+               shard_size: int = 0, engine: str = "auto") -> ShardPlan:
     """Plan an ad-hoc ``(workload, config)`` sweep as contiguous slices
     of :func:`repro.par.campaigns.bench_cells` order."""
     total = len(bench_cells(tuple(workloads), tuple(configs)))
     params = {
         "workloads": list(workloads), "configs": list(configs),
         "scale": scale, "timeout_seconds": timeout_seconds,
+        "engine": engine,
     }
     shards = default_shard_count(total, jobs, shard_size)
     return plan_indices("bench", seed, list(range(total)),

@@ -77,6 +77,12 @@ def main(argv=None) -> int:
                              "(sharded path only)")
     parser.add_argument("--shard-retries", type=int, default=2,
                         help="requeues per failed shard (default 2)")
+    parser.add_argument("--engine", type=str, default="auto",
+                        choices=("auto", "fastpath", "reference"),
+                        help="execution engine; 'auto' runs clean "
+                             "reference runs on the fastpath and "
+                             "fault-injected runs on the reference "
+                             "interpreter (default auto)")
     parser.add_argument("--out", type=str, metavar="JSON",
                         help="write the matrix as a repro.obs "
                              "schema-v1 metrics document")
@@ -108,7 +114,8 @@ def main(argv=None) -> int:
             workloads=list(workloads), schemes=list(schemes),
             faults=list(faults), seed=args.seed, scale=args.scale,
             timeout_seconds=timeout, strict=args.strict,
-            jobs=args.jobs, shard_size=args.shard_size)
+            jobs=args.jobs, shard_size=args.shard_size,
+            engine=args.engine)
         campaign, outcome = parallel_resil(
             plan, jobs=args.jobs, checkpoint_dir=args.checkpoint,
             shard_timeout=args.shard_timeout,
@@ -120,7 +127,7 @@ def main(argv=None) -> int:
         campaign = run_campaign(
             workloads=workloads, schemes=schemes, faults=faults,
             seed=args.seed, scale=args.scale, timeout_seconds=timeout,
-            strict=args.strict, log=log)
+            strict=args.strict, log=log, engine=args.engine)
     print(campaign.render())
 
     if args.out:

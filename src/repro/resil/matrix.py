@@ -295,10 +295,16 @@ class CampaignRunner:
 
     def __init__(self, scale: int = 1,
                  timeout_seconds: Optional[float] = 120.0,
-                 policy: DegradationPolicy = DEFAULT_POLICY):
+                 policy: DegradationPolicy = DEFAULT_POLICY,
+                 engine: str = "auto"):
         self.scale = scale
         self.timeout_seconds = timeout_seconds
         self.policy = policy
+        #: execution engine for every run.  The default "auto" gives the
+        #: clean reference runs the fastpath and automatically drops
+        #: faulted runs (which arm an injector) back onto the reference
+        #: interpreter; "reference" forces the slow path everywhere.
+        self.engine = engine
         self._programs: Dict[Tuple[str, str], object] = {}
         self._references: Dict[Tuple[str, str], _Reference] = {}
 
@@ -315,7 +321,8 @@ class CampaignRunner:
     def _machine(self, workload: Workload, scheme: str) -> Machine:
         _options, ifp = scheme_setup(scheme)
         config = MachineConfig(ifp=ifp, policy=self.policy,
-                               wall_clock_timeout=self.timeout_seconds)
+                               wall_clock_timeout=self.timeout_seconds,
+                               engine=self.engine)
         return Machine(self._program(workload, scheme), config)
 
     def _reference(self, workload: Workload, scheme: str) -> _Reference:
@@ -419,9 +426,11 @@ def run_campaign(workloads: Tuple[str, ...] = DEFAULT_WORKLOADS,
                  faults: Tuple[str, ...] = FAULT_CLASSES,
                  seed: int = 0, scale: int = 1,
                  timeout_seconds: Optional[float] = 120.0,
-                 strict: bool = False, log=None) -> CampaignResult:
+                 strict: bool = False, log=None,
+                 engine: str = "auto") -> CampaignResult:
     """Convenience wrapper used by the CLI and the chaos-smoke CI job."""
     runner = CampaignRunner(
         scale=scale, timeout_seconds=timeout_seconds,
-        policy=STRICT_POLICY if strict else DEFAULT_POLICY)
+        policy=STRICT_POLICY if strict else DEFAULT_POLICY,
+        engine=engine)
     return runner.run(workloads, schemes, faults, seed=seed, log=log)

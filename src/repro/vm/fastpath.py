@@ -1,0 +1,740 @@
+"""Closure-compiled fast execution engine (basic-block compilation).
+
+The reference interpreter (:mod:`repro.vm.interp`) re-decodes every
+instruction on every execution: a ~30-arm ``if/elif`` chain plus a dozen
+``ins.*`` attribute loads per step.  This engine translates each
+:class:`~repro.compiler.ir.IRFunction` **once** (lazily, on first call)
+into specialized closures.  Straight-line runs of instructions are fused
+into a single Python function compiled at translate time — operands,
+immediates, resolved global addresses, and static cycle costs are inlined
+as literals — so a fused block executes with *no* per-instruction
+dispatch at all.  Instructions that transfer control to other functions
+(``call``/``callptr``) compile to single-instruction blocks.  The hot
+loop is just::
+
+    while ip >= 0:
+        ip = handlers[ip](st)
+
+Each handler returns the next instruction index; ``ret`` returns -1.
+
+Equivalence contract (enforced by ``tests/test_fastpath.py`` and the CI
+differential gate): guest output, trap class/message, ``RunStats`` and
+``IFPUnitStats`` are **byte-identical** to the reference interpreter for
+every program.  The compiled code replicates the reference's accounting
+exactly, including at trap time:
+
+* ``executed`` and the deferred stat counters (``st.c``) are updated at
+  *segment* boundaries — a segment ends at each instruction that can
+  raise — so any trap observes precisely the counts the reference's
+  per-instruction accounting would have produced.
+* A fused block checks the instruction budget once on entry against its
+  static length; if the budget could trip inside the block, it falls
+  back to single-stepping so :class:`StepBudgetExceeded` fires at the
+  exact instruction, with the exact message, of the reference.
+* Trap-time cycle corner cases are compensated inline (a poison/bounds-
+  trapped access counts its instruction but not its cycle; a division by
+  zero charges one cycle less than a completed division).
+
+Runs with the wall-clock watchdog armed single-step (the deadline is
+polled between instructions, as in the reference); runs with a tracer,
+observer, or fault injector armed never reach this engine —
+:meth:`Machine.select_interp` routes them to the reference interpreter.
+The one knowable divergence: when the watchdog fires at the exact
+instruction where the budget also trips, this engine reports the timeout
+and the reference the budget trap — unobservable in practice since
+watchdog expiry is host-timing dependent.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import (
+    BoundsTrap, LinkError, PoisonTrap, SimTrap, StepBudgetExceeded,
+    WorkloadTimeout,
+)
+from repro.compiler.ir import IRFunction, Op
+from repro.ifp.bounds import Bounds
+from repro.mem.layout import ADDRESS_MASK
+from repro.vm.interp import (
+    Interpreter, U64, _CALL_EXTRA, _DIV_EXTRA, _MUL_EXTRA, _signed,
+)
+
+#: clears both poison bits of a tagged pointer
+_PCLR = ~(3 << 62)
+
+# instruction classification for block formation
+_SIMPLE = 0    #: cannot raise; fusable anywhere in a block
+_RAISING = 1   #: may raise; fusable, but ends an accounting segment
+_TERM = 2      #: branch/ret; fusable only as the last instruction
+_BARRIER = 3   #: call/callptr; always compiled as its own block
+
+
+class _Act:
+    """Per-activation state threaded through the compiled handlers.
+
+    ``c`` is the deferred-counter block, indexed as ``[base, promote,
+    ifp_arith, bounds_ls, extra_cycles, loads, stores]``.  Total cycles
+    at flush = ``c[0] + c[2] + c[3] + c[4]`` (every base / ifp-arith /
+    bounds-ls instruction costs its baseline cycle; extras — cache
+    accesses, mul/div/call latencies, promote results — accumulate in
+    ``c[4]``).
+    """
+
+    __slots__ = ("regs", "bnds", "frame_base", "c", "ret", "retb")
+
+
+#: value expressions for the single-cycle BIN/BINI variants, keyed by the
+#: IR-assigned code (see repro.compiler.ir.BIN_CODES).  {a}/{b} are
+#: replaced with operand expressions at translate time.  mul (2) and
+#: div/rem (3/4) carry extra cycles and are emitted separately.
+_BIN_EXPR = {
+    0: "({a} + {b}) & U64",
+    1: "({a} - {b}) & U64",
+    5: "{a} & {b}",
+    6: "{a} | {b}",
+    7: "{a} ^ {b}",
+    8: "({a} << ({b} & 63)) & U64",
+    9: "{a} >> ({b} & 63)",
+    10: "(_signed({a}) >> ({b} & 63)) & U64",
+    11: "int({a} == {b})",
+    12: "int({a} != {b})",
+    13: "int({a} < {b})",
+    14: "int({a} <= {b})",
+    15: "(-{a}) & U64",
+    16: "int({a} == 0)",
+    17: "(~{a}) & U64",
+    18: "int(({a} & ADDRESS_MASK) == ({b} & ADDRESS_MASK))",
+    19: "int(({a} & ADDRESS_MASK) != ({b} & ADDRESS_MASK))",
+    20: "int(({a} & ADDRESS_MASK) < ({b} & ADDRESS_MASK))",
+    21: "int(({a} & ADDRESS_MASK) <= ({b} & ADDRESS_MASK))",
+    22: "(({a} & ADDRESS_MASK) - ({b} & ADDRESS_MASK)) & U64",
+}
+
+#: signed overrides (only slt/sle interpret their operands as signed)
+_BIN_EXPR_SIGNED = {
+    13: "int(_signed({a}) < _signed({b}))",
+    14: "int(_signed({a}) <= _signed({b}))",
+}
+
+
+class _Emitted:
+    """Source fragment for one instruction."""
+
+    __slots__ = ("counts", "lines", "kind", "ret_expr")
+
+    def __init__(self, counts, lines, kind, ret_expr=None):
+        self.counts = counts      #: static 7-tuple of st.c deltas
+        self.lines = lines        #: statements (may embed their own indent)
+        self.kind = kind
+        self.ret_expr = ret_expr  #: next-ip expression for _TERM
+
+
+class _FuncCompiler:
+    """Compiles one IRFunction into handler lists for a FastInterpreter.
+
+    Produces two views sharing the barrier handlers:
+
+    * ``fused`` — basic blocks collapsed into one compiled function each,
+      used by the no-deadline loop;
+    * ``singles`` — one handler per instruction, used when the wall-clock
+      watchdog is armed (the deadline is polled between instructions) and
+      by the near-budget fallback of fused blocks.
+    """
+
+    def __init__(self, interp: "FastInterpreter", func: IRFunction):
+        self.interp = interp
+        self.func = func
+        self.ns = {
+            "U64": U64, "ADDRESS_MASK": ADDRESS_MASK, "_signed": _signed,
+            "Bounds": Bounds, "SimTrap": SimTrap, "PoisonTrap": PoisonTrap,
+            "BoundsTrap": BoundsTrap, "LinkError": LinkError,
+            "StepBudgetExceeded": StepBudgetExceeded,
+            "I": interp, "stats": interp.stats,
+            "access": interp.hierarchy.access_cycles,
+            "mem_load": interp.memory.load_int,
+            "mem_store": interp.memory.store_int,
+            "memory": interp.memory,
+            "mac_compute": interp.ifp.mac.compute,
+            "tagged": interp._ifpadd_tagged,
+            "promote": interp.ifp.promote,
+            "call_function": interp.call_function,
+            "FBA": interp.functions_by_address,
+            "FN": func.name, "LIMIT": interp._limit, "PCLR": _PCLR,
+        }
+
+    # -- per-instruction source ---------------------------------------------
+
+    def emit(self, ins, ip: int) -> _Emitted:
+        op = ins.op
+        nip = ip + 1
+        d, a, b, imm = ins.dst, ins.a, ins.b, ins.imm
+
+        if op == Op.BIN or op == Op.BINI:
+            return self._emit_bin(ins)
+        if op == Op.LOAD or op == Op.STORE:
+            kind = "load" if op == Op.LOAD else "store"
+            lines = [
+                f"_p = regs[{a}]",
+                "if _p >> 62:",
+                "    c[4] -= 1",
+                f"    raise PoisonTrap('{kind} through poisoned pointer',"
+                f" _p, pc=(FN, {ip}))",
+                ("_ea = _p & ADDRESS_MASK" if imm == 0 else
+                 f"_ea = ((_p & ADDRESS_MASK) + {imm}) & ADDRESS_MASK"),
+                f"_bd = bnds[{a}]",
+                "if _bd is not None:",
+                "    stats.implicit_checks += 1",
+                f"    if not (_bd.lower <= _ea"
+                f" and _ea + {ins.size} <= _bd.upper):",
+                "        stats.check_failures += 1",
+                "        c[4] -= 1",
+                f"        raise BoundsTrap('{kind} out of bounds', _p,"
+                f" _bd.lower, _bd.upper, pc=(FN, {ip}))",
+            ]
+            if op == Op.LOAD:
+                lines += [
+                    f"c[4] += access(_ea, {ins.size}, False)",
+                    f"regs[{d}] = mem_load(_ea, {ins.size},"
+                    f" {bool(ins.signed)}) & U64",
+                    f"bnds[{d}] = None",
+                ]
+                return _Emitted((1, 0, 0, 0, 0, 1, 0), lines, _RAISING)
+            lines += [
+                f"c[4] += access(_ea, {ins.size}, True)",
+                f"mem_store(_ea, regs[{b}], {ins.size})",
+            ]
+            return _Emitted((1, 0, 0, 0, 0, 0, 1), lines, _RAISING)
+        if op == Op.MV:
+            return _Emitted((1, 0, 0, 0, 0, 0, 0),
+                            [f"regs[{d}] = regs[{a}]",
+                             f"bnds[{d}] = bnds[{a}]"], _SIMPLE)
+        if op == Op.LI:
+            return _Emitted((1, 0, 0, 0, 0, 0, 0),
+                            [f"regs[{d}] = {imm & U64}",
+                             f"bnds[{d}] = None"], _SIMPLE)
+        if op == Op.BZ:
+            return _Emitted((1, 0, 0, 0, 0, 0, 0), [], _TERM,
+                            f"{ins.target} if regs[{a}] == 0 else {nip}")
+        if op == Op.BNZ:
+            return _Emitted((1, 0, 0, 0, 0, 0, 0), [], _TERM,
+                            f"{ins.target} if regs[{a}] != 0 else {nip}")
+        if op == Op.JMP:
+            return _Emitted((1, 0, 0, 0, 0, 0, 0), [], _TERM,
+                            f"{ins.target}")
+        if op == Op.TRUNC:
+            bits = ins.size * 8
+            mask = (1 << bits) - 1
+            if ins.signed:
+                lines = [
+                    f"_v = regs[{a}] & {mask}",
+                    f"if _v & {1 << (bits - 1)}:",
+                    f"    _v |= {U64 >> bits << bits}",
+                    f"regs[{d}] = _v",
+                    f"bnds[{d}] = None",
+                ]
+            else:
+                lines = [f"regs[{d}] = regs[{a}] & {mask}",
+                         f"bnds[{d}] = None"]
+            return _Emitted((1, 0, 0, 0, 0, 0, 0), lines, _SIMPLE)
+        if op == Op.FRAME:
+            return _Emitted((1, 0, 0, 0, 0, 0, 0),
+                            [f"regs[{d}] = st.frame_base + {imm}",
+                             f"bnds[{d}] = None"], _SIMPLE)
+        if op == Op.GLOB:
+            address = self.interp.symbols.get(ins.name)
+            if address is None:
+                msg = f"undefined symbol {ins.name!r}"
+                return _Emitted((1, 0, 0, 0, 0, 0, 0),
+                                [f"raise LinkError({msg!r})"], _RAISING)
+            return _Emitted((1, 0, 0, 0, 0, 0, 0),
+                            [f"regs[{d}] = {address}",
+                             f"bnds[{d}] = None"], _SIMPLE)
+        if op == Op.CALL or op == Op.CALLPTR:
+            return _Emitted((0, 0, 0, 0, 0, 0, 0), [], _BARRIER)
+        if op == Op.RET:
+            if a >= 0:
+                lines = [f"st.ret = regs[{a}]", f"st.retb = bnds[{a}]"]
+            else:
+                lines = ["st.ret = 0", "st.retb = None"]
+            return _Emitted((1, 0, 0, 0, _CALL_EXTRA, 0, 0), lines,
+                            _TERM, "-1")
+        if op == Op.PROMOTE:
+            if self.interp._no_promote:
+                return _Emitted((0, 1, 0, 0, 1, 0, 0),
+                                [f"regs[{d}] = regs[{a}]",
+                                 f"bnds[{d}] = None"], _SIMPLE)
+            lines = [
+                f"_pr = promote(regs[{a}])",
+                "c[4] += _pr.cycles",
+                f"regs[{d}] = _pr.pointer",
+                f"bnds[{d}] = _pr.bounds",
+            ]
+            return _Emitted((0, 1, 0, 0, 0, 0, 0), lines, _RAISING)
+        if op == Op.IFPADD:
+            delta = f"{imm}" if b < 0 else f"_signed(regs[{b}])"
+            lines = [
+                f"_v = regs[{a}]",
+                f"_ad = ((_v & ADDRESS_MASK) + {delta}) & ADDRESS_MASK",
+                "_tg = _v >> 48",
+                f"regs[{d}] = _ad if _tg == 0"
+                f" else tagged(_v, _ad, _tg, bnds[{a}])",
+                f"bnds[{d}] = bnds[{a}]",
+            ]
+            return _Emitted((0, 0, 1, 0, 0, 0, 0), lines, _SIMPLE)
+        if op == Op.IFPBND:
+            size = f"{imm}" if b < 0 else f"regs[{b}]"
+            lines = [
+                f"_v = regs[{a}]",
+                f"_sz = {size}",
+                "_ad = _v & ADDRESS_MASK",
+                f"regs[{d}] = _v",
+                f"bnds[{d}] = Bounds(_ad, _ad + _sz)",
+            ]
+            return _Emitted((0, 0, 1, 0, 0, 0, 0), lines, _SIMPLE)
+        if op == Op.IFPIDX:
+            lb = self.interp._local_sub_bits
+            sb = self.interp._subheap_sub_bits
+            lines = [
+                f"_v = regs[{a}]",
+                "_s = (_v >> 60) & 3",
+                f"_w = {lb} if _s == 1 else {sb} if _s == 2 else 0",
+                "if _w:",
+                "    _m = (1 << _w) - 1",
+                f"    _f = (((_v >> 48) & _m) + {imm}) & _m",
+                "    _v = (_v & ~(_m << 48)) | (_f << 48)",
+                f"regs[{d}] = _v",
+                f"bnds[{d}] = bnds[{a}]",
+            ]
+            return _Emitted((0, 0, 1, 0, 0, 0, 0), lines, _SIMPLE)
+        if op == Op.IFPCHK:
+            lines = [
+                f"_v = regs[{a}]",
+                f"_bd = bnds[{a}]",
+                "if _bd is not None:",
+                "    _ad = _v & ADDRESS_MASK",
+                "    stats.implicit_checks += 1",
+                f"    if not (_bd.lower <= _ad"
+                f" and _ad + {imm} <= _bd.upper):",
+                "        stats.check_failures += 1",
+                f"        _v = (_v & PCLR) | {1 << 62}",
+                f"regs[{d}] = _v",
+                f"bnds[{d}] = _bd",
+            ]
+            return _Emitted((0, 0, 1, 0, 0, 0, 0), lines, _SIMPLE)
+        if op == Op.IFPEXTRACT:
+            lines = [
+                f"_v = regs[{a}]",
+                f"_bd = bnds[{a}]",
+                "if _bd is not None:",
+                "    _ad = _v & ADDRESS_MASK",
+                "    _v = (_v & PCLR) | ((0 if _bd.lower <= _ad"
+                " < _bd.upper else 1) << 62)",
+                f"regs[{d}] = _v",
+                f"bnds[{d}] = None",
+            ]
+            return _Emitted((0, 0, 1, 0, 0, 0, 0), lines, _SIMPLE)
+        if op == Op.IFPMD:
+            lines = [f"regs[{d}] = (regs[{a}] & ADDRESS_MASK)"
+                     f" | {imm << 48}",
+                     f"bnds[{d}] = None"]
+            if ins.name:
+                lines.append("stats.local_objects += 1")
+                if ins.name == "local+lt":
+                    lines.append("stats.local_objects_lt += 1")
+            return _Emitted((0, 0, 1, 0, 0, 0, 0), lines, _SIMPLE)
+        if op == Op.IFPMAC:
+            mac_cycles = self.interp.machine.config.ifp.mac_cycles
+            lines = [
+                f"regs[{d}] = mac_compute((regs[{a}] & ADDRESS_MASK,"
+                f" {imm}, regs[{b}]))",
+                f"bnds[{d}] = None",
+            ]
+            return _Emitted((0, 0, 1, 0, mac_cycles, 0, 0), lines,
+                            _SIMPLE)
+        if op == Op.LDBND:
+            lines = [
+                f"_ea = (regs[{a}] & ADDRESS_MASK) + {imm}",
+                "c[4] += access(_ea, 16, False)",
+                "if not memory.is_mapped(_ea, 16):",
+                "    memory.map_range(_ea, 16)",
+                "_lo = memory.load_u64(_ea)",
+                "_hi = memory.load_u64(_ea + 8)",
+                f"bnds[{d}] = None if _lo == 0 and _hi == 0"
+                " else Bounds(_lo, _hi)",
+            ]
+            return _Emitted((0, 0, 0, 1, 0, 0, 0), lines, _RAISING)
+        if op == Op.STBND:
+            lines = [
+                f"_ea = (regs[{a}] & ADDRESS_MASK) + {imm}",
+                "c[4] += access(_ea, 16, True)",
+                "if not memory.is_mapped(_ea, 16):",
+                "    memory.map_range(_ea, 16)",
+                f"_bd = bnds[{b}]",
+                "if _bd is None:",
+                "    memory.store_u64(_ea, 0)",
+                "    memory.store_u64(_ea + 8, 0)",
+                "else:",
+                "    memory.store_u64(_ea, _bd.lower)",
+                "    memory.store_u64(_ea + 8, _bd.upper)",
+            ]
+            return _Emitted((0, 0, 0, 1, 0, 0, 0), lines, _RAISING)
+        # Unreachable from compiled programs; message rendered now so it
+        # matches what the reference would produce at run time.
+        msg = f"unimplemented opcode {op}"
+        return _Emitted((0, 0, 0, 0, 0, 0, 0),
+                        [f"raise SimTrap({msg!r})"], _RAISING)
+
+    def _emit_bin(self, ins) -> _Emitted:
+        d, a = ins.dst, ins.a
+        is_imm = ins.op == Op.BINI
+        code = ins.code
+        aex = f"regs[{a}]"
+        bex = f"({ins.imm})" if is_imm else f"regs[{ins.b}]"
+        if code == 2:
+            return _Emitted(
+                (1, 0, 0, 0, _MUL_EXTRA + 1, 0, 0),
+                [f"regs[{d}] = ({aex} * {bex}) & U64",
+                 f"bnds[{d}] = None"], _SIMPLE)
+        if code == 3 or code == 4:
+            lines = [
+                f"_b = {bex}",
+                "if _b == 0:",
+                "    c[4] -= 1",
+                "    raise SimTrap('division by zero')",
+                f"_a = {aex}",
+            ]
+            if ins.signed:
+                lines += ["_sa = _signed(_a)", "_sb = _signed(_b)"]
+            else:
+                lines += ["_sa = _a", "_sb = _b"]
+            lines += [
+                "_q = abs(_sa) // abs(_sb)",
+                "if (_sa < 0) != (_sb < 0):",
+                "    _q = -_q",
+                (f"regs[{d}] = _q & U64" if code == 3 else
+                 f"regs[{d}] = (_sa - _q * _sb) & U64"),
+                f"bnds[{d}] = None",
+            ]
+            return _Emitted((1, 0, 0, 0, _DIV_EXTRA + 1, 0, 0), lines,
+                            _RAISING)
+        table = _BIN_EXPR_SIGNED if ins.signed else _BIN_EXPR
+        expr = table.get(code) or _BIN_EXPR.get(code)
+        if expr is None:
+            # The reference raises before charging the instruction's
+            # trailing cycle; compensate the baseline cycle c[0] implies.
+            return _Emitted((1, 0, 0, 0, 0, 0, 0),
+                            ["c[4] -= 1",
+                             f"raise SimTrap('bad BIN code {code}')"],
+                            _RAISING)
+        if is_imm and code in (8, 9, 10):
+            bex = f"{ins.imm & 63}"  # constant-fold the shift count
+        return _Emitted((1, 0, 0, 0, 0, 0, 0),
+                        [f"regs[{d}] = {expr.format(a=aex, b=bex)}",
+                         f"bnds[{d}] = None"], _SIMPLE)
+
+    # -- call/callptr (barrier) handlers ------------------------------------
+
+    def _emit_call(self, ins, ip: int) -> List[str]:
+        """Body lines for a call 1-block (flush + dispatch)."""
+        nip = ip + 1
+        args = ", ".join(f"regs[{r}]" for r in ins.args)
+        bounds = ", ".join(f"bnds[{r}]" for r in ins.args)
+        lines = [
+            "c[0] += 1",
+            f"c[4] += {_CALL_EXTRA}",
+            f"_as = [{args}]",
+            f"_bs = [{bounds}]",
+        ]
+        if ins.op == Op.CALL:
+            target = f"{ins.name!r}"
+        else:
+            lines += [
+                f"_ad = regs[{ins.a}] & ADDRESS_MASK",
+                "_nm = FBA.get(_ad)",
+                "if _nm is None:",
+                "    raise SimTrap('indirect call to non-function"
+                " address 0x%x' % _ad)",
+            ]
+            target = "_nm"
+        # Flush the deferred counters before recursing so nested runs
+        # see consistent global stats (the reference does the same).
+        lines += [
+            "stats.base_instructions += c[0]",
+            "stats.promote_instructions += c[1]",
+            "stats.ifp_arith_instructions += c[2]",
+            "stats.bounds_ls_instructions += c[3]",
+            "stats.cycles += c[0] + c[2] + c[3] + c[4]",
+            "stats.loads += c[5]",
+            "stats.stores += c[6]",
+            "c[0] = c[1] = c[2] = c[3] = c[4] = c[5] = c[6] = 0",
+            f"_v, _rb = call_function({target}, _as, _bs)",
+        ]
+        if ins.dst >= 0:
+            lines += [f"regs[{ins.dst}] = _v", f"bnds[{ins.dst}] = _rb"]
+        lines.append(f"return {nip}")
+        return lines
+
+    # -- block assembly ------------------------------------------------------
+
+    def _assemble(self, header: List[str], body: List[str]) -> object:
+        src = "def _b(st):\n" + "".join(
+            f"    {line}\n" for line in header + body)
+        ns = dict(self.ns)
+        exec(src, ns)  # noqa: S102 - templates above, literals only
+        return ns["_b"]
+
+    def _single_header(self, ip: int) -> List[str]:
+        """Accounting prologue for a 1-instruction block: exact budget
+        check with the reference's message and pc."""
+        return [
+            "e = I.executed + 1",
+            "if e > LIMIT:",
+            "    raise StepBudgetExceeded(",
+            "        f'instruction limit exceeded"
+            " ({e:,} > {LIMIT:,})',",
+            f"        executed=e, limit=LIMIT, pc=(FN, {ip}))",
+            "I.executed = e",
+            "regs = st.regs",
+            "bnds = st.bnds",
+            "c = st.c",
+        ]
+
+    @staticmethod
+    def _counter_lines(counts) -> List[str]:
+        return [f"c[{i}] += {n}" for i, n in enumerate(counts) if n]
+
+    def compile_single(self, ins, ip: int) -> object:
+        if ins.op == Op.CALL or ins.op == Op.CALLPTR:
+            body = self._emit_call(ins, ip)
+        else:
+            em = self.emit(ins, ip)
+            body = self._counter_lines(em.counts) + list(em.lines)
+            body.append(f"return {em.ret_expr if em.kind == _TERM else ip + 1}")
+        return self._assemble(self._single_header(ip), body)
+
+    def compile_block(self, emitted: List[Tuple[int, _Emitted]],
+                      fallback) -> object:
+        """Compile a fused run of >= 2 instructions into one function.
+
+        ``emitted`` is [(ip, _Emitted), ...] in order; the last entry may
+        be a terminator.  ``fallback`` single-steps from the block start
+        and is taken when the instruction budget could trip inside.
+        """
+        k = len(emitted)
+        header = [
+            "e0 = I.executed",
+            f"if e0 + {k} > LIMIT:",
+            "    return _fb(st)",
+            "regs = st.regs",
+            "bnds = st.bnds",
+            "c = st.c",
+        ]
+        # Segments: executed/counters become exact at each raising
+        # instruction (and at the end), so a trap anywhere observes the
+        # reference's counts.
+        body: List[str] = []
+        seg_counts = [0] * 7
+        seg_lines: List[str] = []
+        done = 0
+
+        def close_segment(through: int) -> None:
+            nonlocal seg_counts, seg_lines, done
+            if through > done:
+                body.append(f"I.executed = e0 + {through}")
+            body.extend(self._counter_lines(seg_counts))
+            body.extend(seg_lines)
+            done = through
+            seg_counts = [0] * 7
+            seg_lines = []
+
+        for index, (ip, em) in enumerate(emitted):
+            for i, n in enumerate(em.counts):
+                seg_counts[i] += n
+            if em.kind == _RAISING:
+                # executed/counters (including this instruction's) must
+                # be current before any statement that can raise
+                close_segment(index + 1)
+                body.extend(em.lines)
+            elif em.kind == _TERM:
+                seg_lines.extend(em.lines)
+                close_segment(index + 1)
+                body.append(f"return {em.ret_expr}")
+                break
+            else:
+                seg_lines.extend(em.lines)
+        else:
+            close_segment(k)
+            body.append(f"return {emitted[-1][0] + 1}")
+        ns_extra = {"_fb": fallback}
+        src = "def _b(st):\n" + "".join(
+            f"    {line}\n" for line in header + body)
+        ns = dict(self.ns)
+        ns.update(ns_extra)
+        exec(src, ns)  # noqa: S102
+        return ns["_b"]
+
+    # -- function-level translation ------------------------------------------
+
+    def branch_targets(self) -> set:
+        targets = set()
+        for ins in self.func.instrs:
+            if ins.op in (Op.JMP, Op.BZ, Op.BNZ):
+                targets.add(ins.target)
+        return targets
+
+    def compile_singles(self) -> list:
+        handlers = [self.compile_single(ins, ip)
+                    for ip, ins in enumerate(self.func.instrs)]
+        handlers.append(_make_sentinel(self.func.name))
+        return handlers
+
+    def compile_fused(self) -> list:
+        instrs = self.func.instrs
+        count = len(instrs)
+        targets = self.branch_targets()
+        handlers: list = [None] * (count + 1)
+        handlers[count] = _make_sentinel(self.func.name)
+        interp = self.interp
+        func = self.func
+        ip = 0
+        while ip < count:
+            em = self.emit(instrs[ip], ip)
+            if em.kind == _BARRIER:
+                handlers[ip] = self.compile_single(instrs[ip], ip)
+                ip += 1
+                continue
+            # grow a block: stop before a barrier or a branch target,
+            # stop after a terminator
+            block = [(ip, em)]
+            end = ip + 1
+            while end < count and end not in targets \
+                    and block[-1][1].kind != _TERM:
+                nxt = self.emit(instrs[end], end)
+                if nxt.kind == _BARRIER:
+                    break
+                block.append((end, nxt))
+                end += 1
+            if len(block) == 1:
+                handlers[ip] = self.compile_single(instrs[ip], ip)
+            else:
+                handlers[ip] = self.compile_block(
+                    block, _make_fallback(interp, func, ip))
+            # non-leader slots inside the block are never entered (blocks
+            # stop before branch targets); point them at the sentinel's
+            # defensive neighbour anyway for debuggability
+            for inner, _ in block[1:]:
+                handlers[inner] = _make_unreachable(func.name, inner)
+            ip = end
+        return handlers
+
+
+def _make_sentinel(name: str):
+    def _h(st):
+        raise SimTrap(f"function {name} fell off the end")
+    return _h
+
+
+def _make_unreachable(name: str, ip: int):
+    def _h(st):  # pragma: no cover - blocks never start mid-run
+        raise AssertionError(
+            f"fastpath entered mid-block at {name}+{ip}")
+    return _h
+
+
+def _make_fallback(interp: "FastInterpreter", func: IRFunction, base: int):
+    """Single-step continuation for a block entered too close to the
+    instruction budget: runs the per-instruction handlers (which carry
+    the exact budget check) until the function returns or traps."""
+    def _fb(st):
+        singles = interp._singles.get(func.name)
+        if singles is None:
+            singles = interp._translate_singles(func)
+        ip = base
+        while ip >= 0:
+            ip = singles[ip](st)
+        return -1
+    return _fb
+
+
+class FastInterpreter(Interpreter):
+    """Block-compiling engine; drop-in replacement for the reference.
+
+    Inherits the call-entry / builtin / deadline plumbing and the
+    ``_ifpadd_tagged`` helper (the same code object the reference runs,
+    so tag maintenance cannot diverge); only ``_run`` is replaced.
+    """
+
+    def __init__(self, machine):
+        super().__init__(machine)
+        #: function name -> fused handler list (blocks at leaders)
+        self._fused: Dict[str, list] = {}
+        #: function name -> per-instruction handler list
+        self._singles: Dict[str, list] = {}
+
+    def _translate_fused(self, func: IRFunction) -> list:
+        handlers = _FuncCompiler(self, func).compile_fused()
+        self._fused[func.name] = handlers
+        return handlers
+
+    def _translate_singles(self, func: IRFunction) -> list:
+        handlers = _FuncCompiler(self, func).compile_singles()
+        self._singles[func.name] = handlers
+        return handlers
+
+    def _run(self, func: IRFunction, args: List[int],
+             arg_bounds: List[Optional[Bounds]]
+             ) -> Tuple[int, Optional[Bounds]]:
+        machine = self.machine
+        frame_base = machine.push_frame(func.frame_size)
+        st = _Act()
+        st.regs = regs = [0] * func.num_regs
+        st.bnds = bnds = [None] * func.num_regs
+        st.frame_base = frame_base
+        st.c = c = [0, 0, 0, 0, 0, 0, 0]
+        st.ret = 0
+        st.retb = None
+        for index, preg in enumerate(func.param_regs):
+            if index < len(args):
+                regs[preg] = args[index] & U64
+                bnds[preg] = arg_bounds[index] \
+                    if index < len(arg_bounds) else None
+        stats = self.stats
+        name = func.name
+        ip = 0
+        try:
+            deadline = self._deadline
+            if deadline:
+                # Watchdog armed: single-step so the deadline is polled
+                # between instructions, exactly as the reference does.
+                handlers = self._singles.get(name) \
+                    or self._translate_singles(func)
+                monotonic = time.monotonic
+                while ip >= 0:
+                    e1 = self.executed + 1
+                    if not e1 & 0xFFF and monotonic() > deadline:
+                        self.executed = e1
+                        raise WorkloadTimeout(
+                            f"wall-clock timeout after "
+                            f"{self._timeout_seconds:g}s "
+                            f"({e1:,} instructions executed, "
+                            f"at {name}+{ip})",
+                            seconds=self._timeout_seconds,
+                            executed=e1)
+                    ip = handlers[ip](st)
+            else:
+                handlers = self._fused.get(name) \
+                    or self._translate_fused(func)
+                while ip >= 0:
+                    ip = handlers[ip](st)
+            return st.ret, st.retb
+        finally:
+            stats.base_instructions += c[0]
+            stats.promote_instructions += c[1]
+            stats.ifp_arith_instructions += c[2]
+            stats.bounds_ls_instructions += c[3]
+            stats.cycles += c[0] + c[2] + c[3] + c[4]
+            stats.loads += c[5]
+            stats.stores += c[6]
+            machine.pop_frame(func.frame_size)

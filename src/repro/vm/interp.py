@@ -26,9 +26,8 @@ from repro.errors import (
     BoundsTrap, GuestExit, LinkError, PoisonTrap, SimTrap,
     StepBudgetExceeded, WorkloadTimeout,
 )
-from repro.compiler.ir import IRFunction, Op
+from repro.compiler.ir import BIN_CODES, IRFunction, Op
 from repro.ifp.bounds import Bounds
-from repro.ifp.mac import compute_mac
 from repro.mem.layout import ADDRESS_MASK
 from repro.obs.events import BoundsSpillEvent, CheckEvent, PromoteEvent
 
@@ -37,13 +36,10 @@ _SCHEME_NAMES = ("LEGACY", "LOCAL_OFFSET", "SUBHEAP", "GLOBAL_TABLE")
 U64 = (1 << 64) - 1
 _SIGN = 1 << 63
 
-# Integer codes for BIN/BINI variants (assigned at prepare time).
-_BIN_CODES: Dict[str, int] = {
-    "add": 0, "sub": 1, "mul": 2, "div": 3, "rem": 4, "and": 5, "or": 6,
-    "xor": 7, "shl": 8, "shr": 9, "sar": 10, "seq": 11, "sne": 12,
-    "slt": 13, "sle": 14, "neg": 15, "lnot": 16, "bnot": 17,
-    "pseq": 18, "psne": 19, "pslt": 20, "psle": 21, "psub": 22,
-}
+#: BIN/BINI variant codes now live with the IR and are assigned at
+#: compile/load time (see :func:`repro.compiler.ir.assign_bin_codes`);
+#: kept as an alias for backward compatibility.
+_BIN_CODES: Dict[str, int] = BIN_CODES
 
 _MUL_EXTRA = 2   #: extra cycles for multiply
 _DIV_EXTRA = 7   #: extra cycles for divide/remainder
@@ -79,7 +75,9 @@ class Interpreter:
         self._timeout_seconds = 0.0
         self._no_promote = machine.config.no_promote
         self._mac_key = machine.config.mac_key
-        self._prepare()
+        # BIN/BINI codes are assigned at compile/load time (satellite of
+        # the fastpath work): constructing thousands of Machines over one
+        # program no longer re-walks every function.
 
     def arm_deadline(self, timeout_seconds: Optional[float]) -> None:
         """Arm (or disarm, with None) the wall-clock watchdog."""
@@ -89,16 +87,6 @@ class Interpreter:
         else:
             self._timeout_seconds = timeout_seconds
             self._deadline = time.monotonic() + timeout_seconds
-
-    def _prepare(self) -> None:
-        """Assign integer codes to BIN/BINI variants for fast dispatch."""
-        for func in self.program.functions.values():
-            for ins in func.instrs:
-                if ins.op in (Op.BIN, Op.BINI):
-                    try:
-                        ins.code = _BIN_CODES[ins.name]
-                    except KeyError:
-                        raise LinkError(f"unknown BIN variant {ins.name!r}")
 
     # -- call entry --------------------------------------------------------------
 
@@ -530,8 +518,7 @@ class Interpreter:
                 elif op == Op.IFPMAC:
                     arith_i += 1
                     cycles += 1 + self.machine.config.ifp.mac_cycles
-                    regs[ins.dst] = compute_mac(
-                        self._mac_key,
+                    regs[ins.dst] = self.ifp.mac.compute(
                         (regs[ins.a] & ADDRESS_MASK, ins.imm, regs[ins.b]))
                     bnds[ins.dst] = None
 

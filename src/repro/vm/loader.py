@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
-from repro.compiler.ir import IRProgram
+from repro.compiler.ir import IRProgram, assign_bin_codes
 from repro.errors import LinkError
 from repro.mem import Memory
 from repro.mem.layout import AddressSpaceLayout
@@ -28,6 +28,12 @@ class LoadedImage:
     global_info: Dict[str, Tuple[int, int, int, bool]] = \
         field(default_factory=dict)
     globals_end: int = 0
+    #: [base, end) envelope of the compile-time layout tables — the
+    #: loader places them contiguously, so the IFP unit can snoop guest
+    #: stores into the region with two compares (layout-walk cache
+    #: invalidation).  ``(0, 0)`` when the program has no tables.
+    layout_tables_base: int = 0
+    layout_tables_end: int = 0
 
 
 #: spacing between synthetic function entry points
@@ -37,6 +43,10 @@ _FUNC_STRIDE = 16
 def load_program(program: IRProgram, memory: Memory,
                  layout: AddressSpaceLayout) -> LoadedImage:
     """Write the program image into memory; returns the symbol tables."""
+    # Hand-built IR programs reach the VM without passing through
+    # compile_source; give them their BIN/BINI codes here (no-op for
+    # already-assigned programs, LinkError once for unknown variants).
+    assign_bin_codes(program)
     image = LoadedImage()
     cursor = layout.globals_base
 
@@ -47,12 +57,16 @@ def load_program(program: IRProgram, memory: Memory,
         image.functions_by_address[address] = name
     cursor += len(program.functions) * _FUNC_STRIDE
 
-    # Layout tables (read-only data).
+    # Layout tables (read-only data, placed contiguously).
+    if program.layout_tables:
+        image.layout_tables_base = _align(cursor, 16)
     for symbol, table in program.layout_tables.items():
         cursor = _align(cursor, 16)
         table.address = cursor
         image.symbols[symbol] = cursor
         cursor += len(table.data)
+    if program.layout_tables:
+        image.layout_tables_end = cursor
 
     # Globals, with appended-metadata reserve where needed.
     for name, glob in program.globals.items():

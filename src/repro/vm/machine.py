@@ -38,6 +38,13 @@ class MachineConfig:
     #: wall-clock watchdog for one run (seconds; None disables).  Checked
     #: coarsely by the interpreter; raises WorkloadTimeout, not a trap.
     wall_clock_timeout: Optional[float] = None
+    #: execution engine: "auto" picks the closure-compiled fastpath
+    #: whenever no tracer/observer/fault injector is armed (falling back
+    #: to the reference interpreter otherwise), "reference" forces the
+    #: reference interpreter, "fastpath" forces the fastpath (and errors
+    #: if an instrument is armed).  Both engines are byte-identical in
+    #: every simulated observable — see DESIGN.md.
+    engine: str = "auto"
 
 
 @dataclass
@@ -75,6 +82,10 @@ class Machine:
         self.stats = RunStats()
         self.image: LoadedImage = load_program(program, self.memory,
                                                self.layout)
+        # Tell the IFP unit where the loader placed the compile-time
+        # layout tables, enabling its store-snooped walk cache.
+        self.ifp.set_layout_envelope(self.image.layout_tables_base,
+                                     self.image.layout_tables_end)
         self.output_parts: List[str] = []
         self.rand_state = 0x2545F491
         self.clock_cycles_base = 0
@@ -97,6 +108,8 @@ class Machine:
         # Interpreter created lazily (needs self fully built).
         from repro.vm.interp import Interpreter
         self.interp = Interpreter(self)
+        #: closure-compiled fast engine, built on first use
+        self._fast = None
 
     # -- stack ---------------------------------------------------------------
 
@@ -133,6 +146,42 @@ class Machine:
     def srand(self, seed: int) -> None:
         self.rand_state = seed & 0x7FFFFFFF or 1
 
+    # -- engine selection ---------------------------------------------------------
+
+    def _instrumented(self) -> bool:
+        """True when any instrument that the fastpath cannot honour is
+        armed (tracer, observer, or fault injector)."""
+        ifp = self.ifp
+        return (self.tracer is not None or self.obs is not None
+                or ifp.obs is not None or ifp.faults is not None
+                or ifp.port.faults is not None)
+
+    def select_interp(self):
+        """Resolve ``config.engine`` to the interpreter for this run."""
+        engine = self.config.engine
+        if engine == "reference":
+            return self.interp
+        if engine == "auto":
+            if self._instrumented():
+                return self.interp
+            return self._fastpath()
+        if engine == "fastpath":
+            if self._instrumented():
+                raise ReproError(
+                    "engine='fastpath' cannot run with a tracer, observer,"
+                    " or fault injector armed — use engine='auto' (it"
+                    " falls back to the reference interpreter) or detach"
+                    " the instrument")
+            return self._fastpath()
+        raise ReproError(f"unknown engine {engine!r} "
+                         "(expected auto|fastpath|reference)")
+
+    def _fastpath(self):
+        if self._fast is None:
+            from repro.vm.fastpath import FastInterpreter
+            self._fast = FastInterpreter(self)
+        return self._fast
+
     # -- run harness ---------------------------------------------------------------
 
     def run(self, entry: Optional[str] = None,
@@ -147,15 +196,16 @@ class Machine:
         entry = entry or self.program.entry
         timeout = (timeout_seconds if timeout_seconds is not None
                    else self.config.wall_clock_timeout)
-        self.interp.arm_deadline(timeout)
+        interp = self.select_interp()
+        interp.arm_deadline(timeout)
         old_limit = sys.getrecursionlimit()
         sys.setrecursionlimit(40_000)
         exit_code: Optional[int] = None
         trap: Optional[SimTrap] = None
         try:
             if "__init_globals" in self.program.functions:
-                self.interp.call_function("__init_globals", [], [])
-            value, _bounds = self.interp.call_function(entry, [], [])
+                interp.call_function("__init_globals", [], [])
+            value, _bounds = interp.call_function(entry, [], [])
             exit_code = _as_exit_code(value)
         except GuestExit as exc:
             exit_code = exc.code

@@ -1,0 +1,266 @@
+"""Differential tests: the closure-compiled fastpath vs the reference
+interpreter.
+
+The fastpath's contract is *byte-identical observables*: for every
+program, the two engines must agree on guest output, exit code, trap
+class and message, and every field of ``RunStats`` (including the IFP
+unit's counters and the host-side cache counters, which are structural
+— the caches live in the shared IFP unit and fire identically under
+both engines).  These tests replay generated fuzz programs, injected
+attacks, and real workloads under both engines and compare the full
+stats dataclass, making them the in-repo mirror of the CI differential
+gate (``benchmarks/bench_host_throughput.py --verify-only``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.compiler import CompilerOptions, compile_source
+from repro.errors import ReproError, WorkloadTimeout
+from repro.eval.configs import build_machine_config, build_options
+from repro.fuzz.attacks import attacks_for
+from repro.fuzz.generator import generate_program, render
+from repro.vm import Machine, MachineConfig
+from repro.vm.fastpath import FastInterpreter
+from repro.workloads import WORKLOADS
+
+
+def _observables(program, config: MachineConfig, engine: str):
+    """Run one compiled program under one engine; returns every
+    observable the equivalence contract covers, as plain data."""
+    from dataclasses import replace
+    machine = Machine(program, replace(config, engine=engine))
+    result = machine.run()
+    trap = result.trap
+    return {
+        "exit_code": result.exit_code,
+        "output": result.output,
+        "trap": (type(trap).__name__, str(trap),
+                 getattr(trap, "executed", None),
+                 getattr(trap, "pc", None))
+        if trap else None,
+        "stats": dataclasses.asdict(result.stats),
+    }
+
+
+def _assert_engines_agree(source: str, config_name: str,
+                          max_instructions: int = 5_000_000):
+    program = compile_source(source, build_options(config_name))
+    config = build_machine_config(config_name, max_instructions)
+    reference = _observables(program, config, "reference")
+    fastpath = _observables(program, config, "fastpath")
+    assert fastpath == reference, (
+        f"engines diverged under {config_name!r}")
+    return reference
+
+
+# ---------------------------------------------------------------------------
+# engine selection
+# ---------------------------------------------------------------------------
+
+SMALL = "int main(void) { int x = 3; return x + 4; }"
+
+
+class TestEngineSelection:
+    def test_auto_uses_fastpath_when_uninstrumented(self):
+        program = compile_source(SMALL, CompilerOptions.baseline())
+        machine = Machine(program, MachineConfig(engine="auto"))
+        assert isinstance(machine.select_interp(), FastInterpreter)
+
+    def test_auto_falls_back_with_observer(self):
+        from repro.obs import attach_observer
+        program = compile_source(SMALL, CompilerOptions.wrapped())
+        machine = Machine(program, MachineConfig(engine="auto"))
+        attach_observer(machine, profile=True, forensics=True)
+        assert machine.select_interp() is machine.interp
+
+    def test_auto_falls_back_with_tracer(self):
+        program = compile_source(SMALL, CompilerOptions.baseline())
+        machine = Machine(program, MachineConfig(engine="auto"))
+        machine.tracer = object()
+        assert machine.select_interp() is machine.interp
+
+    def test_forced_fastpath_rejects_instruments(self):
+        program = compile_source(SMALL, CompilerOptions.baseline())
+        machine = Machine(program, MachineConfig(engine="fastpath"))
+        machine.tracer = object()
+        with pytest.raises(ReproError, match="fastpath"):
+            machine.select_interp()
+
+    def test_unknown_engine_rejected(self):
+        program = compile_source(SMALL, CompilerOptions.baseline())
+        machine = Machine(program, MachineConfig(engine="turbo"))
+        with pytest.raises(ReproError, match="unknown engine"):
+            machine.select_interp()
+
+    def test_reference_forces_reference(self):
+        program = compile_source(SMALL, CompilerOptions.baseline())
+        machine = Machine(program, MachineConfig(engine="reference"))
+        assert machine.select_interp() is machine.interp
+
+
+# ---------------------------------------------------------------------------
+# trap-for-trap equivalence on hand-written programs
+# ---------------------------------------------------------------------------
+
+OVERFLOW = """
+int main(void) {
+    int *p = (int *)malloc(4 * sizeof(int));
+    int i;
+    for (i = 0; i <= 4; i++) p[i] = i;   /* one past the end */
+    return p[0];
+}
+"""
+
+DIV_ZERO = """
+int main(void) {
+    int a = 7;
+    int b = 0;
+    return a / b;
+}
+"""
+
+SPIN = """
+int main(void) {
+    int i = 0;
+    while (1) i = i + 1;
+    return i;
+}
+"""
+
+RECURSE = """
+int add(int n) { if (n == 0) return 0; return n + add(n - 1); }
+int main(void) { return add(40); }
+"""
+
+
+class TestTrapEquivalence:
+    @pytest.mark.parametrize("config", ["wrapped", "subheap"])
+    def test_heap_overflow_trap_identical(self, config):
+        run = _assert_engines_agree(OVERFLOW, config)
+        assert run["trap"] is not None
+        assert run["trap"][0] in ("PoisonTrap", "BoundsTrap")
+
+    @pytest.mark.parametrize("config", ["baseline", "subheap"])
+    def test_division_by_zero_identical(self, config):
+        run = _assert_engines_agree(DIV_ZERO, config)
+        assert run["trap"][:2] == ("SimTrap", "division by zero")
+
+    def test_step_budget_message_and_counts_identical(self):
+        # The budget trap must fire at the exact same instruction with
+        # the same message, executed count, and pc under both engines —
+        # this pins the fastpath's segment-exact accounting.
+        run = _assert_engines_agree(SPIN, "baseline",
+                                    max_instructions=10_000)
+        assert run["trap"][0] == "StepBudgetExceeded"
+        assert run["trap"][2] == 10_001  # executed counts the raiser
+
+    def test_call_heavy_program_identical(self):
+        _assert_engines_agree(RECURSE, "wrapped")
+
+    def test_fastpath_wall_clock_watchdog_fires(self):
+        program = compile_source(SPIN, CompilerOptions.baseline())
+        machine = Machine(program, MachineConfig(
+            engine="fastpath", max_instructions=2_000_000_000))
+        with pytest.raises(WorkloadTimeout):
+            machine.run(timeout_seconds=0.05)
+
+
+# ---------------------------------------------------------------------------
+# generated fuzz programs, clean and attacked
+# ---------------------------------------------------------------------------
+
+FUZZ_SEEDS = [0, 1, 2, 3, 7, 11, 23, 42]
+FUZZ_CONFIGS = ["baseline", "subheap", "wrapped", "wrapped-np"]
+
+
+class TestFuzzCorpusDifferential:
+    @pytest.mark.parametrize("seed", FUZZ_SEEDS)
+    def test_clean_programs_identical(self, seed):
+        program = generate_program(seed)
+        for config in FUZZ_CONFIGS:
+            _assert_engines_agree(program.source, config)
+
+    @pytest.mark.parametrize("seed", FUZZ_SEEDS[:4])
+    def test_attacked_programs_identical(self, seed):
+        # Attacked variants exercise the trap paths: the engines must
+        # agree on whether each attack traps and with which trap.
+        program = generate_program(seed)
+        budget = 4
+        for site in program.sites:
+            for attack in attacks_for(site)[:2]:
+                source = render(program.spec, (attack.sid, attack.index))
+                for config in ("subheap", "wrapped"):
+                    _assert_engines_agree(source, config)
+                budget -= 1
+                if budget == 0:
+                    return
+
+
+# ---------------------------------------------------------------------------
+# real workloads
+# ---------------------------------------------------------------------------
+
+WORKLOAD_MATRIX = [
+    ("treeadd", "baseline"), ("treeadd", "subheap"),
+    ("bisort", "wrapped"), ("em3d", "subheap"),
+    ("mst", "subheap-np"), ("anagram", "wrapped"),
+    ("ft", "baseline"), ("coremark", "subheap"),
+]
+
+
+class TestWorkloadDifferential:
+    @pytest.mark.parametrize("name,config", WORKLOAD_MATRIX,
+                             ids=[f"{w}-{c}" for w, c in WORKLOAD_MATRIX])
+    def test_workload_identical(self, name, config):
+        source = WORKLOADS[name].source(1)
+        run = _assert_engines_agree(source, config,
+                                    max_instructions=200_000_000)
+        assert run["trap"] is None
+        # The IFP cache counters travel inside stats.ifp: their equality
+        # above proves the promote/walk/MAC caches behave structurally
+        # identically under both engines.
+        assert "promote_cache_hits" in run["stats"]["ifp"]
+
+
+# ---------------------------------------------------------------------------
+# shared-cache invalidation (the fastpath's enabling caches)
+# ---------------------------------------------------------------------------
+
+SELF_MODIFY_METADATA = """
+struct pair { int a; int b; };
+int main(void) {
+    struct pair *p = (struct pair *)malloc(sizeof(struct pair));
+    int i;
+    int sum = 0;
+    for (i = 0; i < 64; i++) {
+        p->a = i;
+        sum = sum + p->a;
+    }
+    free(p);
+    p = (struct pair *)malloc(sizeof(struct pair));
+    p->b = sum;
+    return p->b & 0xFF;
+}
+"""
+
+
+class TestCacheCoherence:
+    def test_alloc_free_realloc_identical(self):
+        # free() + realloc rewrites object metadata in place; the
+        # promote cache must observe the store snoop and miss, under
+        # both engines, or stats/cycles would diverge here.
+        for config in ("subheap", "wrapped"):
+            _assert_engines_agree(SELF_MODIFY_METADATA, config)
+
+    def test_promote_cache_counters_populate(self):
+        program = compile_source(WORKLOADS["treeadd"].source(1),
+                                 build_options("subheap"))
+        machine = Machine(program, MachineConfig(engine="fastpath"))
+        result = machine.run()
+        ifp = result.stats.ifp
+        assert ifp.promote_cache_hits + ifp.promote_cache_misses > 0
+        assert ifp.promote_cache_hits > 0

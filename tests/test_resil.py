@@ -356,7 +356,7 @@ class TestFuzzDriverRetry:
         calls = []
 
         def flaky_check_clean(source, configs, name="", \
-                              timeout_seconds=None):
+                              timeout_seconds=None, engine="auto"):
             calls.append(source)
             if len(calls) <= fail_first_n:
                 raise WorkloadTimeout("simulated hang")
