@@ -10,6 +10,59 @@ host-side tooling (bad mini-C source, compiler misuse) derive from
 
 from __future__ import annotations
 
+from typing import Any, Dict
+
+#: values that serialize to JSON unchanged
+_JSON_SCALARS = (type(None), bool, int, float, str)
+
+
+def _json_safe(value: Any) -> Any:
+    """Project an attribute value into pure-JSON content.
+
+    Nested :class:`ReproError` instances become tagged ``__error__``
+    documents so they survive the round trip as typed errors (the
+    ``WorkloadTrapped.trap`` case); tuples become lists (JSON has no
+    tuple); anything else non-JSON is reduced to a tagged ``repr``
+    string — lossy, but every API response stays serializable.
+    """
+    if isinstance(value, _JSON_SCALARS):
+        return value
+    if isinstance(value, ReproError):
+        return {"__error__": value.to_dict()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _json_safe(item) for key, item in value.items()}
+    return {"__repr__": repr(value)}
+
+
+def _json_revive(value: Any) -> Any:
+    if isinstance(value, dict):
+        if set(value) == {"__error__"}:
+            return ReproError.from_dict(value["__error__"])
+        if set(value) == {"__repr__"}:
+            return value["__repr__"]
+        return {key: _json_revive(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_json_revive(item) for item in value]
+    return value
+
+
+def error_class(name: str) -> type:
+    """Resolve an error class name anywhere under :class:`ReproError`.
+
+    The registry is the live subclass tree, so classes defined outside
+    this module (e.g. :class:`repro.par.checkpoint.CheckpointMismatch`)
+    resolve as long as their module has been imported.
+    """
+    stack = [ReproError]
+    while stack:
+        cls = stack.pop()
+        if cls.__name__ == name:
+            return cls
+        stack.extend(cls.__subclasses__())
+    raise ValueError(f"unknown error class {name!r}")
+
 
 def _rebuild_error(cls, args, state):
     """Unpickle helper: rebuild without re-running ``cls.__init__``.
@@ -35,6 +88,37 @@ class ReproError(Exception):
     def __reduce__(self):
         return (_rebuild_error,
                 (type(self), self.args, dict(self.__dict__)))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON form for API boundaries: type name, rendered message,
+        and every instance attribute projected to JSON content.
+
+        The contract (enforced hierarchy-wide by the serialization
+        test): ``from_dict(json.loads(json.dumps(e.to_dict())))``
+        rebuilds the same type with the same message, with JSON-scalar
+        attributes and nested :class:`ReproError` attributes intact.
+        """
+        return {
+            "type": type(self).__name__,
+            "message": str(self.args[0]) if self.args else str(self),
+            "fields": {key: _json_safe(value)
+                       for key, value in self.__dict__.items()},
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "ReproError":
+        """Rebuild a typed error from its :meth:`to_dict` form.
+
+        Like :func:`_rebuild_error`, construction bypasses
+        ``__init__`` (whose signatures vary across the hierarchy) and
+        restores attributes directly.
+        """
+        cls = error_class(data["type"])
+        exc = cls.__new__(cls)
+        Exception.__init__(exc, data.get("message", ""))
+        for key, value in data.get("fields", {}).items():
+            setattr(exc, key, _json_revive(value))
+        return exc
 
 
 # ---------------------------------------------------------------------------
@@ -298,3 +382,93 @@ class ResourceExhausted(SimTrap):
     Examples: the global metadata table is full, or all 16 subheap control
     registers are in use.
     """
+
+
+# ---------------------------------------------------------------------------
+# Campaign-service errors (repro.serve) — every one of these can cross
+# the HTTP API boundary, so each maps to a status code and round-trips
+# through to_dict/from_dict
+# ---------------------------------------------------------------------------
+
+class ServiceError(ReproError):
+    """Base class for errors the campaign service reports to clients.
+
+    ``http_status`` is the response code the API layer uses; subclasses
+    carrying ``retry_after`` additionally produce a ``Retry-After``
+    header (the backpressure contract).
+    """
+
+    http_status = 500
+
+
+class InvalidJobSpec(ServiceError):
+    """A submitted job spec failed validation (unknown kind, bad or
+    out-of-range parameter).  ``field`` names the offending entry."""
+
+    http_status = 400
+
+    def __init__(self, message: str, field: str = ""):
+        if field:
+            message = f"{field}: {message}"
+        super().__init__(message)
+        self.field = field
+
+
+class UnknownJob(ServiceError):
+    """A job id that does not exist in this service's store."""
+
+    http_status = 404
+
+    def __init__(self, job_id: str):
+        super().__init__(f"no such job {job_id!r}")
+        self.job_id = job_id
+
+
+class JobNotCancellable(ServiceError):
+    """DELETE on a job already in a terminal state."""
+
+    http_status = 409
+
+    def __init__(self, job_id: str, status: str):
+        super().__init__(
+            f"job {job_id!r} is {status}; only queued or running jobs "
+            f"can be cancelled")
+        self.job_id = job_id
+        self.status = status
+
+
+class QuotaExceeded(ServiceError):
+    """A per-tenant admission limit was hit (429 + Retry-After)."""
+
+    http_status = 429
+
+    def __init__(self, message: str, tenant: str = "", limit: int = 0,
+                 retry_after: float = 1.0):
+        super().__init__(message)
+        self.tenant = tenant
+        self.limit = limit
+        self.retry_after = retry_after
+
+
+class QueueFull(QuotaExceeded):
+    """A tenant's bounded submission queue is full — the backpressure
+    signal; clients should honor ``Retry-After`` and resubmit."""
+
+    def __init__(self, tenant: str, depth: int, limit: int,
+                 retry_after: float = 1.0):
+        super().__init__(
+            f"tenant {tenant!r} queue is full ({depth}/{limit} jobs "
+            f"queued); retry after {retry_after:g}s",
+            tenant=tenant, limit=limit, retry_after=retry_after)
+        self.depth = depth
+
+
+class ServiceUnavailable(ServiceError):
+    """The service is draining for shutdown and not accepting jobs."""
+
+    http_status = 503
+
+    def __init__(self, message: str = "service is draining",
+                 retry_after: float = 5.0):
+        super().__init__(message)
+        self.retry_after = retry_after

@@ -115,8 +115,12 @@ def main(argv=None) -> int:
         parser.error(f"unknown configuration(s): {', '.join(unknown)}")
 
     ok = True
+    drained = False
     if args.jobs > 1 or args.checkpoint:
+        import threading
+
         from repro.par.engine import parallel_fuzz, plan_fuzz
+        from repro.par.pool import install_drain_handler
         plan = plan_fuzz(
             args.iterations, args.seed, configs=configs,
             start=args.start, clean=not args.inject_only,
@@ -126,13 +130,22 @@ def main(argv=None) -> int:
             timeout_seconds=args.timeout, retries=args.retries,
             backoff_base=args.backoff, jobs=args.jobs,
             shard_size=args.shard_size, engine=args.engine)
-        stats, outcome = parallel_fuzz(
-            plan, jobs=args.jobs, checkpoint_dir=args.checkpoint,
-            shard_timeout=args.shard_timeout,
-            shard_retries=args.shard_retries, log=log)
+        stop = threading.Event()
+        restore = install_drain_handler(stop, log=log)
+        try:
+            stats, outcome = parallel_fuzz(
+                plan, jobs=args.jobs, checkpoint_dir=args.checkpoint,
+                shard_timeout=args.shard_timeout,
+                shard_retries=args.shard_retries, log=log, stop=stop)
+        finally:
+            restore()
         if not args.quiet:
             print(outcome.summary())
         ok = outcome.ok
+        drained = outcome.drained
+        if drained:
+            print("drained: campaign interrupted; re-run with the same "
+                  "--checkpoint to resume", file=sys.stderr)
     else:
         stats = run_fuzz(
             iterations=args.iterations, seed=args.seed, configs=configs,
@@ -157,6 +170,8 @@ def main(argv=None) -> int:
              "configs": ",".join(configs)},
             stats.metrics()))
         print(f"metrics written to {path}")
+    if drained:
+        return 3
     return 0 if stats.ok and ok else 1
 
 

@@ -207,11 +207,37 @@ class StealEvent(Event):
     t: float
 
 
+@dataclass(frozen=True)
+class JobEvent(Event):
+    """A campaign-service job changed state (repro.serve)."""
+
+    kind: ClassVar[str] = "job"
+
+    job_id: str
+    tenant: str
+    campaign: str       #: plan kind ('fuzz' | 'resil' | 'juliet' | ...)
+    #: 'queued' | 'running' | 'done' | 'failed' | 'cancelled' |
+    #: 'requeued' (drained mid-run and parked for restart-resume)
+    status: str
+    t: float            #: seconds since the service started
+
+
+@dataclass(frozen=True)
+class QueueRejectEvent(Event):
+    """A job submission bounced off service backpressure (repro.serve)."""
+
+    kind: ClassVar[str] = "queue_reject"
+
+    tenant: str
+    reason: str         #: 'queue_full' | 'quota' | 'draining'
+    t: float
+
+
 EVENT_KINDS = tuple(cls.kind for cls in (
     PromoteEvent, CheckEvent, BoundsSpillEvent, MetadataFetchEvent,
     MacVerifyEvent, NarrowEvent, SchemeAssignEvent, AllocEvent, TrapEvent,
     DegradeEvent, FaultEvent, ShardStartEvent, ShardDoneEvent,
-    ShardRetryEvent, StealEvent))
+    ShardRetryEvent, StealEvent, JobEvent, QueueRejectEvent))
 
 
 class EventBus:

@@ -34,7 +34,8 @@ from repro.par.plan import (
 )
 from repro.par.checkpoint import Checkpoint, CheckpointMismatch
 from repro.par.pool import (
-    PlanResult, ShardFailure, WorkerStats, resolve_runner, run_plan,
+    PlanResult, ShardFailure, WorkerStats, install_drain_handler,
+    resolve_runner, run_plan,
 )
 from repro.par.merge import (
     canonical_metrics, diff_documents, merge_bench, merge_campaign,
@@ -42,8 +43,9 @@ from repro.par.merge import (
 )
 from repro.par.campaigns import SHARD_RUNNERS, runner_for
 from repro.par.engine import (
-    parallel_bench, parallel_fuzz, parallel_juliet, parallel_resil,
-    plan_bench, plan_fuzz, plan_juliet, plan_resil, resume_checkpoint,
+    execute_plan, parallel_bench, parallel_fuzz, parallel_juliet,
+    parallel_resil, parallel_selftest, plan_bench, plan_fuzz,
+    plan_juliet, plan_resil, resume_checkpoint, run_campaign_plan,
 )
 
 __all__ = [
@@ -52,12 +54,13 @@ __all__ = [
     "PLAN_KINDS", "ShardPlan", "ShardSpec", "default_shard_count",
     "plan_indices", "plan_range", "split_evenly",
     "Checkpoint", "CheckpointMismatch",
-    "PlanResult", "ShardFailure", "WorkerStats", "resolve_runner",
-    "run_plan",
+    "PlanResult", "ShardFailure", "WorkerStats",
+    "install_drain_handler", "resolve_runner", "run_plan",
     "canonical_metrics", "diff_documents", "merge_bench",
     "merge_campaign", "merge_fuzz_stats", "merge_juliet",
     "SHARD_RUNNERS", "runner_for",
-    "parallel_bench", "parallel_fuzz", "parallel_juliet",
-    "parallel_resil", "plan_bench", "plan_fuzz", "plan_juliet",
-    "plan_resil", "resume_checkpoint",
+    "execute_plan", "parallel_bench", "parallel_fuzz",
+    "parallel_juliet", "parallel_resil", "parallel_selftest",
+    "plan_bench", "plan_fuzz", "plan_juliet", "plan_resil",
+    "resume_checkpoint", "run_campaign_plan",
 ]

@@ -22,14 +22,33 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
+import threading
 
 from repro.par.engine import (
     parallel_bench, parallel_juliet, plan_bench, plan_juliet,
     resume_checkpoint,
 )
 from repro.par.merge import diff_documents
+from repro.par.pool import install_drain_handler
+
+#: exit code for a campaign drained by SIGTERM/SIGINT: the checkpoint
+#: is resumable, but the run did not complete
+EXIT_DRAINED = 3
+
+
+@contextlib.contextmanager
+def _drain_on_signal(log):
+    """First SIGTERM/SIGINT drains the pool (in-flight shards finish
+    and checkpoint); a second one aborts immediately."""
+    stop = threading.Event()
+    restore = install_drain_handler(stop, log=log)
+    try:
+        yield stop
+    finally:
+        restore()
 
 
 def _log_for(args):
@@ -39,15 +58,20 @@ def _log_for(args):
 def _print_outcome(outcome, quiet: bool) -> None:
     if not quiet:
         print(outcome.summary())
+    if outcome.drained:
+        print("drained: campaign interrupted; resume with "
+              "`python -m repro.par resume --checkpoint DIR`",
+              file=sys.stderr)
 
 
 def _cmd_juliet(args) -> int:
     plan = plan_juliet(seed=args.seed, allocator=args.allocator,
                        jobs=args.jobs, shard_size=args.shard_size)
-    report, outcome = parallel_juliet(
-        plan, jobs=args.jobs, checkpoint_dir=args.checkpoint,
-        shard_timeout=args.shard_timeout, shard_retries=args.retries,
-        log=_log_for(args))
+    with _drain_on_signal(_log_for(args)) as stop:
+        report, outcome = parallel_juliet(
+            plan, jobs=args.jobs, checkpoint_dir=args.checkpoint,
+            shard_timeout=args.shard_timeout,
+            shard_retries=args.retries, log=_log_for(args), stop=stop)
     print(report.summary())
     _print_outcome(outcome, args.quiet)
     if args.out:
@@ -63,6 +87,8 @@ def _cmd_juliet(args) -> int:
              "good_total": report.good_total, "by_cwe": by_cwe,
              "pool": outcome.utilization_metrics()}))
         print(f"metrics written to {path}")
+    if outcome.drained:
+        return EXIT_DRAINED
     return 0 if report.all_passed and outcome.ok else 1
 
 
@@ -87,10 +113,11 @@ def _cmd_bench(args) -> int:
                       timeout_seconds=args.shard_timeout,
                       seed=args.seed, jobs=args.jobs,
                       shard_size=args.shard_size, engine=args.engine)
-    cells, outcome = parallel_bench(
-        plan, jobs=args.jobs, checkpoint_dir=args.checkpoint,
-        shard_timeout=args.shard_timeout, shard_retries=args.retries,
-        log=_log_for(args))
+    with _drain_on_signal(_log_for(args)) as stop:
+        cells, outcome = parallel_bench(
+            plan, jobs=args.jobs, checkpoint_dir=args.checkpoint,
+            shard_timeout=args.shard_timeout,
+            shard_retries=args.retries, log=_log_for(args), stop=stop)
     for key in cells:
         print(f"  {key:30s} instructions="
               f"{cells[key].get('total_instructions', 0)}")
@@ -103,15 +130,19 @@ def _cmd_bench(args) -> int:
              "configs": ",".join(configs), "scale": args.scale},
             {"cells": cells, "pool": outcome.utilization_metrics()}))
         print(f"metrics written to {path}")
+    if outcome.drained:
+        return EXIT_DRAINED
     return 0 if outcome.ok else 1
 
 
 def _cmd_resume(args) -> int:
     try:
-        kind, merged, outcome = resume_checkpoint(
-            args.checkpoint, jobs=args.jobs,
-            shard_timeout=args.shard_timeout,
-            shard_retries=args.retries, log=_log_for(args))
+        with _drain_on_signal(_log_for(args)) as stop:
+            kind, merged, outcome = resume_checkpoint(
+                args.checkpoint, jobs=args.jobs,
+                shard_timeout=args.shard_timeout,
+                shard_retries=args.retries, log=_log_for(args),
+                stop=stop)
     except (FileNotFoundError, ValueError) as exc:
         print(f"cannot resume: {exc}", file=sys.stderr)
         return 2
@@ -128,6 +159,8 @@ def _cmd_resume(args) -> int:
         print(json.dumps(merged, indent=2, sort_keys=True))
         ok = True
     _print_outcome(outcome, args.quiet)
+    if outcome.drained:
+        return EXIT_DRAINED
     return 0 if ok and outcome.ok else 1
 
 

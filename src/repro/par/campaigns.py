@@ -192,9 +192,15 @@ def run_selftest_shard(shard: Dict[str, Any], attempt: int
     * ``marker`` — raise while ``params['marker']`` exists on disk
       (models a transient environmental failure; lets resume tests
       fail a first run and succeed a second with an identical plan).
+
+    ``params['sleep_seconds']`` (every shard, any mode) slows the work
+    down without touching its value — the knob the drain and
+    kill-mid-campaign tests use to land a signal between shards.
     """
     params = shard["params"]
     shard_id = shard["shard_id"]
+    if params.get("sleep_seconds"):
+        time.sleep(params["sleep_seconds"])
     if shard_id in params.get("fail_shards", []):
         mode = params.get("mode", "ok")
         if mode == "raise":

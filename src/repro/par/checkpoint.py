@@ -24,6 +24,7 @@ import json
 import os
 from typing import Any, Dict, List, Optional, Set
 
+from repro.errors import ReproError
 from repro.par.plan import ShardPlan
 
 MANIFEST_SCHEMA = "repro.par.checkpoint/v1"
@@ -31,8 +32,13 @@ MANIFEST_NAME = "manifest.json"
 EVENTS_NAME = "events.jsonl"
 
 
-class CheckpointMismatch(ValueError):
-    """The manifest on disk belongs to a different campaign plan."""
+class CheckpointMismatch(ReproError, ValueError):
+    """The manifest on disk belongs to a different campaign plan.
+
+    Derives from :class:`ReproError` so it picks up ``to_dict`` /
+    ``from_dict`` and crosses the campaign-service API boundary typed;
+    it stays a :class:`ValueError` for existing callers.
+    """
 
 
 def _atomic_write_json(path: str, payload: Dict[str, Any]) -> None:
@@ -79,10 +85,17 @@ class Checkpoint:
                     f"shards from different campaigns")
             completed: Set[int] = set()
             for key, row in manifest["shards"].items():
-                if row["status"] == "done":
+                # A 'done' row only counts if its result file survived
+                # intact: a kill can land between the manifest flush
+                # and the (atomic) result write, or leave a stale
+                # ``.tmp`` behind — a partially written or missing
+                # result demotes the shard to pending and it re-runs.
+                if row["status"] == "done" \
+                        and self._result_intact(int(key)):
                     completed.add(int(key))
                 else:
                     row["status"] = "pending"
+                    row["result"] = None
                     row["error"] = None
             self._manifest = manifest
             self._flush()
@@ -141,6 +154,18 @@ class Checkpoint:
         self._flush()
 
     # -- reads --------------------------------------------------------------
+
+    def _result_intact(self, shard_id: int) -> bool:
+        """True when the shard's result document exists, parses, and
+        identifies itself as this shard's result."""
+        try:
+            with open(self.result_path(shard_id)) as handle:
+                document = json.load(handle)
+        except (OSError, ValueError):
+            return False
+        return (isinstance(document, dict)
+                and document.get("shard_id") == shard_id
+                and "result" in document)
 
     def result_path(self, shard_id: int) -> str:
         return os.path.join(self.directory, f"shard-{shard_id:04d}.json")

@@ -33,13 +33,22 @@ def _events_sink(path: str) -> Tuple[Callable, Callable]:
     return sink, handle.close
 
 
-def _execute(plan: ShardPlan, *, jobs: int,
-             checkpoint_dir: Optional[str],
-             shard_timeout: Optional[float], shard_retries: int,
-             backoff_base: float, log, events_out: Optional[str] = None
-             ) -> PlanResult:
+def execute_plan(plan: ShardPlan, *, jobs: int,
+                 checkpoint_dir: Optional[str] = None,
+                 shard_timeout: Optional[float] = None,
+                 shard_retries: int = 2, backoff_base: float = 0.05,
+                 log=None, events_out: Optional[str] = None,
+                 bus: Optional[EventBus] = None,
+                 stop=None) -> PlanResult:
+    """Run one plan through the pool with checkpoint + event plumbing.
+
+    ``bus`` (when given) receives the shard/steal event stream in
+    addition to the on-disk ``events.jsonl`` — the campaign service
+    subscribes live progress counters this way.  ``stop`` requests a
+    graceful drain (see :func:`repro.par.pool.run_plan`).
+    """
     checkpoint = Checkpoint(checkpoint_dir) if checkpoint_dir else None
-    bus = EventBus()
+    bus = bus if bus is not None else EventBus()
     events_path = events_out or (checkpoint.events_path
                                  if checkpoint else None)
     close = None
@@ -52,10 +61,15 @@ def _execute(plan: ShardPlan, *, jobs: int,
                         shard_timeout=shard_timeout,
                         retries=shard_retries,
                         backoff_base=backoff_base,
-                        checkpoint=checkpoint, bus=bus, log=log)
+                        checkpoint=checkpoint, bus=bus, log=log,
+                        stop=stop)
     finally:
         if close is not None:
             close()
+
+
+#: back-compat alias (the pre-service private name)
+_execute = execute_plan
 
 
 # ---------------------------------------------------------------------------
@@ -100,16 +114,17 @@ def parallel_fuzz(plan: ShardPlan, *, jobs: int,
                   checkpoint_dir: Optional[str] = None,
                   shard_timeout: Optional[float] = None,
                   shard_retries: int = 2, backoff_base: float = 0.05,
-                  log=None, events_out: Optional[str] = None
+                  log=None, events_out: Optional[str] = None,
+                  bus: Optional[EventBus] = None, stop=None
                   ) -> Tuple["FuzzStats", PlanResult]:
     """Execute a fuzz plan; returns the merged
     :class:`~repro.fuzz.driver.FuzzStats` plus the pool's
     :class:`~repro.par.pool.PlanResult`."""
-    outcome = _execute(plan, jobs=jobs, checkpoint_dir=checkpoint_dir,
-                       shard_timeout=shard_timeout,
-                       shard_retries=shard_retries,
-                       backoff_base=backoff_base, log=log,
-                       events_out=events_out)
+    outcome = execute_plan(
+        plan, jobs=jobs, checkpoint_dir=checkpoint_dir,
+        shard_timeout=shard_timeout, shard_retries=shard_retries,
+        backoff_base=backoff_base, log=log, events_out=events_out,
+        bus=bus, stop=stop)
     stats = merge_fuzz_stats(outcome.ordered_results(plan),
                              seed=plan.seed,
                              configs=plan.params["configs"])
@@ -144,17 +159,18 @@ def parallel_resil(plan: ShardPlan, *, jobs: int,
                    checkpoint_dir: Optional[str] = None,
                    shard_timeout: Optional[float] = None,
                    shard_retries: int = 2, backoff_base: float = 0.05,
-                   log=None, events_out: Optional[str] = None
+                   log=None, events_out: Optional[str] = None,
+                   bus: Optional[EventBus] = None, stop=None
                    ) -> Tuple["CampaignResult", PlanResult]:
     """Execute a resil plan; returns the merged
     :class:`~repro.resil.matrix.CampaignResult` plus the pool
     result."""
     from repro.resil.policy import DEFAULT_POLICY, STRICT_POLICY
-    outcome = _execute(plan, jobs=jobs, checkpoint_dir=checkpoint_dir,
-                       shard_timeout=shard_timeout,
-                       shard_retries=shard_retries,
-                       backoff_base=backoff_base, log=log,
-                       events_out=events_out)
+    outcome = execute_plan(
+        plan, jobs=jobs, checkpoint_dir=checkpoint_dir,
+        shard_timeout=shard_timeout, shard_retries=shard_retries,
+        backoff_base=backoff_base, log=log, events_out=events_out,
+        bus=bus, stop=stop)
     policy = STRICT_POLICY if plan.params["strict"] else DEFAULT_POLICY
     campaign = merge_campaign(
         outcome.ordered_results(plan), seed=plan.seed,
@@ -182,13 +198,14 @@ def parallel_juliet(plan: ShardPlan, *, jobs: int,
                     checkpoint_dir: Optional[str] = None,
                     shard_timeout: Optional[float] = None,
                     shard_retries: int = 2, backoff_base: float = 0.05,
-                    log=None, events_out: Optional[str] = None
+                    log=None, events_out: Optional[str] = None,
+                    bus: Optional[EventBus] = None, stop=None
                     ) -> Tuple["JulietReport", PlanResult]:
-    outcome = _execute(plan, jobs=jobs, checkpoint_dir=checkpoint_dir,
-                       shard_timeout=shard_timeout,
-                       shard_retries=shard_retries,
-                       backoff_base=backoff_base, log=log,
-                       events_out=events_out)
+    outcome = execute_plan(
+        plan, jobs=jobs, checkpoint_dir=checkpoint_dir,
+        shard_timeout=shard_timeout, shard_retries=shard_retries,
+        backoff_base=backoff_base, log=log, events_out=events_out,
+        bus=bus, stop=stop)
     return merge_juliet(outcome.ordered_results(plan)), outcome
 
 
@@ -217,30 +234,80 @@ def parallel_bench(plan: ShardPlan, *, jobs: int,
                    checkpoint_dir: Optional[str] = None,
                    shard_timeout: Optional[float] = None,
                    shard_retries: int = 2, backoff_base: float = 0.05,
-                   log=None, events_out: Optional[str] = None
+                   log=None, events_out: Optional[str] = None,
+                   bus: Optional[EventBus] = None, stop=None
                    ) -> Tuple[Dict[str, Any], PlanResult]:
-    outcome = _execute(plan, jobs=jobs, checkpoint_dir=checkpoint_dir,
-                       shard_timeout=shard_timeout,
-                       shard_retries=shard_retries,
-                       backoff_base=backoff_base, log=log,
-                       events_out=events_out)
+    outcome = execute_plan(
+        plan, jobs=jobs, checkpoint_dir=checkpoint_dir,
+        shard_timeout=shard_timeout, shard_retries=shard_retries,
+        backoff_base=backoff_base, log=log, events_out=events_out,
+        bus=bus, stop=stop)
     return merge_bench(outcome.ordered_results(plan)), outcome
 
 
+# ---------------------------------------------------------------------------
+# selftest (deterministic toy campaign; used by tests and the service
+# latency benchmark)
+# ---------------------------------------------------------------------------
+
+def parallel_selftest(plan: ShardPlan, *, jobs: int,
+                      checkpoint_dir: Optional[str] = None,
+                      shard_timeout: Optional[float] = None,
+                      shard_retries: int = 2, backoff_base: float = 0.05,
+                      log=None, events_out: Optional[str] = None,
+                      bus: Optional[EventBus] = None, stop=None
+                      ) -> Tuple[List[Optional[Dict[str, Any]]],
+                                 PlanResult]:
+    """Execute a selftest plan; the 'merged' result is simply the
+    shard payloads in shard order."""
+    outcome = execute_plan(
+        plan, jobs=jobs, checkpoint_dir=checkpoint_dir,
+        shard_timeout=shard_timeout, shard_retries=shard_retries,
+        backoff_base=backoff_base, log=log, events_out=events_out,
+        bus=bus, stop=stop)
+    return outcome.ordered_results(plan), outcome
+
+
 #: kind -> (merge-and-render helper) used by ``python -m repro.par
-#: resume`` to finish any checkpointed campaign generically
+#: resume`` and the campaign service to finish any campaign generically
 _PARALLEL_BY_KIND = {
     "fuzz": parallel_fuzz,
     "resil": parallel_resil,
     "juliet": parallel_juliet,
     "bench": parallel_bench,
+    "selftest": parallel_selftest,
 }
+
+
+def run_campaign_plan(plan: ShardPlan, *, jobs: int = 1,
+                      checkpoint_dir: Optional[str] = None,
+                      shard_timeout: Optional[float] = None,
+                      shard_retries: int = 2,
+                      backoff_base: float = 0.05, log=None,
+                      events_out: Optional[str] = None,
+                      bus: Optional[EventBus] = None, stop=None
+                      ) -> Tuple[Any, PlanResult]:
+    """Execute-and-merge any campaign plan by kind.
+
+    The generic entry point the campaign service (:mod:`repro.serve`)
+    drives: the merged result's type depends on ``plan.kind`` exactly
+    as in the per-kind ``parallel_*`` helpers.
+    """
+    runner = _PARALLEL_BY_KIND.get(plan.kind)
+    if runner is None:
+        raise ValueError(f"cannot execute campaign kind {plan.kind!r}")
+    return runner(plan, jobs=jobs, checkpoint_dir=checkpoint_dir,
+                  shard_timeout=shard_timeout,
+                  shard_retries=shard_retries,
+                  backoff_base=backoff_base, log=log,
+                  events_out=events_out, bus=bus, stop=stop)
 
 
 def resume_checkpoint(checkpoint_dir: str, *, jobs: int,
                       shard_timeout: Optional[float] = None,
                       shard_retries: int = 2,
-                      backoff_base: float = 0.05, log=None
+                      backoff_base: float = 0.05, log=None,
+                      bus: Optional[EventBus] = None, stop=None
                       ) -> Tuple[str, Any, PlanResult]:
     """Resume any checkpointed campaign from its manifest.
 
@@ -253,12 +320,8 @@ def resume_checkpoint(checkpoint_dir: str, *, jobs: int,
         raise FileNotFoundError(
             f"no checkpoint manifest in {checkpoint_dir}")
     plan = checkpoint.load_plan()
-    runner = _PARALLEL_BY_KIND.get(plan.kind)
-    if runner is None:
-        raise ValueError(f"cannot resume campaign kind {plan.kind!r}")
-    merged, outcome = runner(plan, jobs=jobs,
-                             checkpoint_dir=checkpoint_dir,
-                             shard_timeout=shard_timeout,
-                             shard_retries=shard_retries,
-                             backoff_base=backoff_base, log=log)
+    merged, outcome = run_campaign_plan(
+        plan, jobs=jobs, checkpoint_dir=checkpoint_dir,
+        shard_timeout=shard_timeout, shard_retries=shard_retries,
+        backoff_base=backoff_base, log=log, bus=bus, stop=stop)
     return plan.kind, merged, outcome

@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import importlib
 import queue as queue_mod
+import signal
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
@@ -62,6 +63,42 @@ _POLL_SECONDS = 0.05
 
 class ShardRunnerError(RuntimeError):
     """A shard runner reference could not be resolved."""
+
+
+def install_drain_handler(stop, *, log: Optional[Callable[[str], None]]
+                          = None) -> Callable[[], None]:
+    """Install SIGTERM/SIGINT handlers that request a graceful drain.
+
+    The first signal sets ``stop`` (any object with ``set()`` /
+    ``is_set()``, typically a :class:`threading.Event`): the pool stops
+    dispatching new shards, lets in-flight shards finish and
+    checkpoint, and returns a :class:`PlanResult` with ``drained``
+    set — instead of a ``KeyboardInterrupt`` killing a shard mid-write.
+    A second signal falls through to ``KeyboardInterrupt`` for users
+    who really mean *now*.
+
+    Returns a zero-argument function restoring the previous handlers.
+    Only callable from the main thread (a CPython ``signal``
+    restriction); services running pools off-thread wire their own
+    signal plumbing to the same ``stop`` event.
+    """
+    def handler(signum, frame):
+        if stop.is_set():
+            raise KeyboardInterrupt
+        stop.set()
+        if log is not None:
+            log(f"[repro.par] drain requested "
+                f"(signal {signal.Signals(signum).name}): finishing "
+                f"in-flight shards and checkpointing; signal again to "
+                f"abort immediately")
+
+    previous = {signum: signal.signal(signum, handler)
+                for signum in (signal.SIGINT, signal.SIGTERM)}
+
+    def restore() -> None:
+        for signum, old in previous.items():
+            signal.signal(signum, old)
+    return restore
 
 
 def resolve_runner(runner_ref: str) -> Callable[[Dict[str, Any], int],
@@ -128,6 +165,9 @@ class PlanResult:
     restored: List[int] = field(default_factory=list)
     retries: int = 0
     steals: int = 0
+    #: the run stopped early on a drain request; unfinished shards
+    #: stay pending in the checkpoint and re-run on resume
+    drained: bool = False
 
     @property
     def ok(self) -> bool:
@@ -149,6 +189,7 @@ class PlanResult:
             "shard_failures": len(self.failures),
             "shard_retries": self.retries,
             "steals": self.steals,
+            "drained": int(self.drained),
             "wall_seconds": self.wall_seconds,
             "workers": {
                 str(w.worker): {
@@ -166,7 +207,9 @@ class PlanResult:
                  f"{len(self.restored)} restored from checkpoint, "
                  f"{self.retries} retries, {self.steals} steals, "
                  f"{len(self.failures)} failed "
-                 f"({self.wall_seconds:.1f}s)"]
+                 f"({self.wall_seconds:.1f}s)"
+                 + (" [drained: remaining shards left pending]"
+                    if self.drained else "")]
         wall = self.wall_seconds or 1e-9
         for w in self.workers:
             lines.append(
@@ -234,7 +277,8 @@ class _Pool:
                  shard_timeout: Optional[float], retries: int,
                  backoff_base: float, checkpoint: Optional[Checkpoint],
                  bus: Optional[EventBus],
-                 log: Optional[Callable[[str], None]]):
+                 log: Optional[Callable[[str], None]],
+                 stop=None):
         self.plan = plan
         self.runner_ref = runner_ref
         self.jobs = max(1, jobs)
@@ -244,9 +288,13 @@ class _Pool:
         self.checkpoint = checkpoint
         self.bus = bus
         self.log = log or (lambda message: None)
+        self.stop = stop
         self.preferred: Dict[int, int] = {}
         self.result = PlanResult(
             workers=[WorkerStats(worker=i) for i in range(self.jobs)])
+
+    def _stopping(self) -> bool:
+        return self.stop is not None and self.stop.is_set()
 
     # -- events -------------------------------------------------------------
 
@@ -323,6 +371,9 @@ class _Pool:
         runner = resolve_runner(self.runner_ref)
         todo = self._plan_order()
         for shard in todo:
+            if self._stopping():
+                self.result.drained = True
+                break
             attempt = 0
             while True:
                 self._started(shard, attempt, worker=0)
@@ -345,6 +396,11 @@ class _Pool:
                         attempt=attempt, t=self._now(), reason="error",
                         delay=delay))
                     self.result.workers[0].busy_seconds += seconds
+                    if self._stopping():
+                        # drain beats backoff: leave the shard pending
+                        # for a resume instead of burning retries
+                        self.result.drained = True
+                        break
                     if delay > 0:
                         time.sleep(delay)
                     attempt += 1
@@ -450,13 +506,21 @@ class _Pool:
 
         try:
             while len(resolved) < total:
-                # release shards whose backoff elapsed, then hand work
-                # to every idle worker
-                now = time.monotonic()
-                for item in [d for d in delayed if d[0] <= now]:
-                    delayed.remove(item)
-                    pending.append((item[1], item[2]))
-                dispatch()
+                # a drain request stops dispatch; in-flight shards run
+                # to completion (and checkpoint), then the loop exits
+                # with the remainder left pending for a resume
+                stopping = self._stopping()
+                if stopping and not running:
+                    self.result.drained = True
+                    break
+                if not stopping:
+                    # release shards whose backoff elapsed, then hand
+                    # work to every idle worker
+                    now = time.monotonic()
+                    for item in [d for d in delayed if d[0] <= now]:
+                        delayed.remove(item)
+                        pending.append((item[1], item[2]))
+                    dispatch()
 
                 # drain one message
                 try:
@@ -553,7 +617,8 @@ def run_plan(plan: ShardPlan, runner_ref: str, *, jobs: int = 1,
              backoff_base: float = 0.05,
              checkpoint: Optional[Checkpoint] = None,
              bus: Optional[EventBus] = None,
-             log: Optional[Callable[[str], None]] = None) -> PlanResult:
+             log: Optional[Callable[[str], None]] = None,
+             stop=None) -> PlanResult:
     """Execute ``plan`` with ``jobs`` workers; returns a
     :class:`PlanResult`.
 
@@ -561,11 +626,17 @@ def run_plan(plan: ShardPlan, runner_ref: str, *, jobs: int = 1,
     already holds results for are *restored* instead of re-run, and
     every completion/failure is persisted as it happens, so the run can
     be killed and resumed at shard granularity.
+
+    ``stop`` (a :class:`threading.Event` or anything with ``is_set``)
+    requests a graceful drain: no new shards are dispatched, in-flight
+    shards finish and checkpoint, and the result comes back with
+    ``drained=True`` — pair with :func:`install_drain_handler` for
+    clean SIGTERM/SIGINT behaviour.
     """
     pool = _Pool(plan, runner_ref, jobs=jobs,
                  shard_timeout=shard_timeout, retries=retries,
                  backoff_base=backoff_base, checkpoint=checkpoint,
-                 bus=bus, log=log)
+                 bus=bus, log=log, stop=stop)
     if checkpoint is not None:
         for shard_id in sorted(checkpoint.open(plan)):
             pool.result.results[shard_id] = \

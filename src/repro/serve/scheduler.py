@@ -1,0 +1,127 @@
+"""Weighted-fair job scheduling with bounded-queue backpressure.
+
+Stride scheduling over tenants: each tenant carries a *pass value*,
+advanced by ``STRIDE / weight`` every time one of its jobs dispatches,
+and the eligible tenant with the lowest pass value goes next (ties
+break on tenant name, so the schedule is fully deterministic given the
+submission order).  A weight-2 tenant therefore dispatches twice as
+often as a weight-1 tenant under contention, and an idle tenant's
+first job never starves — its pass value is pulled up to the current
+minimum on first use so old idleness earns no unbounded credit.
+
+Admission is bounded per tenant: a full queue raises a typed
+:class:`~repro.errors.QueueFull` (HTTP 429 + ``Retry-After``), which is
+the service's backpressure signal — clients resubmit after the hint
+rather than the service buffering unboundedly.
+
+The scheduler is not thread-safe on its own; the owning
+:class:`~repro.serve.service.CampaignService` serializes access under
+its lock.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.errors import QueueFull
+from repro.serve.tenants import TenantQuota, TenantState
+
+#: stride-scheduling numerator; pass increments are STRIDE / weight
+STRIDE = 1 << 16
+
+
+class WeightedFairScheduler:
+    """Per-tenant FIFO queues multiplexed by stride scheduling."""
+
+    def __init__(self, *, default_quota: Optional[TenantQuota] = None,
+                 quotas: Optional[Dict[str, TenantQuota]] = None):
+        self.default_quota = default_quota or TenantQuota()
+        self.quotas = dict(quotas or {})
+        self.tenants: Dict[str, TenantState] = {}
+
+    def tenant(self, name: str) -> TenantState:
+        state = self.tenants.get(name)
+        if state is None:
+            state = TenantState(
+                name, self.quotas.get(name, self.default_quota))
+            # A newly-seen (or long-idle) tenant starts at the current
+            # minimum pass value: fairness is about share from now on,
+            # not retroactive credit for time spent idle.
+            floor = min((t.pass_value
+                         for t in self.tenants.values()), default=0.0)
+            state.pass_value = floor
+            self.tenants[name] = state
+        return state
+
+    # -- admission ----------------------------------------------------------
+
+    def submit(self, record: Any, *, force: bool = False) -> None:
+        """Enqueue one job record; raises :class:`QueueFull` when the
+        tenant's bounded queue is at capacity.
+
+        ``force`` bypasses the bound — used only for crash-recovery
+        re-admission, where every persisted job was admitted before the
+        restart and must not be dropped for exceeding a limit it
+        already passed.
+        """
+        state = self.tenant(record.tenant)
+        if state.queue_full and not force:
+            state.rejected += 1
+            raise QueueFull(record.tenant, depth=len(state.queue),
+                            limit=state.quota.max_queued,
+                            retry_after=state.quota.retry_after)
+        state.queue.append(record)
+        state.submitted += 1
+
+    # -- dispatch -----------------------------------------------------------
+
+    def next_job(self) -> Optional[Any]:
+        """Pop the next job to run, advancing its tenant's pass value;
+        ``None`` when no tenant is eligible (empty queues or all at
+        their ``max_running`` cap)."""
+        eligible = [state for state in self.tenants.values()
+                    if state.eligible]
+        if not eligible:
+            return None
+        state = min(eligible, key=lambda t: (t.pass_value, t.name))
+        record = state.queue.popleft()
+        state.pass_value += STRIDE / state.quota.weight
+        state.running += 1
+        return record
+
+    def release(self, tenant_name: str, outcome: str) -> None:
+        """A dispatched job reached a terminal (or requeued) state."""
+        state = self.tenant(tenant_name)
+        state.running = max(0, state.running - 1)
+        if outcome == "done":
+            state.completed += 1
+        elif outcome == "failed":
+            state.failed += 1
+        elif outcome == "cancelled":
+            state.cancelled += 1
+
+    def cancel_queued(self, job_id: str) -> bool:
+        """Remove a still-queued job; False if it is not queued here."""
+        for state in self.tenants.values():
+            for record in state.queue:
+                if record.job_id == job_id:
+                    state.queue.remove(record)
+                    state.cancelled += 1
+                    return True
+        return False
+
+    # -- introspection ------------------------------------------------------
+
+    def queued(self) -> List[Any]:
+        records: List[Any] = []
+        for state in self.tenants.values():
+            records.extend(state.queue)
+        return sorted(records, key=lambda r: r.job_id)
+
+    def depth(self) -> int:
+        return sum(len(state.queue) for state in self.tenants.values())
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Per-tenant counters for the /metrics document."""
+        return {name: state.counters()
+                for name, state in sorted(self.tenants.items())}

@@ -1,0 +1,168 @@
+"""The asyncio HTTP/1.1 front end (stdlib only, no frameworks).
+
+One ``asyncio.start_server`` loop parses minimal HTTP/1.1 —
+request line, headers, ``Content-Length`` body — and hands each
+request to :func:`repro.serve.api.dispatch` **in an executor thread**,
+so a slow service call (submission validation, a lock briefly held by
+a finishing campaign) never stalls the accept loop.  Responses are
+``Connection: close``: the service's clients are campaign submitters
+polling every few hundred milliseconds, not high-frequency RPC.
+
+:class:`BackgroundServer` runs the same loop on a daemon thread for
+tests and benchmarks that need a real socket without owning the
+process's event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Optional, Tuple
+
+from repro.serve.api import dispatch, reason_phrase
+
+#: request hard limits — this is a campaign API, not a file upload
+MAX_HEADER_BYTES = 16 * 1024
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+async def _read_request(reader: asyncio.StreamReader
+                        ) -> Optional[Tuple[str, str, bytes]]:
+    """Parse one request into ``(method, target, body)``; ``None`` on
+    EOF or malformed input."""
+    try:
+        header_blob = await reader.readuntil(b"\r\n\r\n")
+    except (asyncio.IncompleteReadError, asyncio.LimitOverrunError,
+            ConnectionError):
+        return None
+    if len(header_blob) > MAX_HEADER_BYTES:
+        return None
+    try:
+        head, _, _ = header_blob.partition(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        method, target, _version = lines[0].split(" ", 2)
+        headers = {}
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+    except (ValueError, IndexError):
+        return None
+    length = int(headers.get("content-length", "0") or "0")
+    if length < 0 or length > MAX_BODY_BYTES:
+        return None
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            return None
+    return method, target, body
+
+
+def _render(status: int, headers, body: bytes) -> bytes:
+    lines = [f"HTTP/1.1 {status} {reason_phrase(status)}"]
+    lines.extend(f"{name}: {value}" for name, value in headers)
+    lines.append(f"Content-Length: {len(body)}")
+    lines.append("Connection: close")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+class CampaignServer:
+    """Bind the service to a host/port; ``port=0`` picks a free one."""
+
+    def __init__(self, service, host: str = "127.0.0.1",
+                 port: int = 0):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> int:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port,
+            limit=MAX_HEADER_BYTES + MAX_BODY_BYTES)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            request = await _read_request(reader)
+            if request is None:
+                return
+            method, target, body = request
+            loop = asyncio.get_running_loop()
+            status, headers, payload = await loop.run_in_executor(
+                None, dispatch, self.service, method, target, body)
+            writer.write(_render(status, headers, payload))
+            await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            # a shutdown-time cancel ends the handler quietly; the
+            # transport is torn down below either way
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+
+class BackgroundServer:
+    """The same server on a daemon thread (tests, benchmarks)."""
+
+    def __init__(self, service, host: str = "127.0.0.1",
+                 port: int = 0):
+        self._server = CampaignServer(service, host, port)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self.host = host
+        self.port = port
+
+    def start(self) -> int:
+        """Start serving; returns the bound port."""
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-serve-http")
+        self._thread.start()
+        if not self._started.wait(10.0):
+            raise RuntimeError("HTTP server failed to start")
+        self.port = self._server.port
+        return self.port
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+
+        async def main() -> None:
+            await self._server.start()
+            self._started.set()
+            # serve until the loop is stopped from stop()
+            await asyncio.Event().wait()
+        try:
+            self._loop.run_until_complete(main())
+        except asyncio.CancelledError:
+            pass
+        finally:
+            self._loop.close()
+
+    def stop(self) -> None:
+        loop = self._loop
+        if loop is None or not loop.is_running():
+            return
+
+        async def shutdown() -> None:
+            await self._server.stop()
+            current = asyncio.current_task()
+            for task in asyncio.all_tasks():
+                if task is not current:
+                    task.cancel()
+        asyncio.run_coroutine_threadsafe(shutdown(), loop)
+        if self._thread is not None:
+            self._thread.join(10.0)

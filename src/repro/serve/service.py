@@ -1,0 +1,454 @@
+"""The campaign service core: admission, scheduling, execution,
+recovery.
+
+Threading model
+===============
+
+The core is synchronous and lock-protected; asyncio exists only in the
+HTTP front end (:mod:`repro.serve.server`), which pushes each request
+into this layer via an executor.  One ``RLock`` guards all scheduler
+and record state; campaign execution happens on a small
+``ThreadPoolExecutor`` (one thread per concurrently running job), each
+thread driving :func:`repro.par.engine.run_campaign_plan` with the
+job's checkpoint directory, a per-job stop event, and a progress sink
+on the event bus.
+
+Determinism under restart
+=========================
+
+A job's plan is a pure function of its persisted (fully resolved) spec,
+so a restarted service rebuilds the identical plan — identical
+fingerprint — and reuses the job's checkpoint directory.  Completed
+shards restore from disk, the remainder re-runs, and the merge layer's
+shard-order contract makes the final result byte-identical (timing
+aside) to an uninterrupted run: killing the service mid-campaign is
+indistinguishable from a slow campaign.
+
+Shutdown is a drain, not an abort: the service-wide stop event flows
+into every running pool, in-flight shards finish and checkpoint, and
+interrupted jobs are parked back in ``queued`` so the next start
+resumes them.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional
+
+from repro.errors import (
+    JobNotCancellable, QueueFull, ReproError, ServiceUnavailable,
+    UnknownJob,
+)
+from repro.obs.events import (
+    EventBus, JobEvent, QueueRejectEvent, ShardDoneEvent,
+    ShardRetryEvent,
+)
+from repro.obs.metrics import metrics_document
+from repro.par.engine import run_campaign_plan
+from repro.par.pool import PlanResult
+from repro.serve.jobs import (
+    JOB_KINDS, JOB_STATUSES, JobRecord, build_plan, new_record,
+    validate_spec,
+)
+from repro.serve.scheduler import WeightedFairScheduler
+from repro.serve.store import JobStore
+from repro.serve.tenants import TenantQuota
+
+
+class CampaignService:
+    """Multi-tenant campaign execution over one shared worker budget."""
+
+    def __init__(self, store_dir: str, *, workers_total: int = 2,
+                 max_concurrent_jobs: int = 2,
+                 default_quota: Optional[TenantQuota] = None,
+                 quotas: Optional[Dict[str, TenantQuota]] = None,
+                 kinds: Optional[List[str]] = None,
+                 bus: Optional[EventBus] = None, log=None):
+        self.store = JobStore(store_dir)
+        self.scheduler = WeightedFairScheduler(
+            default_quota=default_quota, quotas=quotas)
+        self.workers_total = max(1, workers_total)
+        self.allowed_kinds = tuple(kinds) if kinds else JOB_KINDS
+        self.bus = bus if bus is not None else EventBus()
+        self.log = log or (lambda message: None)
+        self._lock = threading.RLock()
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(1, max_concurrent_jobs),
+            thread_name_prefix="repro-serve-job")
+        self._records: Dict[str, JobRecord] = {}
+        self._stops: Dict[str, threading.Event] = {}
+        self._granted: Dict[str, int] = {}
+        self._free_workers = self.workers_total
+        self._draining = False
+        self._t0 = time.monotonic()
+        self._recover()
+
+    # -- events -------------------------------------------------------------
+
+    def _now(self) -> float:
+        return time.monotonic() - self._t0
+
+    def _emit_job(self, record: JobRecord, status: str) -> None:
+        self.bus.emit(JobEvent(
+            site=None, job_id=record.job_id, tenant=record.tenant,
+            campaign=record.kind, status=status, t=self._now()))
+
+    # -- recovery -----------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Re-admit every non-terminal persisted job on startup.
+
+        ``running`` jobs from a killed instance demote to ``queued``;
+        their checkpoints hold every shard completed before the kill,
+        so re-execution resumes rather than restarts.  Recovery
+        re-admission bypasses queue bounds — these jobs were admitted
+        before the restart.
+        """
+        for record in sorted(self.store.load_all(),
+                             key=lambda r: r.job_id):
+            self._records[record.job_id] = record
+            if record.terminal:
+                continue
+            if record.status != "queued" or record.cancel_requested:
+                record.status = "queued"
+                record.cancel_requested = False
+                self.store.save(record)
+            self.scheduler.submit(record, force=True)
+            self._emit_job(record, "requeued")
+            self.log(f"[repro.serve] recovered {record.job_id} "
+                     f"({record.kind}, tenant {record.tenant}); "
+                     f"resuming from checkpoint")
+        with self._lock:
+            self._pump()
+
+    # -- admission ----------------------------------------------------------
+
+    def submit(self, body: Any) -> JobRecord:
+        """Validate and admit one job; returns the queued record.
+
+        Raises typed :class:`~repro.errors.ServiceError` subclasses on
+        every rejection path: bad spec (400), draining (503), tenant
+        queue full (429 + Retry-After).
+        """
+        tenant, kind, workers, params = validate_spec(
+            body, allowed_kinds=self.allowed_kinds)
+        plan = build_plan(kind, params, workers)
+        with self._lock:
+            if self._draining:
+                self.bus.emit(QueueRejectEvent(
+                    site=None, tenant=tenant, reason="draining",
+                    t=self._now()))
+                raise ServiceUnavailable()
+            record = new_record(
+                self.store.next_job_id(), tenant, kind, workers,
+                params, plan.fingerprint(), len(plan.shards))
+            try:
+                self.scheduler.submit(record)
+            except QueueFull:
+                self.bus.emit(QueueRejectEvent(
+                    site=None, tenant=tenant, reason="queue_full",
+                    t=self._now()))
+                raise
+            self._records[record.job_id] = record
+            self.store.save(record)
+            self._emit_job(record, "queued")
+            self._pump()
+        return record
+
+    # -- dispatch -----------------------------------------------------------
+
+    def _pump(self) -> None:
+        """Hand queued jobs to the executor while worker budget lasts.
+        Caller holds the lock."""
+        while not self._draining and self._free_workers >= 1:
+            record = self.scheduler.next_job()
+            if record is None:
+                return
+            granted = min(record.workers, self._free_workers)
+            self._free_workers -= granted
+            self._granted[record.job_id] = granted
+            self._stops[record.job_id] = threading.Event()
+            record.status = "running"
+            record.started = time.time()
+            self.store.save(record)
+            self._emit_job(record, "running")
+            self._executor.submit(self._run_job, record, granted)
+
+    def _progress_bus(self, record: JobRecord) -> EventBus:
+        """A per-job bus whose sink folds shard events into the
+        record's live progress counters."""
+        bus = EventBus()
+
+        def sink(event) -> None:
+            if isinstance(event, ShardDoneEvent) \
+                    and event.status == "ok":
+                record.progress["shards_done"] = \
+                    record.progress.get("shards_done", 0) + 1
+            elif isinstance(event, ShardRetryEvent):
+                record.progress["retries"] = \
+                    record.progress.get("retries", 0) + 1
+            else:
+                return
+            with self._lock:
+                self.store.save(record)
+        bus.subscribe(sink)
+        return bus
+
+    def _run_job(self, record: JobRecord, granted: int) -> None:
+        """Executor thread: run one campaign to a terminal (or
+        drained) state."""
+        stop = self._stops[record.job_id]
+        try:
+            plan = build_plan(record.kind, record.params,
+                              record.workers)
+            merged, outcome = run_campaign_plan(
+                plan, jobs=granted,
+                checkpoint_dir=self.store.checkpoint_dir(
+                    record.job_id),
+                bus=self._progress_bus(record), stop=stop,
+                log=self.log)
+        except BaseException as exc:  # noqa: BLE001 — typed to client
+            error = exc.to_dict() if isinstance(exc, ReproError) else {
+                "type": type(exc).__name__, "message": str(exc),
+                "fields": {}}
+            self._finish(record, granted, status="failed", error=error)
+            return
+        self._on_executed(record, granted, merged, outcome)
+
+    def _on_executed(self, record: JobRecord, granted: int,
+                     merged: Any, outcome: PlanResult) -> None:
+        record.progress["shards_done"] = \
+            len(outcome.executed) + len(outcome.restored)
+        record.progress["shards_restored"] = len(outcome.restored)
+        if outcome.drained:
+            if record.cancel_requested:
+                self._finish(record, granted, status="cancelled")
+            else:
+                # Parked, not failed: the record goes back to queued so
+                # the next service start resumes it from checkpoint.
+                self._finish(record, granted, status="queued",
+                             event="requeued")
+            return
+        result = _render_result(record.kind, record.params, merged,
+                                outcome)
+        if outcome.ok and result.get("ok", True):
+            self._finish(record, granted, status="done",
+                         result=result)
+        else:
+            error = None
+            if outcome.failures:
+                error = {"type": "ShardFailure",
+                         "message": f"{len(outcome.failures)} shard(s) "
+                                    f"exhausted their retry budget",
+                         "fields": {"failures": [
+                             failure.to_dict()
+                             for failure in outcome.failures]}}
+            self._finish(record, granted, status="failed",
+                         result=result, error=error)
+
+    def _finish(self, record: JobRecord, granted: int, *, status: str,
+                result: Optional[Dict[str, Any]] = None,
+                error: Optional[Dict[str, Any]] = None,
+                event: Optional[str] = None) -> None:
+        with self._lock:
+            record.status = status
+            record.result = result
+            record.error = error
+            if record.terminal:
+                record.finished = time.time()
+            self.scheduler.release(
+                record.tenant,
+                status if record.terminal else "requeued")
+            self._free_workers += granted
+            self._granted.pop(record.job_id, None)
+            self._stops.pop(record.job_id, None)
+            self.store.save(record)
+            self._emit_job(record, event or status)
+            self._pump()
+
+    # -- queries ------------------------------------------------------------
+
+    def get(self, job_id: str) -> JobRecord:
+        with self._lock:
+            record = self._records.get(job_id)
+        if record is None:
+            raise UnknownJob(job_id)
+        return record
+
+    def list_jobs(self, tenant: Optional[str] = None) -> List[JobRecord]:
+        with self._lock:
+            records = sorted(self._records.values(),
+                             key=lambda r: r.job_id)
+        if tenant is not None:
+            records = [r for r in records if r.tenant == tenant]
+        return records
+
+    def cancel(self, job_id: str) -> JobRecord:
+        """Cancel a queued job immediately, or request a running job's
+        pool to drain (it lands in ``cancelled`` once in-flight shards
+        finish)."""
+        with self._lock:
+            record = self._records.get(job_id)
+            if record is None:
+                raise UnknownJob(job_id)
+            if record.terminal:
+                raise JobNotCancellable(job_id, record.status)
+            if record.status == "queued":
+                self.scheduler.cancel_queued(job_id)
+                record.status = "cancelled"
+                record.finished = time.time()
+                self.store.save(record)
+                self._emit_job(record, "cancelled")
+                return record
+            record.cancel_requested = True
+            self.store.save(record)
+            stop = self._stops.get(job_id)
+            if stop is not None:
+                stop.set()
+            return record
+
+    def wait(self, job_id: str, timeout: float = 60.0,
+             poll: float = 0.02) -> JobRecord:
+        """Block until a job leaves ``running``/dispatch (tests and the
+        smoke CLI); returns the record in whatever state it reached."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            record = self.get(job_id)
+            if record.terminal:
+                return record
+            time.sleep(poll)
+        return self.get(job_id)
+
+    # -- health & metrics ---------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        with self._lock:
+            counts = {status: 0 for status in JOB_STATUSES}
+            for record in self._records.values():
+                counts[record.status] = counts.get(record.status, 0) + 1
+            return {
+                "status": "draining" if self._draining else "ok",
+                "uptime_seconds": self._now(),
+                "workers_total": self.workers_total,
+                "workers_free": self._free_workers,
+                "jobs": counts,
+            }
+
+    def metrics(self) -> Dict[str, Any]:
+        """One schema-v1 metrics document describing the service."""
+        with self._lock:
+            counts = {status: 0 for status in JOB_STATUSES}
+            shards_done = 0
+            for record in self._records.values():
+                counts[record.status] = counts.get(record.status, 0) + 1
+                shards_done += record.progress.get("shards_done", 0)
+            payload = {
+                "uptime_seconds": self._now(),
+                "draining": int(self._draining),
+                "workers": {"total": self.workers_total,
+                            "free": self._free_workers},
+                "jobs": counts,
+                "queue_depth": self.scheduler.depth(),
+                "shards_done": shards_done,
+                "tenants": self.scheduler.snapshot(),
+            }
+        return metrics_document("serve", {"store": self.store.root},
+                                payload)
+
+    # -- shutdown -----------------------------------------------------------
+
+    def drain(self, wait: bool = True) -> None:
+        """Stop admitting, drain running pools, park unfinished jobs.
+
+        In-flight shards finish and checkpoint; running jobs whose
+        pools drained go back to ``queued`` for the next start.  With
+        ``wait=True`` (the default) this blocks until every executor
+        thread has returned.
+        """
+        with self._lock:
+            if self._draining:
+                return
+            self._draining = True
+            for stop in self._stops.values():
+                stop.set()
+        self.log("[repro.serve] draining: in-flight shards finishing "
+                 "and checkpointing")
+        self._executor.shutdown(wait=wait)
+
+
+def _render_result(kind: str, params: Dict[str, Any], merged: Any,
+                   outcome: PlanResult) -> Dict[str, Any]:
+    """Project a merged campaign result into the JSON body clients see.
+
+    The embedded ``metrics_document`` deliberately excludes pool
+    accounting (shards executed/restored, utilization) so it compares
+    byte-identical — under the timing-insensitive
+    :func:`repro.par.merge.canonical_metrics` projection — with the
+    document the batch CLI writes for the same seed, even when the
+    service was killed and restarted mid-campaign.  Pool accounting
+    lives alongside in ``pool``.
+    """
+    pool = outcome.utilization_metrics()
+    if kind == "fuzz":
+        return {
+            "ok": merged.ok,
+            "summary": merged.summary(),
+            "metrics_document": metrics_document(
+                "fuzz",
+                {"seed": params["seed"],
+                 "iterations": params["iterations"],
+                 "configs": ",".join(params["configs"])},
+                merged.metrics()),
+            "pool": pool,
+        }
+    if kind == "resil":
+        return {
+            "ok": merged.ok,
+            "summary": merged.render(),
+            "metrics_document": metrics_document(
+                "resil",
+                {"seed": params["seed"], "scale": params["scale"],
+                 "policy": merged.policy_name,
+                 "workloads": ",".join(params["workloads"]),
+                 "schemes": ",".join(params["schemes"]),
+                 "faults": ",".join(params["faults"])},
+                merged.metrics()),
+            "pool": pool,
+        }
+    if kind == "juliet":
+        by_cwe = {cwe: dict(row)
+                  for cwe, row in merged.by_cwe().items()}
+        return {
+            "ok": merged.all_passed,
+            "summary": merged.summary(),
+            "metrics_document": metrics_document(
+                "juliet_parallel",
+                {"seed": params["seed"],
+                 "allocator": params["allocator"]},
+                {"total": merged.total, "detected": merged.detected,
+                 "bad_total": merged.bad_total,
+                 "false_positives": merged.false_positives,
+                 "good_total": merged.good_total, "by_cwe": by_cwe}),
+            "pool": pool,
+        }
+    if kind == "bench":
+        return {
+            "ok": True,
+            "metrics_document": metrics_document(
+                "bench_sweep",
+                {"workloads": ",".join(params["workloads"]),
+                 "configs": ",".join(params["configs"]),
+                 "scale": params["scale"]},
+                {"cells": merged}),
+            "pool": pool,
+        }
+    if kind == "selftest":
+        return {
+            "ok": outcome.ok,
+            "values": [payload["value"] if payload else None
+                       for payload in merged],
+            "pool": pool,
+        }
+    raise ValueError(f"unknown kind {kind!r}")

@@ -1,0 +1,89 @@
+"""On-disk persistence for the campaign service.
+
+One store directory holds everything a service instance needs to
+survive a kill -9::
+
+    <root>/jobs/job-000001.json      one JSON document per job record
+    <root>/checkpoints/job-000001/   that job's repro.par checkpoint
+
+Job records are written atomically (temp file + ``os.replace``), the
+same discipline as the checkpoint manifests one level down, so a crash
+mid-write can never leave a half-record: the restarted service sees
+either the previous state or the new one.  Campaign *results* live in
+the checkpoint layer (per-shard result files), which is what makes a
+restart resume mid-campaign instead of restarting it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import Any, Dict, List
+
+from repro.errors import UnknownJob
+from repro.serve.jobs import JobRecord
+
+_JOB_FILE = re.compile(r"^job-(\d{6})\.json$")
+
+
+def _atomic_write_json(path: str, payload: Dict[str, Any]) -> None:
+    tmp = path + ".tmp"
+    with open(tmp, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+
+
+class JobStore:
+    """Job records + per-job checkpoint directories under one root."""
+
+    def __init__(self, root: str):
+        self.root = root
+        self.jobs_dir = os.path.join(root, "jobs")
+        self.checkpoints_dir = os.path.join(root, "checkpoints")
+        os.makedirs(self.jobs_dir, exist_ok=True)
+        os.makedirs(self.checkpoints_dir, exist_ok=True)
+        self._next_index = 1 + max(
+            (int(match.group(1))
+             for name in os.listdir(self.jobs_dir)
+             if (match := _JOB_FILE.match(name))), default=0)
+
+    # -- identity -----------------------------------------------------------
+
+    def next_job_id(self) -> str:
+        job_id = f"job-{self._next_index:06d}"
+        self._next_index += 1
+        return job_id
+
+    def job_path(self, job_id: str) -> str:
+        return os.path.join(self.jobs_dir, f"{job_id}.json")
+
+    def checkpoint_dir(self, job_id: str) -> str:
+        return os.path.join(self.checkpoints_dir, job_id)
+
+    # -- records ------------------------------------------------------------
+
+    def save(self, record: JobRecord) -> None:
+        _atomic_write_json(self.job_path(record.job_id),
+                           record.to_dict())
+
+    def load(self, job_id: str) -> JobRecord:
+        try:
+            with open(self.job_path(job_id)) as handle:
+                return JobRecord.from_dict(json.load(handle))
+        except (OSError, ValueError, KeyError):
+            raise UnknownJob(job_id) from None
+
+    def load_all(self) -> List[JobRecord]:
+        records: List[JobRecord] = []
+        for name in sorted(os.listdir(self.jobs_dir)):
+            if not _JOB_FILE.match(name):
+                continue
+            try:
+                with open(os.path.join(self.jobs_dir, name)) as handle:
+                    records.append(JobRecord.from_dict(
+                        json.load(handle)))
+            except (OSError, ValueError, KeyError):
+                continue    # a torn record never existed (atomic write)
+        return records

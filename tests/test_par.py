@@ -404,3 +404,336 @@ class TestPoolObservability:
         assert set(metrics["workers"]) == {"0", "1"}
         for stats in metrics["workers"].values():
             assert 0.0 <= stats["utilization"]
+
+
+# ---------------------------------------------------------------------------
+# graceful drain: stop event + SIGTERM/SIGINT handler
+# ---------------------------------------------------------------------------
+
+class TestDrain:
+    def _drain_after_first_shard(self, jobs, tmp_path):
+        """Set the stop event off the bus as soon as one shard lands;
+        the run must checkpoint what finished and report drained."""
+        import threading
+
+        from repro.obs.events import EventBus, ShardDoneEvent
+
+        stop = threading.Event()
+        bus = EventBus()
+        bus.subscribe(lambda event: stop.set()
+                      if isinstance(event, ShardDoneEvent) else None)
+        plan = _selftest_plan(5, 12, 6, sleep_seconds=0.05)
+        checkpoint = Checkpoint(str(tmp_path / "ck"))
+        outcome = run_plan(plan, SELFTEST, jobs=jobs, bus=bus,
+                           checkpoint=checkpoint, stop=stop)
+        assert outcome.drained
+        assert not outcome.ok or len(outcome.executed) < 6
+        assert "drained" in outcome.summary()
+        assert outcome.utilization_metrics()["drained"] == 1
+        statuses = Checkpoint(str(tmp_path / "ck")).statuses()
+        assert set(statuses.values()) <= {"done", "pending"}
+        assert list(statuses.values()).count("done") \
+            == len(outcome.executed)
+
+        # resuming the same plan finishes it, values sequential-equal
+        resumed = run_plan(_selftest_plan(5, 12, 6,
+                                          sleep_seconds=0.05),
+                           SELFTEST, jobs=jobs,
+                           checkpoint=Checkpoint(str(tmp_path / "ck")))
+        assert resumed.ok and not resumed.drained
+        assert sorted(resumed.restored) == sorted(outcome.executed)
+        clean = run_plan(_selftest_plan(5, 12, 6), SELFTEST, jobs=1)
+        assert _values(resumed, plan) \
+            == _values(clean, _selftest_plan(5, 12, 6))
+
+    def test_inline_drain_checkpoints_and_resumes(self, tmp_path):
+        self._drain_after_first_shard(1, tmp_path)
+
+    def test_multiprocess_drain_checkpoints_and_resumes(self, tmp_path):
+        self._drain_after_first_shard(2, tmp_path)
+
+    def test_preset_stop_dispatches_nothing(self):
+        import threading
+        stop = threading.Event()
+        stop.set()
+        plan = _selftest_plan(2, 8, 4)
+        outcome = run_plan(plan, SELFTEST, jobs=1, stop=stop)
+        assert outcome.drained
+        assert not outcome.executed
+
+    def test_drain_beats_retry_backoff(self):
+        # a drain requested mid-retry must return immediately instead
+        # of sleeping out the (here: 10s) backoff — the test hangs if
+        # the ordering regresses
+        import threading
+
+        from repro.obs.events import EventBus, ShardRetryEvent
+
+        stop = threading.Event()
+        bus = EventBus()
+        bus.subscribe(lambda event: stop.set()
+                      if isinstance(event, ShardRetryEvent) else None)
+        plan = _selftest_plan(2, 8, 4, mode="raise",
+                              fail_shards=[0, 1, 2, 3])
+        outcome = run_plan(plan, SELFTEST, jobs=1, retries=5,
+                           backoff_base=10.0, bus=bus, stop=stop)
+        assert outcome.drained
+        assert outcome.retries == 1
+        assert not outcome.failures   # pending, not burned retries
+
+    def test_install_drain_handler_signal_contract(self):
+        import signal
+        import threading
+        import time
+
+        from repro.par import install_drain_handler
+
+        previous_term = signal.getsignal(signal.SIGTERM)
+        previous_int = signal.getsignal(signal.SIGINT)
+        stop = threading.Event()
+        seen = []
+        restore = install_drain_handler(stop, log=seen.append)
+        try:
+            signal.raise_signal(signal.SIGTERM)
+            deadline = time.monotonic() + 2.0
+            while not stop.is_set() and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert stop.is_set()
+            assert any("drain requested" in line for line in seen)
+            with pytest.raises(KeyboardInterrupt):
+                signal.raise_signal(signal.SIGTERM)
+                time.sleep(0.1)
+        finally:
+            restore()
+        assert signal.getsignal(signal.SIGTERM) is previous_term
+        assert signal.getsignal(signal.SIGINT) is previous_int
+
+
+# ---------------------------------------------------------------------------
+# checkpoint edge cases: torn writes, tampered manifests, SIGKILL
+# ---------------------------------------------------------------------------
+
+class TestCheckpointEdgeCases:
+    def _completed_checkpoint(self, tmp_path):
+        checkpoint = Checkpoint(str(tmp_path / "ck"))
+        outcome = run_plan(_selftest_plan(3, 8, 4), SELFTEST, jobs=1,
+                           checkpoint=checkpoint)
+        assert outcome.ok
+        return tmp_path / "ck"
+
+    def test_truncated_shard_result_demotes_to_pending(self, tmp_path):
+        directory = self._completed_checkpoint(tmp_path)
+        victim = directory / "shard-0001.json"
+        victim.write_text(victim.read_text()[: len(victim.read_text())
+                                             // 2])
+        again = run_plan(_selftest_plan(3, 8, 4), SELFTEST, jobs=1,
+                         checkpoint=Checkpoint(str(directory)))
+        assert again.ok
+        assert again.executed == [1]
+        assert sorted(again.restored) == [0, 2, 3]
+        clean = run_plan(_selftest_plan(3, 8, 4), SELFTEST, jobs=1)
+        plan = _selftest_plan(3, 8, 4)
+        assert _values(again, plan) == _values(clean, plan)
+
+    def test_missing_shard_result_demotes_to_pending(self, tmp_path):
+        directory = self._completed_checkpoint(tmp_path)
+        (directory / "shard-0002.json").unlink()
+        again = run_plan(_selftest_plan(3, 8, 4), SELFTEST, jobs=1,
+                         checkpoint=Checkpoint(str(directory)))
+        assert again.ok
+        assert again.executed == [2]
+
+    def test_wrong_shard_identity_in_result_demotes(self, tmp_path):
+        directory = self._completed_checkpoint(tmp_path)
+        victim = directory / "shard-0000.json"
+        document = json.loads(victim.read_text())
+        document["shard_id"] = 9   # result stolen from another shard
+        victim.write_text(json.dumps(document))
+        again = run_plan(_selftest_plan(3, 8, 4), SELFTEST, jobs=1,
+                         checkpoint=Checkpoint(str(directory)))
+        assert again.ok
+        assert again.executed == [0]
+
+    def test_tampered_fingerprint_refuses_resume(self, tmp_path):
+        from repro.par import resume_checkpoint
+        directory = self._completed_checkpoint(tmp_path)
+        manifest_path = directory / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["fingerprint"] = "0" * 64
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(CheckpointMismatch):
+            resume_checkpoint(str(directory), jobs=1)
+
+    def test_resume_after_sigkill_is_sequential_identical(self,
+                                                          tmp_path):
+        """SIGKILL a checkpointing campaign mid-flight; the resumed
+        merge must equal an uninterrupted run's."""
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        directory = tmp_path / "ck"
+        script = (
+            "import sys; sys.path.insert(0, {src!r})\n"
+            "from repro.par import Checkpoint, run_plan\n"
+            "from repro.par.plan import plan_indices\n"
+            "plan = plan_indices('selftest', 3, list(range(8)),\n"
+            "    params={{'fail_shards': [], 'sleep_seconds': 0.2}},\n"
+            "    shards=8)\n"
+            "run_plan(plan, 'repro.par.campaigns:run_selftest_shard',\n"
+            "    jobs=1, checkpoint=Checkpoint({ck!r}))\n"
+        ).format(src=os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "src"), ck=str(directory))
+        child = subprocess.Popen([sys.executable, "-c", script])
+        deadline = time.monotonic() + 30.0
+        try:
+            # wait until at least one shard result landed, then KILL
+            while time.monotonic() < deadline:
+                if any(directory.glob("shard-*.json")):
+                    break
+                time.sleep(0.02)
+            else:
+                pytest.fail("no shard completed before the deadline")
+            child.kill()
+        finally:
+            child.wait(timeout=30)
+
+        plan = plan_indices(
+            "selftest", 3, list(range(8)),
+            params={"fail_shards": [], "sleep_seconds": 0.2}, shards=8)
+        resumed = run_plan(plan, SELFTEST, jobs=1,
+                           checkpoint=Checkpoint(str(directory)))
+        assert resumed.ok
+        assert resumed.restored   # the kill left real progress behind
+        clean_plan = plan_indices(
+            "selftest", 3, list(range(8)),
+            params={"fail_shards": [], "sleep_seconds": 0.2}, shards=8)
+        clean = run_plan(clean_plan, SELFTEST, jobs=1)
+        assert _values(resumed, plan) == _values(clean, clean_plan)
+
+
+# ---------------------------------------------------------------------------
+# error serialization: every ReproError crosses the API boundary typed
+# ---------------------------------------------------------------------------
+
+class TestErrorSerialization:
+    @staticmethod
+    def _samples():
+        import repro.errors as errors_mod
+        from repro.par.checkpoint import CheckpointMismatch as CkMismatch
+        trap = errors_mod.StepBudgetExceeded("budget", executed=9,
+                                             limit=5)
+        return {
+            "SourceError": errors_mod.SourceError("bad", line=2, col=4),
+            "LexError": errors_mod.LexError("tok"),
+            "ParseError": errors_mod.ParseError("syntax"),
+            "TypeError_": errors_mod.TypeError_("types"),
+            "CompileError": errors_mod.CompileError("lowering"),
+            "LinkError": errors_mod.LinkError("symbol"),
+            "SimTrap": errors_mod.SimTrap("trap", pc=("main", 3)),
+            "MemoryFault": errors_mod.MemoryFault("unmapped",
+                                                  address=0xBEEF),
+            "PoisonTrap": errors_mod.PoisonTrap("poison", pointer=7),
+            "BoundsTrap": errors_mod.BoundsTrap("oob", pointer=9,
+                                                lower=0, upper=8),
+            "MetadataError": errors_mod.MetadataError("mac"),
+            "SyscallError": errors_mod.SyscallError("bad syscall"),
+            "StepBudgetExceeded": trap,
+            "InvalidFree": errors_mod.InvalidFree(
+                "double free", address=16, allocator="subheap",
+                kind="double_free"),
+            "HarnessError": errors_mod.HarnessError("verdict"),
+            "WorkloadTrapped": errors_mod.WorkloadTrapped(
+                "treeadd", "wrapped", trap),
+            "UnexpectedOutput": errors_mod.UnexpectedOutput(
+                "treeadd", "wrapped", "x", expected="y"),
+            "OutputDivergence": errors_mod.OutputDivergence(
+                "treeadd", {"baseline": ("1", 0), "wrapped": ("2", 0)}),
+            "WorkloadTimeout": errors_mod.WorkloadTimeout(
+                "slow", workload="tsp", config="subheap", seconds=1.5,
+                executed=100),
+            "GuestExit": errors_mod.GuestExit(3),
+            "ResourceExhausted": errors_mod.ResourceExhausted("table"),
+            "ServiceError": errors_mod.ServiceError("boom"),
+            "InvalidJobSpec": errors_mod.InvalidJobSpec(
+                "expected integer", field="params.seed"),
+            "UnknownJob": errors_mod.UnknownJob("job-000042"),
+            "JobNotCancellable": errors_mod.JobNotCancellable(
+                "job-000001", "done"),
+            "QuotaExceeded": errors_mod.QuotaExceeded(
+                "limit", tenant="alice", limit=2, retry_after=1.5),
+            "QueueFull": errors_mod.QueueFull(
+                "alice", depth=4, limit=4, retry_after=2.0),
+            "ServiceUnavailable": errors_mod.ServiceUnavailable(),
+            "CheckpointMismatch": CkMismatch("fingerprint differs"),
+        }
+
+    @staticmethod
+    def _all_subclasses():
+        from repro.errors import ReproError
+        import repro.par.checkpoint  # noqa: F401 — registers its class
+        found, stack = set(), [ReproError]
+        while stack:
+            cls = stack.pop()
+            for sub in cls.__subclasses__():
+                found.add(sub.__name__)
+                stack.append(sub)
+        return found
+
+    def test_every_subclass_has_a_sample(self):
+        # a new error type must add a sample here or this fails —
+        # that is how the hierarchy-wide round-trip stays exhaustive
+        missing = self._all_subclasses() - set(self._samples())
+        assert not missing, f"no serialization sample for: {missing}"
+
+    def test_round_trip_preserves_type_message_and_fields(self):
+        from repro.errors import ReproError
+        for name, exc in self._samples().items():
+            wire = json.loads(json.dumps(exc.to_dict()))
+            clone = ReproError.from_dict(wire)
+            assert type(clone) is type(exc), name
+            assert str(clone.args[0]) == str(exc.args[0]), name
+            for key, value in exc.__dict__.items():
+                cloned = getattr(clone, key)
+                if isinstance(value, ReproError):
+                    assert type(cloned) is type(value), (name, key)
+                    assert str(cloned) == str(value), (name, key)
+                elif isinstance(value, tuple):
+                    assert cloned == list(value), (name, key)
+                elif isinstance(value, dict) and any(
+                        isinstance(v, tuple) for v in value.values()):
+                    assert cloned == {k: list(v) if isinstance(v, tuple)
+                                      else v for k, v in value.items()}, \
+                        (name, key)
+                elif value is None or isinstance(value,
+                                                 (bool, int, float, str,
+                                                  list, dict)):
+                    assert cloned == value, (name, key)
+
+    def test_http_status_survives_round_trip(self):
+        from repro.errors import QueueFull, ReproError
+        exc = QueueFull("bob", depth=3, limit=3, retry_after=0.5)
+        clone = ReproError.from_dict(
+            json.loads(json.dumps(exc.to_dict())))
+        assert clone.http_status == 429
+        assert clone.retry_after == 0.5
+        assert clone.depth == 3
+
+    def test_unknown_type_raises(self):
+        from repro.errors import ReproError
+        with pytest.raises(ValueError):
+            ReproError.from_dict({"type": "NoSuchError",
+                                  "message": "x", "fields": {}})
+
+    def test_nested_error_attribute_revives_typed(self):
+        from repro.errors import (
+            PoisonTrap, ReproError, WorkloadTrapped,
+        )
+        exc = WorkloadTrapped("anagram", "subheap",
+                              PoisonTrap("poisoned", pointer=0xAB))
+        clone = ReproError.from_dict(
+            json.loads(json.dumps(exc.to_dict())))
+        assert isinstance(clone.trap, PoisonTrap)
+        assert clone.trap.pointer == 0xAB

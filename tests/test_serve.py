@@ -1,0 +1,559 @@
+"""Tests for repro.serve: spec validation, weighted-fair scheduling
+with backpressure, the campaign service's execution/cancel/drain
+lifecycle, the HTTP API (dispatched directly and over a real socket),
+and the restart-recovery guarantee — a killed service resumes its
+campaigns to results byte-identical (timing aside) to an uninterrupted
+run."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import (
+    InvalidJobSpec, JobNotCancellable, QueueFull, ServiceUnavailable,
+    UnknownJob,
+)
+from repro.obs.metrics import metrics_document, validate_document
+from repro.par import canonical_metrics, run_plan
+from repro.par.plan import plan_indices
+from repro.serve import (
+    BackgroundServer, CampaignService, JobRecord, TenantQuota,
+    WeightedFairScheduler, build_plan, dispatch, validate_spec,
+)
+
+SELFTEST = "repro.par.campaigns:run_selftest_shard"
+
+
+def _spec(tenant="alice", kind="selftest", workers=1, **params):
+    return {"tenant": tenant, "kind": kind, "workers": workers,
+            "params": params}
+
+
+def _service(tmp_path, name="store", **kwargs):
+    kwargs.setdefault("workers_total", 1)
+    kwargs.setdefault("max_concurrent_jobs", 1)
+    return CampaignService(str(tmp_path / name), **kwargs)
+
+
+def _reference_values(total=8, seed=3, shards=4, **params):
+    params.setdefault("fail_shards", [])
+    params.setdefault("sleep_seconds", 0.0)
+    params.setdefault("mode", "ok")
+    params.setdefault("succeed_attempt", 1)
+    params.setdefault("marker", "")
+    plan = plan_indices("selftest", seed, list(range(total)),
+                        params=params, shards=shards)
+    outcome = run_plan(plan, SELFTEST, jobs=1)
+    return [outcome.results[s.shard_id]["value"] for s in plan.shards]
+
+
+# ---------------------------------------------------------------------------
+# spec validation
+# ---------------------------------------------------------------------------
+
+class TestValidateSpec:
+    def test_defaults_resolve_at_submit_time(self):
+        tenant, kind, workers, params = validate_spec(_spec())
+        assert (tenant, kind, workers) == ("alice", "selftest", 1)
+        assert params["total"] == 8
+        assert params["shards"] == 4
+        assert params["mode"] == "ok"
+
+    def test_fuzz_defaults_and_comma_configs(self):
+        _, _, _, params = validate_spec(
+            _spec(kind="fuzz", configs="baseline,wrapped"))
+        assert params["iterations"] == 20
+        assert params["configs"] == ["baseline", "wrapped"]
+        assert params["engine"] == "auto"
+
+    @pytest.mark.parametrize("body,field", [
+        ({"kind": "selftest"}, "tenant"),
+        (_spec(tenant="no spaces!"), "tenant"),
+        (_spec(tenant="x" * 65), "tenant"),
+        ({"tenant": "a", "kind": "nope"}, "kind"),
+        (_spec(workers=0), "workers"),
+        (_spec(workers=99), "workers"),
+        (_spec(total=0), "params.total"),
+        (_spec(total="many"), "params.total"),
+        (_spec(mode="explode"), "params.mode"),
+        (_spec(bogus=1), "params"),
+        ({**_spec(), "extra": True}, "body"),
+        ("not an object", "body"),
+        ({"tenant": "a", "kind": "fuzz",
+          "params": {"configs": ["baseline", "nope"]}},
+         "params.configs"),
+    ])
+    def test_invalid_specs_name_the_field(self, body, field):
+        with pytest.raises(InvalidJobSpec) as info:
+            validate_spec(body)
+        assert info.value.field == field
+        assert info.value.http_status == 400
+
+    def test_disabled_kind_rejected(self):
+        with pytest.raises(InvalidJobSpec) as info:
+            validate_spec(_spec(kind="fuzz"),
+                          allowed_kinds=("selftest",))
+        assert info.value.field == "kind"
+
+    def test_plan_is_pure_function_of_resolved_spec(self):
+        _, kind, workers, params = validate_spec(
+            _spec(kind="fuzz", iterations=5, seed=9))
+        first = build_plan(kind, params, workers)
+        second = build_plan(
+            kind, json.loads(json.dumps(params)), workers)
+        assert first.fingerprint() == second.fingerprint()
+
+
+# ---------------------------------------------------------------------------
+# weighted-fair scheduling + backpressure
+# ---------------------------------------------------------------------------
+
+def _record(job_id, tenant):
+    return JobRecord(job_id=job_id, tenant=tenant, kind="selftest",
+                     workers=1, params={})
+
+
+class TestScheduler:
+    def test_weight_2_dispatches_twice_as_often(self):
+        scheduler = WeightedFairScheduler(
+            default_quota=TenantQuota(max_queued=64, max_running=64),
+            quotas={"heavy": TenantQuota(weight=2, max_queued=64,
+                                         max_running=64)})
+        for index in range(12):
+            scheduler.submit(_record(f"h{index}", "heavy"))
+            scheduler.submit(_record(f"l{index}", "light"))
+        order = [scheduler.next_job().tenant for _ in range(9)]
+        assert order.count("heavy") == 6
+        assert order.count("light") == 3
+
+    def test_dispatch_order_is_deterministic(self):
+        def run_once():
+            scheduler = WeightedFairScheduler(
+                default_quota=TenantQuota(max_queued=64,
+                                          max_running=64))
+            for index in range(4):
+                for tenant in ("a", "b", "c"):
+                    scheduler.submit(_record(f"{tenant}{index}",
+                                             tenant))
+            return [scheduler.next_job().job_id for _ in range(12)]
+        assert run_once() == run_once()
+
+    def test_queue_full_backpressure(self):
+        scheduler = WeightedFairScheduler(
+            default_quota=TenantQuota(max_queued=2, retry_after=3.5))
+        scheduler.submit(_record("j1", "t"))
+        scheduler.submit(_record("j2", "t"))
+        with pytest.raises(QueueFull) as info:
+            scheduler.submit(_record("j3", "t"))
+        assert info.value.http_status == 429
+        assert info.value.retry_after == 3.5
+        assert info.value.depth == 2
+        assert scheduler.tenant("t").rejected == 1
+        # force bypasses the bound (crash-recovery re-admission only)
+        scheduler.submit(_record("j3", "t"), force=True)
+        assert scheduler.depth() == 3
+
+    def test_max_running_gates_eligibility(self):
+        scheduler = WeightedFairScheduler(
+            default_quota=TenantQuota(max_queued=8, max_running=1))
+        scheduler.submit(_record("j1", "t"))
+        scheduler.submit(_record("j2", "t"))
+        assert scheduler.next_job().job_id == "j1"
+        assert scheduler.next_job() is None   # at the cap
+        scheduler.release("t", "done")
+        assert scheduler.next_job().job_id == "j2"
+        assert scheduler.tenant("t").completed == 1
+
+    def test_new_tenant_starts_at_current_pass_floor(self):
+        scheduler = WeightedFairScheduler(
+            default_quota=TenantQuota(max_queued=64, max_running=64))
+        for index in range(6):
+            scheduler.submit(_record(f"a{index}", "a"))
+        for _ in range(4):
+            scheduler.next_job()
+        # a latecomer must not get retroactive credit for idle time:
+        # it starts at the minimum pass, so dispatch alternates rather
+        # than draining the newcomer's whole queue first
+        for index in range(6):
+            scheduler.submit(_record(f"z{index}", "late"))
+        order = [scheduler.next_job().tenant for _ in range(4)]
+        assert order.count("late") == 2
+
+    def test_cancel_queued(self):
+        scheduler = WeightedFairScheduler()
+        scheduler.submit(_record("j1", "t"))
+        assert scheduler.cancel_queued("j1")
+        assert not scheduler.cancel_queued("j1")
+        assert scheduler.depth() == 0
+
+
+# ---------------------------------------------------------------------------
+# the service core: lifecycle, cancel, determinism
+# ---------------------------------------------------------------------------
+
+class TestCampaignService:
+    def test_selftest_job_runs_to_deterministic_values(self, tmp_path):
+        service = _service(tmp_path)
+        try:
+            record = service.submit(_spec(total=8, seed=3, shards=4))
+            assert record.status in ("queued", "running")
+            assert record.fingerprint
+            done = service.wait(record.job_id)
+            assert done.status == "done"
+            assert done.result["values"] == _reference_values()
+            assert done.progress["shards_done"] == 4
+        finally:
+            service.drain()
+
+    def test_failed_shards_fail_the_job_typed(self, tmp_path):
+        service = _service(tmp_path)
+        try:
+            record = service.submit(
+                _spec(mode="raise", fail_shards=[0, 1, 2, 3]))
+            done = service.wait(record.job_id)
+            assert done.status == "failed"
+            assert done.error["type"] == "ShardFailure"
+            assert len(done.error["fields"]["failures"]) == 4
+        finally:
+            service.drain()
+
+    def test_cancel_queued_job(self, tmp_path):
+        service = _service(tmp_path)
+        try:
+            blocker = service.submit(_spec(sleep_seconds=0.2, total=4,
+                                           shards=4))
+            queued = service.submit(_spec(tenant="bob"))
+            cancelled = service.cancel(queued.job_id)
+            assert cancelled.status == "cancelled"
+            assert service.wait(blocker.job_id).status == "done"
+        finally:
+            service.drain()
+
+    def test_cancel_running_job_drains_it(self, tmp_path):
+        service = _service(tmp_path)
+        try:
+            record = service.submit(_spec(sleep_seconds=0.1, total=8,
+                                          shards=8))
+            deadline = time.monotonic() + 10.0
+            while service.get(record.job_id).status != "running" \
+                    and time.monotonic() < deadline:
+                time.sleep(0.01)
+            service.cancel(record.job_id)
+            done = service.wait(record.job_id)
+            assert done.status == "cancelled"
+        finally:
+            service.drain()
+
+    def test_cancel_terminal_job_conflicts(self, tmp_path):
+        service = _service(tmp_path)
+        try:
+            record = service.submit(_spec(total=2, shards=2))
+            service.wait(record.job_id)
+            with pytest.raises(JobNotCancellable) as info:
+                service.cancel(record.job_id)
+            assert info.value.http_status == 409
+        finally:
+            service.drain()
+
+    def test_unknown_job(self, tmp_path):
+        service = _service(tmp_path)
+        try:
+            with pytest.raises(UnknownJob):
+                service.get("job-999999")
+        finally:
+            service.drain()
+
+    def test_draining_service_rejects_submissions(self, tmp_path):
+        service = _service(tmp_path)
+        service.drain()
+        with pytest.raises(ServiceUnavailable) as info:
+            service.submit(_spec())
+        assert info.value.http_status == 503
+        assert info.value.retry_after == 5.0
+
+    def test_metrics_document_validates(self, tmp_path):
+        service = _service(tmp_path)
+        try:
+            record = service.submit(_spec(total=4, shards=2))
+            service.wait(record.job_id)
+            document = service.metrics()
+            assert validate_document(document) == []
+            assert document["metrics"]["jobs"]["done"] == 1
+            assert document["metrics"]["shards_done"] == 2
+            assert "alice" in document["metrics"]["tenants"]
+            health = service.healthz()
+            assert health["status"] == "ok"
+            assert health["jobs"]["done"] == 1
+        finally:
+            service.drain()
+
+
+class TestServeFuzzEquivalence:
+    def test_serve_fuzz_matches_batch_document(self, tmp_path):
+        """The core acceptance criterion: a fuzz campaign submitted
+        through the service produces a metrics document canonical-equal
+        to the sequential batch run's, and a byte-identical corpus."""
+        from repro.fuzz.driver import run_fuzz
+
+        configs = ["baseline", "wrapped"]
+        stats = run_fuzz(6, seed=5, configs=configs,
+                         corpus_dir=str(tmp_path / "seq"),
+                         log=lambda message: None, progress_every=0)
+        batch = metrics_document(
+            "fuzz", {"seed": 5, "iterations": 6,
+                     "configs": ",".join(configs)}, stats.metrics())
+
+        service = _service(tmp_path)
+        try:
+            record = service.submit(_spec(
+                kind="fuzz", iterations=6, seed=5, configs=configs,
+                corpus_dir=str(tmp_path / "srv")))
+            done = service.wait(record.job_id, timeout=120.0)
+            assert done.status == "done"
+            served = done.result["metrics_document"]
+            assert validate_document(served) == []
+            assert canonical_metrics(served) == canonical_metrics(batch)
+        finally:
+            service.drain()
+
+        # a run with no findings never creates its corpus directory —
+        # equivalence then means the served run created none either
+        seq_dir, srv_dir = tmp_path / "seq", tmp_path / "srv"
+        assert seq_dir.is_dir() == srv_dir.is_dir()
+        if seq_dir.is_dir():
+            assert sorted(p.name for p in seq_dir.iterdir()) \
+                == sorted(p.name for p in srv_dir.iterdir())
+            for path in seq_dir.iterdir():
+                assert (srv_dir / path.name).read_bytes() \
+                    == path.read_bytes(), path.name
+
+
+# ---------------------------------------------------------------------------
+# restart recovery: drained and SIGKILLed services resume byte-identical
+# ---------------------------------------------------------------------------
+
+class TestRestartRecovery:
+    def test_drained_job_parks_and_resumes_identically(self, tmp_path):
+        first = _service(tmp_path)
+        record = first.submit(_spec(sleep_seconds=0.15, total=8,
+                                    shards=8, seed=3))
+        deadline = time.monotonic() + 15.0
+        while record.progress.get("shards_done", 0) < 1 \
+                and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert record.progress["shards_done"] >= 1
+        first.drain()
+        parked = first.get(record.job_id)
+        assert parked.status == "queued"
+
+        second = _service(tmp_path)
+        try:
+            done = second.wait(record.job_id, timeout=60.0)
+            assert done.status == "done"
+            assert done.progress["shards_restored"] >= 1
+            assert done.result["values"] == _reference_values(
+                total=8, seed=3, shards=8, sleep_seconds=0.15)
+        finally:
+            second.drain()
+
+    def test_resume_after_sigkill_matches_clean_run(self, tmp_path):
+        """SIGKILL a service process mid-campaign; a fresh service on
+        the same store resumes the job from its checkpoint to the same
+        values an uninterrupted run produces."""
+        store = tmp_path / "store"
+        script = (
+            "import sys, time; sys.path.insert(0, {src!r})\n"
+            "from repro.serve import CampaignService\n"
+            "service = CampaignService({store!r}, workers_total=1,\n"
+            "                          max_concurrent_jobs=1)\n"
+            "service.submit({{'tenant': 'alice', 'kind': 'selftest',\n"
+            "                 'workers': 1,\n"
+            "                 'params': {{'total': 8, 'shards': 8,\n"
+            "                             'seed': 3,\n"
+            "                             'sleep_seconds': 0.2}}}})\n"
+            "time.sleep(60)\n"
+        ).format(src=os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "src"), store=str(store))
+        child = subprocess.Popen([sys.executable, "-c", script])
+        deadline = time.monotonic() + 30.0
+        try:
+            while time.monotonic() < deadline:
+                checkpoints = store / "checkpoints"
+                if checkpoints.is_dir() and any(
+                        checkpoints.glob("*/shard-*.json")):
+                    break
+                time.sleep(0.02)
+            else:
+                pytest.fail("no shard checkpointed before the deadline")
+            child.send_signal(signal.SIGKILL)
+        finally:
+            child.wait(timeout=30)
+
+        service = CampaignService(str(store), workers_total=1,
+                                  max_concurrent_jobs=1)
+        try:
+            jobs = service.list_jobs()
+            assert len(jobs) == 1
+            done = service.wait(jobs[0].job_id, timeout=60.0)
+            assert done.status == "done"
+            assert done.progress["shards_restored"] >= 1
+            assert done.result["values"] == _reference_values(
+                total=8, seed=3, shards=8, sleep_seconds=0.2)
+        finally:
+            service.drain()
+
+
+# ---------------------------------------------------------------------------
+# HTTP API: direct dispatch and a real socket
+# ---------------------------------------------------------------------------
+
+def _json_body(response):
+    return json.loads(response[2].decode("utf-8"))
+
+
+class TestApiDispatch:
+    def test_submit_get_list_delete_round_trip(self, tmp_path):
+        service = _service(tmp_path)
+        try:
+            status, _, _ = dispatch(
+                service, "POST", "/jobs",
+                json.dumps(_spec(total=2, shards=2)).encode())
+            assert status == 201
+            response = dispatch(service, "GET", "/jobs")
+            assert response[0] == 200
+            jobs = _json_body(response)["jobs"]
+            assert len(jobs) == 1
+            job_id = jobs[0]["job_id"]
+            service.wait(job_id)
+            response = dispatch(service, "GET", f"/jobs/{job_id}")
+            assert response[0] == 200
+            assert _json_body(response)["status"] == "done"
+            # terminal DELETE is a typed 409
+            response = dispatch(service, "DELETE", f"/jobs/{job_id}")
+            assert response[0] == 409
+            assert _json_body(response)["error"]["type"] \
+                == "JobNotCancellable"
+        finally:
+            service.drain()
+
+    def test_tenant_filter(self, tmp_path):
+        service = _service(tmp_path, workers_total=1)
+        try:
+            dispatch(service, "POST", "/jobs",
+                     json.dumps(_spec(tenant="alice")).encode())
+            dispatch(service, "POST", "/jobs",
+                     json.dumps(_spec(tenant="bob")).encode())
+            response = dispatch(service, "GET", "/jobs?tenant=bob")
+            assert [job["tenant"] for job
+                    in _json_body(response)["jobs"]] == ["bob"]
+        finally:
+            service.drain()
+
+    def test_error_statuses(self, tmp_path):
+        service = _service(tmp_path)
+        try:
+            assert dispatch(service, "GET", "/jobs/job-000099")[0] == 404
+            assert dispatch(service, "PUT", "/jobs")[0] == 405
+            assert dispatch(service, "GET", "/nope")[0] == 404
+            status, _, body = dispatch(service, "POST", "/jobs",
+                                       b"{not json")
+            assert status == 400
+            assert json.loads(body)["error"]["type"] == "InvalidJobSpec"
+            assert dispatch(service, "POST", "/jobs", b"")[0] == 400
+            status, _, body = dispatch(
+                service, "POST", "/jobs",
+                json.dumps(_spec(kind="nope")).encode())
+            assert status == 400
+            assert "kind" in json.loads(body)["error"]["message"]
+        finally:
+            service.drain()
+
+    def test_queue_full_returns_429_with_retry_after(self, tmp_path):
+        service = _service(
+            tmp_path,
+            default_quota=TenantQuota(max_queued=1, max_running=1,
+                                      retry_after=2.0))
+        try:
+            # occupy the single worker, then fill the 1-deep queue
+            dispatch(service, "POST", "/jobs", json.dumps(
+                _spec(sleep_seconds=0.3, total=4, shards=4)).encode())
+            dispatch(service, "POST", "/jobs",
+                     json.dumps(_spec()).encode())
+            status, headers, body = dispatch(
+                service, "POST", "/jobs", json.dumps(_spec()).encode())
+            assert status == 429
+            assert ("Retry-After", "2") in headers
+            assert json.loads(body)["error"]["type"] == "QueueFull"
+        finally:
+            service.drain()
+
+    def test_metrics_and_healthz(self, tmp_path):
+        service = _service(tmp_path)
+        try:
+            status, headers, body = dispatch(service, "GET", "/metrics")
+            assert status == 200
+            assert dict(headers)["Content-Type"].startswith(
+                "text/plain")
+            assert "repro_workers_total" in body.decode()
+            status, _, body = dispatch(service, "GET",
+                                       "/metrics?format=json")
+            assert status == 200
+            assert validate_document(json.loads(body)) == []
+            status, _, body = dispatch(service, "GET", "/healthz")
+            assert status == 200
+            assert json.loads(body)["status"] == "ok"
+        finally:
+            service.drain()
+
+
+class TestHttpServer:
+    def test_real_socket_round_trip(self, tmp_path):
+        service = _service(tmp_path)
+        server = BackgroundServer(service)
+        port = server.start()
+        base = f"http://127.0.0.1:{port}"
+        try:
+            request = urllib.request.Request(
+                f"{base}/jobs", method="POST",
+                data=json.dumps(_spec(total=4, shards=2,
+                                      seed=3)).encode(),
+                headers={"Content-Type": "application/json"})
+            with urllib.request.urlopen(request, timeout=10) as reply:
+                assert reply.status == 201
+                job_id = json.loads(reply.read())["job_id"]
+
+            deadline = time.monotonic() + 30.0
+            record = None
+            while time.monotonic() < deadline:
+                with urllib.request.urlopen(f"{base}/jobs/{job_id}",
+                                            timeout=10) as reply:
+                    record = json.loads(reply.read())
+                if record["status"] in ("done", "failed", "cancelled"):
+                    break
+                time.sleep(0.05)
+            assert record["status"] == "done"
+            assert record["result"]["values"] == _reference_values(
+                total=4, seed=3, shards=2)
+
+            with urllib.request.urlopen(f"{base}/healthz",
+                                        timeout=10) as reply:
+                assert json.loads(reply.read())["status"] == "ok"
+
+            bad = urllib.request.Request(
+                f"{base}/jobs", method="POST",
+                data=json.dumps(_spec(kind="nope")).encode())
+            with pytest.raises(urllib.error.HTTPError) as info:
+                urllib.request.urlopen(bad, timeout=10)
+            assert info.value.code == 400
+            assert json.loads(info.value.read())["error"]["type"] \
+                == "InvalidJobSpec"
+        finally:
+            server.stop()
+            service.drain()
