@@ -73,9 +73,12 @@ def run_workload(workload: Workload, config: str, scale: int = 1,
     workload/config identity) instead of hanging the harness.
 
     ``engine`` selects the execution engine ("auto", "fastpath", or
-    "reference"); the default "auto" picks the fastpath whenever no
-    instrument is armed.  Both engines are byte-identical in every
-    simulated observable, so results never depend on this knob.
+    "reference"); the default "auto" prefers the fastpath even when an
+    observer, tracer, or fault injector is armed — the closure compiler
+    then translates a second, guarded-emit variant of each function.
+    Both engines are byte-identical in every simulated observable
+    (including the emitted event stream), so results never depend on
+    this knob.
     """
     options = build_options(config)
     program = compile_source(workload.source(scale), options)

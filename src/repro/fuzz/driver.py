@@ -296,7 +296,8 @@ def _record_failure(stats: FuzzStats, *, kind: str, detail: str,
                     attack: Optional[Attack], site_dict: Optional[dict],
                     corpus_dir: str, minimize: bool,
                     predicate: Optional[Callable[[str], bool]],
-                    log: Callable[[str], None]) -> None:
+                    log: Callable[[str], None],
+                    trace: Optional[dict] = None) -> None:
     digest = source_digest(source)
     name = entry_name(kind, seed, iteration, digest)
     # One corpus entry per (kind, program): the same planted bug seen by
@@ -315,7 +316,8 @@ def _record_failure(stats: FuzzStats, *, kind: str, detail: str,
     # tail) so a failure is debuggable without re-running anything.
     forensics = None
     if config and kind in _TRAP_KINDS:
-        forensics = capture_trap_forensics(minimized, config)
+        forensics = capture_trap_forensics(minimized, config,
+                                           trace=trace)
     repro = (f"PYTHONPATH=src python -m repro.fuzz --seed {seed} "
              f"--start {iteration} --iterations 1 "
              f"--configs {','.join(configs)}")
@@ -371,13 +373,21 @@ def run_fuzz(iterations: int, seed: int = 0,
              timeout_seconds: Optional[float] = None,
              retries: int = 2,
              backoff_base: float = 0.1,
-             engine: str = "auto") -> FuzzStats:
+             engine: str = "auto",
+             trace: Optional[dict] = None) -> FuzzStats:
     """Run the fuzzing loop; returns the run's :class:`FuzzStats`.
 
     ``engine`` selects the execution engine for every oracle run
     (auto/fastpath/reference); engines are byte-identical in every
     simulated observable, so fuzz verdicts never depend on this knob —
-    it only changes host throughput.
+    it only changes host throughput.  Both engines run instrumented
+    (the fastpath compiles inline emit sites), so observation never
+    forces the slow engine either.
+
+    ``trace`` (the dict form of a :class:`~repro.obs.TraceContext`,
+    injected by a correlated :mod:`repro.par` pool run) stamps every
+    forensics report this campaign writes with its (tenant, job,
+    shard, seed) correlation ids; it never influences verdicts.
 
     ``timeout_seconds`` arms the per-execution wall-clock watchdog; an
     iteration whose program times out is retried up to ``retries``
@@ -427,7 +437,7 @@ def run_fuzz(iterations: int, seed: int = 0,
                     minimize=minimize,
                     predicate=_predicate_for(divergence, configs, None,
                                              source),
-                    log=log)
+                    log=log, trace=trace)
 
         if inject and program.sites:
             sites = list(program.sites)
@@ -461,7 +471,7 @@ def run_fuzz(iterations: int, seed: int = 0,
                         minimize=minimize,
                         predicate=_predicate_for(divergence, configs,
                                                  attack, source),
-                        log=log)
+                        log=log, trace=trace)
 
     for offset in range(iterations):
         iteration = start + offset

@@ -33,12 +33,12 @@ JSON against the schema.
 from repro.obs.events import (
     AllocEvent, BoundsSpillEvent, CheckEvent, DegradeEvent, Event,
     EventBus, FaultEvent, MacVerifyEvent, MetadataFetchEvent, NarrowEvent,
-    PromoteEvent, SchemeAssignEvent, TrapEvent,
+    PromoteEvent, SchemeAssignEvent, TraceContext, TrapEvent,
 )
 from repro.obs.forensics import ForensicsReport, capture_forensics
 from repro.obs.metrics import (
-    SCHEMA, load_metrics, metrics_document, stats_to_dict, to_prometheus,
-    validate_document, write_bench, write_metrics,
+    SCHEMA, SCHEMA_V2, load_metrics, metrics_document, stats_to_dict,
+    to_prometheus, validate_document, write_bench, write_metrics,
 )
 from repro.obs.observer import Observer, attach_observer
 from repro.obs.profile import HotSiteProfiler, SiteStats
@@ -48,7 +48,8 @@ __all__ = [
     "Event", "EventBus", "FaultEvent",
     "ForensicsReport", "HotSiteProfiler", "MacVerifyEvent",
     "MetadataFetchEvent", "NarrowEvent", "Observer", "PromoteEvent",
-    "SCHEMA", "SchemeAssignEvent", "SiteStats", "TrapEvent",
+    "SCHEMA", "SCHEMA_V2", "SchemeAssignEvent", "SiteStats",
+    "TraceContext", "TrapEvent",
     "attach_observer", "capture_forensics", "load_metrics",
     "metrics_document", "stats_to_dict", "to_prometheus",
     "validate_document", "write_bench", "write_metrics",

@@ -51,55 +51,116 @@ int main(void) {
 
 
 def render_pool_events(records) -> str:
-    """Per-worker utilization from a repro.par shard-event stream.
+    """Per-worker utilization from a repro.par / repro.serve event
+    stream.
 
-    ``records`` is an iterable of event dicts (the ``events.jsonl``
-    rows a checkpointed/evented pool run writes): ``shard_start``,
-    ``shard_done``, ``shard_retry`` and ``steal`` kinds are consumed,
+    ``records`` is an iterable of event dicts (``events.jsonl`` rows a
+    checkpointed/evented pool run writes, or a serve job's NDJSON event
+    stream): ``shard_start``, ``shard_done``, ``shard_retry``,
+    ``steal``, ``job`` and ``queue_reject`` kinds are consumed,
     anything else is ignored so the stream can be mixed.
-    """
-    workers: dict = {}
-    wall = 0.0
-    done = retries = steals = failures = 0
 
-    def slot(worker: int) -> dict:
-        return workers.setdefault(
+    Correlated streams (events carrying a ``ctx`` dict with a
+    ``job_id``) are grouped per job: each job gets its own per-worker
+    utilization section headed by its (tenant, job) correlation ids.
+    Uncorrelated streams render as one flat pool section, so
+    plain-batch ``events.jsonl`` files keep their historical output.
+    """
+    jobs: dict = {}         # job key (None = uncorrelated) -> state
+    job_status: dict = {}   # job_id -> last lifecycle status
+    job_tenants: dict = {}  # job_id -> tenant
+    rejects: dict = {}      # tenant -> queue_reject count
+
+    def group(record) -> dict:
+        ctx = record.get("ctx") or {}
+        key = ctx.get("job_id")
+        if key is not None and ctx.get("tenant") is not None:
+            job_tenants.setdefault(key, ctx["tenant"])
+        return jobs.setdefault(key, {
+            "workers": {}, "wall": 0.0, "done": 0, "failures": 0,
+            "retries": 0, "steals": 0})
+
+    def slot(state: dict, worker: int) -> dict:
+        return state["workers"].setdefault(
             worker, {"busy": 0.0, "done": 0, "steals": 0, "retries": 0})
 
     for record in records:
         kind = record.get("kind")
+        if kind == "job":
+            job_status[record.get("job_id")] = record.get("status")
+            if record.get("tenant") is not None:
+                job_tenants.setdefault(record.get("job_id"),
+                                       record.get("tenant"))
+            continue
+        if kind == "queue_reject":
+            tenant = record.get("tenant", "?")
+            rejects[tenant] = rejects.get(tenant, 0) + 1
+            continue
         if kind not in ("shard_start", "shard_done", "shard_retry",
                         "steal"):
             continue
-        wall = max(wall, float(record.get("t", 0.0)))
+        state = group(record)
+        state["wall"] = max(state["wall"], float(record.get("t", 0.0)))
         if kind == "shard_done":
-            entry = slot(record["worker"])
+            entry = slot(state, record["worker"])
             entry["busy"] += float(record.get("seconds", 0.0))
             if record.get("status") == "ok":
                 entry["done"] += 1
-                done += 1
+                state["done"] += 1
             else:
-                failures += 1
+                state["failures"] += 1
         elif kind == "shard_retry":
-            retries += 1
+            state["retries"] += 1
             if record.get("worker", -1) >= 0:
-                slot(record["worker"])["retries"] += 1
+                slot(state, record["worker"])["retries"] += 1
         elif kind == "steal":
-            steals += 1
-            slot(record["worker"])["steals"] += 1
-    if not workers:
+            state["steals"] += 1
+            slot(state, record["worker"])["steals"] += 1
+
+    if not any(state["workers"] for state in jobs.values()):
+        if job_status or rejects:
+            lines = []
+            for job_id in sorted(job_status):
+                tenant = job_tenants.get(job_id, "?")
+                lines.append(f"job {job_id} [tenant {tenant}]: "
+                             f"{job_status[job_id]} (no shard events)")
+            for tenant in sorted(rejects):
+                lines.append(f"tenant {tenant}: {rejects[tenant]} "
+                             f"queue rejection(s)")
+            return "\n".join(lines)
         return "no shard events found"
-    lines = [f"pool: {done} shards ok, {failures} failed attempts, "
-             f"{retries} retries, {steals} steals "
-             f"({wall:.1f}s wall)"]
-    denominator = wall or 1e-9
-    for worker in sorted(workers):
-        entry = workers[worker]
+
+    correlated = any(key is not None for key in jobs)
+    lines = []
+    for key in sorted(jobs, key=lambda k: (k is not None, k or "")):
+        state = jobs[key]
+        if not state["workers"]:
+            continue
+        label = "pool"
+        if key is not None:
+            tenant = job_tenants.get(key, "?")
+            status = job_status.get(key)
+            label = f"job {key} [tenant {tenant}]"
+            if status:
+                label += f" ({status})"
+        elif correlated:
+            label = "uncorrelated"
         lines.append(
-            f"  worker {worker}: {entry['done']} shards, "
-            f"busy {entry['busy']:.1f}s "
-            f"({100.0 * entry['busy'] / denominator:.0f}%), "
-            f"{entry['steals']} steals, {entry['retries']} retries")
+            f"{label}: {state['done']} shards ok, "
+            f"{state['failures']} failed attempts, "
+            f"{state['retries']} retries, {state['steals']} steals "
+            f"({state['wall']:.1f}s wall)")
+        denominator = state["wall"] or 1e-9
+        for worker in sorted(state["workers"]):
+            entry = state["workers"][worker]
+            lines.append(
+                f"  worker {worker}: {entry['done']} shards, "
+                f"busy {entry['busy']:.1f}s "
+                f"({100.0 * entry['busy'] / denominator:.0f}%), "
+                f"{entry['steals']} steals, {entry['retries']} retries")
+    for tenant in sorted(rejects):
+        lines.append(f"tenant {tenant}: {rejects[tenant]} "
+                     f"queue rejection(s)")
     return "\n".join(lines)
 
 
@@ -137,7 +198,10 @@ def _cmd_report(args) -> int:
     if args.metrics_out or args.prometheus:
         metrics = stats_to_dict(run.stats)
         metrics["profile"] = profiler.metrics(top=args.top)
-        doc = metrics_document(f"{workload.name}", args.config, metrics)
+        engine = getattr(run.observer, "engine", None)
+        doc = metrics_document(
+            f"{workload.name}", args.config, metrics,
+            labels={"engine": engine} if engine else None)
         if args.metrics_out:
             path = write_metrics(args.metrics_out, doc)
             print(f"\nmetrics written to {path}")

@@ -29,8 +29,45 @@ TrapEvent           a delivered memory-safety trap
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
-from typing import Callable, ClassVar, List, Optional, Tuple
+from dataclasses import dataclass, field, fields, replace
+from typing import Callable, ClassVar, Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Correlation ids threading one campaign's telemetry end to end.
+
+    Minted once per job by :mod:`repro.serve` (tenant + job id), refined
+    per shard by the :mod:`repro.par` pool (shard id + shard seed), and
+    stamped onto every event, forensics bundle, and metrics rollup the
+    run produces — so a single VM-level trap can be joined back to the
+    HTTP job that caused it.  All fields but ``tenant`` are optional:
+    a batch CLI run has no job, a job-level event has no shard.
+    """
+
+    tenant: str
+    job_id: Optional[str] = None
+    shard_id: Optional[int] = None
+    seed: Optional[int] = None
+
+    def with_shard(self, shard_id: int, seed: int) -> "TraceContext":
+        return replace(self, shard_id=shard_id, seed=seed)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"tenant": self.tenant, "job_id": self.job_id,
+                "shard_id": self.shard_id, "seed": self.seed}
+
+    def labels(self) -> Dict[str, str]:
+        """Flat string labels (metrics documents, Prometheus)."""
+        return {key: str(value)
+                for key, value in self.to_dict().items()
+                if value is not None}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TraceContext":
+        return cls(tenant=data["tenant"], job_id=data.get("job_id"),
+                   shard_id=data.get("shard_id"),
+                   seed=data.get("seed"))
 
 
 @dataclass(frozen=True)
@@ -43,10 +80,20 @@ class Event:
     #: event happened outside interpreted code (e.g. inside a builtin)
     site: Optional[Tuple[str, int]]
 
+    #: correlation ids (tenant/job/shard/seed); stamped by the emitter
+    #: or ambiently by :attr:`EventBus.context` — None for standalone
+    #: runs, so serialized events only grow a ``ctx`` key when one is
+    #: actually set
+    ctx: Optional[TraceContext] = field(default=None, kw_only=True)
+
     def to_dict(self) -> dict:
         record = {"kind": self.kind}
         for f in fields(self):
+            if f.name == "ctx":
+                continue
             record[f.name] = getattr(self, f.name)
+        if self.ctx is not None:
+            record["ctx"] = self.ctx.to_dict()
         return record
 
 
@@ -247,14 +294,19 @@ class EventBus:
     False and well-behaved emit sites never construct an event at all.
     ``emit`` itself also tolerates being called while disabled (it drops
     the event) so sinks can detach mid-run without racing emitters.
+
+    ``context`` (when set) is an ambient :class:`TraceContext` stamped
+    onto every event that doesn't already carry one, so emit sites deep
+    in the VM stay ignorant of job/shard identity.
     """
 
-    __slots__ = ("sinks", "enabled", "emitted")
+    __slots__ = ("sinks", "enabled", "emitted", "context")
 
     def __init__(self) -> None:
         self.sinks: List[Callable[[Event], None]] = []
         self.enabled = False
         self.emitted = 0
+        self.context: Optional[TraceContext] = None
 
     def subscribe(self, sink: Callable[[Event], None]) -> None:
         self.sinks.append(sink)
@@ -267,6 +319,8 @@ class EventBus:
     def emit(self, event: Event) -> None:
         if not self.enabled:
             return
+        if self.context is not None and event.ctx is None:
+            event = replace(event, ctx=self.context)
         self.emitted += 1
         for sink in self.sinks:
             sink(event)

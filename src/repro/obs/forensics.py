@@ -39,10 +39,18 @@ class ForensicsReport:
     stats_snapshot: str = ""
     trace_tail: List[str] = field(default_factory=list)
     recent_events: List[str] = field(default_factory=list)
+    #: correlation ids (tenant/job/shard/seed dict) when the trapping
+    #: run belonged to a correlated campaign (repro.par / repro.serve)
+    context: Optional[dict] = None
 
     def render(self) -> str:
         lines = ["=== trap forensics ==="]
         lines.append(f"trap      : {self.trap_type}: {self.message}")
+        if self.context:
+            ids = " ".join(f"{key}={value}"
+                           for key, value in self.context.items()
+                           if value is not None)
+            lines.append(f"context   : {ids}")
         if self.pc is not None:
             lines.append(f"site      : {self.pc[0]}:{self.pc[1]}")
         if self.pointer is not None:
@@ -88,6 +96,7 @@ class ForensicsReport:
             "stats_snapshot": self.stats_snapshot,
             "trace_tail": list(self.trace_tail),
             "recent_events": list(self.recent_events),
+            "context": dict(self.context) if self.context else None,
         }
 
     def write(self, path: str) -> str:
@@ -127,6 +136,11 @@ def capture_forensics(machine, trap: SimTrap,
         trap_type=type(trap).__name__, message=str(trap),
         pc=trap.pc if isinstance(trap.pc, tuple) else None,
         stats_snapshot=machine.stats.compact())
+    if machine.obs is not None:
+        # inherit the campaign correlation ids riding on the bus
+        ambient = getattr(machine.obs.bus, "context", None)
+        if ambient is not None:
+            report.context = ambient.to_dict()
 
     pointer = getattr(trap, "pointer", None)
     if pointer is not None and isinstance(trap, (PoisonTrap, BoundsTrap)):

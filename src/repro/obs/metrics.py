@@ -16,6 +16,16 @@ downstream tooling can rely on one shape::
 (arbitrary depth); :func:`validate_document` enforces exactly that, and
 :func:`to_prometheus` flattens the nesting with ``_`` joins into
 ``repro_<metric>{name=...,config=...} <value>`` exposition lines.
+
+Schema v2 (``repro.obs.metrics/v2``) adds one optional top-level field,
+``labels`` — a *flat* string-to-string mapping for identity that is not
+a measurement: the engine that produced a run ("fastpath"/"reference")
+and the :class:`~repro.obs.events.TraceContext` correlation ids
+(tenant, job, shard, seed).  ``to_prometheus`` merges them into every
+exposition line's label set.  v1 documents stay valid and are still
+written wherever byte-stable comparison against historical artifacts
+matters (the ``repro.par diff`` gates); :func:`validate_document`
+accepts both versions.
 """
 
 from __future__ import annotations
@@ -27,6 +37,7 @@ from dataclasses import fields
 from typing import Any, Dict, List, Optional, Union
 
 SCHEMA = "repro.obs.metrics/v1"
+SCHEMA_V2 = "repro.obs.metrics/v2"
 
 
 # ---------------------------------------------------------------------------
@@ -55,15 +66,24 @@ def stats_to_dict(stats) -> Dict[str, Any]:
 
 def metrics_document(name: str, config: Union[str, Dict[str, Any]],
                      metrics: Dict[str, Any],
-                     timestamp: Optional[float] = None) -> Dict[str, Any]:
-    """Assemble one schema-v1 document (timestamp defaults to now)."""
-    return {
-        "schema": SCHEMA,
+                     timestamp: Optional[float] = None,
+                     labels: Optional[Dict[str, str]] = None
+                     ) -> Dict[str, Any]:
+    """Assemble one metrics document (timestamp defaults to now).
+
+    Without ``labels`` this is a byte-stable schema-v1 document;
+    passing ``labels`` (engine, correlation ids) upgrades it to v2.
+    """
+    doc = {
+        "schema": SCHEMA if labels is None else SCHEMA_V2,
         "name": name,
         "timestamp": time.time() if timestamp is None else timestamp,
         "config": config,
         "metrics": metrics,
     }
+    if labels is not None:
+        doc["labels"] = dict(labels)
+    return doc
 
 
 # ---------------------------------------------------------------------------
@@ -89,9 +109,10 @@ def validate_document(doc: Any) -> List[str]:
     errors: List[str] = []
     if not isinstance(doc, dict):
         return [f"document: expected object, got {type(doc).__name__}"]
-    if doc.get("schema") != SCHEMA:
-        errors.append(f"schema: expected {SCHEMA!r}, "
-                      f"got {doc.get('schema')!r}")
+    schema = doc.get("schema")
+    if schema not in (SCHEMA, SCHEMA_V2):
+        errors.append(f"schema: expected {SCHEMA!r} or {SCHEMA_V2!r}, "
+                      f"got {schema!r}")
     if not isinstance(doc.get("name"), str) or not doc.get("name"):
         errors.append("name: expected non-empty string")
     timestamp = doc.get("timestamp")
@@ -106,9 +127,17 @@ def validate_document(doc: Any) -> List[str]:
         errors.append("metrics: expected object")
     else:
         _check_metrics(metrics, "metrics", errors)
+    allowed = {"schema", "name", "timestamp", "config", "metrics"}
+    if schema == SCHEMA_V2:
+        allowed.add("labels")
+        labels = doc.get("labels", {})
+        if not isinstance(labels, dict) or any(
+                not isinstance(key, str) or not isinstance(value, str)
+                for key, value in labels.items()):
+            errors.append("labels: expected flat string-to-string "
+                          "mapping")
     for key in doc:
-        if key not in ("schema", "name", "timestamp", "config",
-                       "metrics"):
+        if key not in allowed:
             errors.append(f"{key}: unknown top-level field")
     return errors
 
@@ -156,11 +185,18 @@ def _sanitize(label: str) -> str:
 
 
 def to_prometheus(doc: Dict[str, Any]) -> str:
-    """Render one document in Prometheus exposition text format."""
+    """Render one document in Prometheus exposition text format.
+
+    v2 documents' ``labels`` (engine/correlation) join the per-line
+    label set after ``name`` and ``config``.
+    """
     config = doc["config"]
     config_label = config if isinstance(config, str) \
         else ",".join(f"{k}={v}" for k, v in sorted(config.items()))
-    labels = f'{{name="{doc["name"]}",config="{config_label}"}}'
+    pairs = [("name", doc["name"]), ("config", config_label)]
+    pairs += sorted(doc.get("labels", {}).items())
+    labels = "{" + ",".join(
+        f'{_sanitize(key)}="{value}"' for key, value in pairs) + "}"
     lines: List[str] = []
     for key, value in sorted(_flatten(doc["metrics"]).items()):
         metric = f"repro_{_sanitize(key)}"

@@ -50,6 +50,10 @@ class Observer:
         #: code site of the instruction currently observed, set by the
         #: interpreter so unit-level events inherit the attribution
         self.site: Optional[Tuple[str, int]] = None
+        #: engine that produced the observed run ("fastpath" |
+        #: "reference"), stamped by Machine.run; exporters label
+        #: profiles/forensics/metrics with it
+        self.engine: Optional[str] = None
 
     # -- generic emission ----------------------------------------------------
 

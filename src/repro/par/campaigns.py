@@ -69,7 +69,8 @@ def run_fuzz_shard(shard: Dict[str, Any], attempt: int
         timeout_seconds=params["timeout_seconds"],
         retries=params["retries"],
         backoff_base=params["backoff_base"],
-        engine=params.get("engine", "auto"))
+        engine=params.get("engine", "auto"),
+        trace=shard.get("trace"))
     return stats.to_dict()
 
 

@@ -10,7 +10,7 @@ import json
 import os
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.obs.events import EventBus
+from repro.obs.events import EventBus, TraceContext
 from repro.par.campaigns import bench_cells, runner_for
 from repro.par.checkpoint import Checkpoint
 from repro.par.merge import (
@@ -39,7 +39,8 @@ def execute_plan(plan: ShardPlan, *, jobs: int,
                  shard_retries: int = 2, backoff_base: float = 0.05,
                  log=None, events_out: Optional[str] = None,
                  bus: Optional[EventBus] = None,
-                 stop=None) -> PlanResult:
+                 stop=None,
+                 context: Optional[TraceContext] = None) -> PlanResult:
     """Run one plan through the pool with checkpoint + event plumbing.
 
     ``bus`` (when given) receives the shard/steal event stream in
@@ -62,7 +63,7 @@ def execute_plan(plan: ShardPlan, *, jobs: int,
                         retries=shard_retries,
                         backoff_base=backoff_base,
                         checkpoint=checkpoint, bus=bus, log=log,
-                        stop=stop)
+                        stop=stop, context=context)
     finally:
         if close is not None:
             close()
@@ -115,7 +116,8 @@ def parallel_fuzz(plan: ShardPlan, *, jobs: int,
                   shard_timeout: Optional[float] = None,
                   shard_retries: int = 2, backoff_base: float = 0.05,
                   log=None, events_out: Optional[str] = None,
-                  bus: Optional[EventBus] = None, stop=None
+                  bus: Optional[EventBus] = None, stop=None,
+                  context: Optional[TraceContext] = None
                   ) -> Tuple["FuzzStats", PlanResult]:
     """Execute a fuzz plan; returns the merged
     :class:`~repro.fuzz.driver.FuzzStats` plus the pool's
@@ -124,7 +126,7 @@ def parallel_fuzz(plan: ShardPlan, *, jobs: int,
         plan, jobs=jobs, checkpoint_dir=checkpoint_dir,
         shard_timeout=shard_timeout, shard_retries=shard_retries,
         backoff_base=backoff_base, log=log, events_out=events_out,
-        bus=bus, stop=stop)
+        bus=bus, stop=stop, context=context)
     stats = merge_fuzz_stats(outcome.ordered_results(plan),
                              seed=plan.seed,
                              configs=plan.params["configs"])
@@ -160,7 +162,8 @@ def parallel_resil(plan: ShardPlan, *, jobs: int,
                    shard_timeout: Optional[float] = None,
                    shard_retries: int = 2, backoff_base: float = 0.05,
                    log=None, events_out: Optional[str] = None,
-                   bus: Optional[EventBus] = None, stop=None
+                   bus: Optional[EventBus] = None, stop=None,
+                   context: Optional[TraceContext] = None
                    ) -> Tuple["CampaignResult", PlanResult]:
     """Execute a resil plan; returns the merged
     :class:`~repro.resil.matrix.CampaignResult` plus the pool
@@ -170,7 +173,7 @@ def parallel_resil(plan: ShardPlan, *, jobs: int,
         plan, jobs=jobs, checkpoint_dir=checkpoint_dir,
         shard_timeout=shard_timeout, shard_retries=shard_retries,
         backoff_base=backoff_base, log=log, events_out=events_out,
-        bus=bus, stop=stop)
+        bus=bus, stop=stop, context=context)
     policy = STRICT_POLICY if plan.params["strict"] else DEFAULT_POLICY
     campaign = merge_campaign(
         outcome.ordered_results(plan), seed=plan.seed,
@@ -199,13 +202,14 @@ def parallel_juliet(plan: ShardPlan, *, jobs: int,
                     shard_timeout: Optional[float] = None,
                     shard_retries: int = 2, backoff_base: float = 0.05,
                     log=None, events_out: Optional[str] = None,
-                    bus: Optional[EventBus] = None, stop=None
+                    bus: Optional[EventBus] = None, stop=None,
+                    context: Optional[TraceContext] = None
                     ) -> Tuple["JulietReport", PlanResult]:
     outcome = execute_plan(
         plan, jobs=jobs, checkpoint_dir=checkpoint_dir,
         shard_timeout=shard_timeout, shard_retries=shard_retries,
         backoff_base=backoff_base, log=log, events_out=events_out,
-        bus=bus, stop=stop)
+        bus=bus, stop=stop, context=context)
     return merge_juliet(outcome.ordered_results(plan)), outcome
 
 
@@ -235,13 +239,14 @@ def parallel_bench(plan: ShardPlan, *, jobs: int,
                    shard_timeout: Optional[float] = None,
                    shard_retries: int = 2, backoff_base: float = 0.05,
                    log=None, events_out: Optional[str] = None,
-                   bus: Optional[EventBus] = None, stop=None
+                   bus: Optional[EventBus] = None, stop=None,
+                   context: Optional[TraceContext] = None
                    ) -> Tuple[Dict[str, Any], PlanResult]:
     outcome = execute_plan(
         plan, jobs=jobs, checkpoint_dir=checkpoint_dir,
         shard_timeout=shard_timeout, shard_retries=shard_retries,
         backoff_base=backoff_base, log=log, events_out=events_out,
-        bus=bus, stop=stop)
+        bus=bus, stop=stop, context=context)
     return merge_bench(outcome.ordered_results(plan)), outcome
 
 
@@ -255,7 +260,8 @@ def parallel_selftest(plan: ShardPlan, *, jobs: int,
                       shard_timeout: Optional[float] = None,
                       shard_retries: int = 2, backoff_base: float = 0.05,
                       log=None, events_out: Optional[str] = None,
-                      bus: Optional[EventBus] = None, stop=None
+                      bus: Optional[EventBus] = None, stop=None,
+                      context: Optional[TraceContext] = None
                       ) -> Tuple[List[Optional[Dict[str, Any]]],
                                  PlanResult]:
     """Execute a selftest plan; the 'merged' result is simply the
@@ -264,7 +270,7 @@ def parallel_selftest(plan: ShardPlan, *, jobs: int,
         plan, jobs=jobs, checkpoint_dir=checkpoint_dir,
         shard_timeout=shard_timeout, shard_retries=shard_retries,
         backoff_base=backoff_base, log=log, events_out=events_out,
-        bus=bus, stop=stop)
+        bus=bus, stop=stop, context=context)
     return outcome.ordered_results(plan), outcome
 
 
@@ -285,7 +291,8 @@ def run_campaign_plan(plan: ShardPlan, *, jobs: int = 1,
                       shard_retries: int = 2,
                       backoff_base: float = 0.05, log=None,
                       events_out: Optional[str] = None,
-                      bus: Optional[EventBus] = None, stop=None
+                      bus: Optional[EventBus] = None, stop=None,
+                      context: Optional[TraceContext] = None
                       ) -> Tuple[Any, PlanResult]:
     """Execute-and-merge any campaign plan by kind.
 
@@ -300,14 +307,16 @@ def run_campaign_plan(plan: ShardPlan, *, jobs: int = 1,
                   shard_timeout=shard_timeout,
                   shard_retries=shard_retries,
                   backoff_base=backoff_base, log=log,
-                  events_out=events_out, bus=bus, stop=stop)
+                  events_out=events_out, bus=bus, stop=stop,
+                  context=context)
 
 
 def resume_checkpoint(checkpoint_dir: str, *, jobs: int,
                       shard_timeout: Optional[float] = None,
                       shard_retries: int = 2,
                       backoff_base: float = 0.05, log=None,
-                      bus: Optional[EventBus] = None, stop=None
+                      bus: Optional[EventBus] = None, stop=None,
+                      context: Optional[TraceContext] = None
                       ) -> Tuple[str, Any, PlanResult]:
     """Resume any checkpointed campaign from its manifest.
 
@@ -323,5 +332,6 @@ def resume_checkpoint(checkpoint_dir: str, *, jobs: int,
     merged, outcome = run_campaign_plan(
         plan, jobs=jobs, checkpoint_dir=checkpoint_dir,
         shard_timeout=shard_timeout, shard_retries=shard_retries,
-        backoff_base=backoff_base, log=log, bus=bus, stop=stop)
+        backoff_base=backoff_base, log=log, bus=bus, stop=stop,
+        context=context)
     return plan.kind, merged, outcome

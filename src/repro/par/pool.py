@@ -51,7 +51,7 @@ from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.obs.events import (
     EventBus, ShardDoneEvent, ShardRetryEvent, ShardStartEvent,
-    StealEvent,
+    StealEvent, TraceContext,
 )
 from repro.par.checkpoint import Checkpoint
 from repro.par.plan import ShardPlan, ShardSpec
@@ -278,7 +278,7 @@ class _Pool:
                  backoff_base: float, checkpoint: Optional[Checkpoint],
                  bus: Optional[EventBus],
                  log: Optional[Callable[[str], None]],
-                 stop=None):
+                 stop=None, context: Optional[TraceContext] = None):
         self.plan = plan
         self.runner_ref = runner_ref
         self.jobs = max(1, jobs)
@@ -289,6 +289,7 @@ class _Pool:
         self.bus = bus
         self.log = log or (lambda message: None)
         self.stop = stop
+        self.context = context
         self.preferred: Dict[int, int] = {}
         self.result = PlanResult(
             workers=[WorkerStats(worker=i) for i in range(self.jobs)])
@@ -301,6 +302,23 @@ class _Pool:
     def _emit(self, event) -> None:
         if self.bus is not None:
             self.bus.emit(event)
+
+    def _ctx(self, shard: ShardSpec) -> Optional[TraceContext]:
+        """Shard-level correlation: the job-level context refined with
+        this shard's id and derived seed."""
+        if self.context is None:
+            return None
+        return self.context.with_shard(shard.shard_id, shard.seed)
+
+    def _task_dict(self, shard: ShardSpec) -> Dict[str, Any]:
+        """The dict handed to the runner.  Correlation rides along as a
+        ``trace`` key injected at dispatch time — never stored in the
+        plan, so fingerprints and checkpoints stay context-free."""
+        task = shard.to_dict()
+        ctx = self._ctx(shard)
+        if ctx is not None:
+            task["trace"] = ctx.to_dict()
+        return task
 
     def _now(self) -> float:
         return time.monotonic() - self._t0
@@ -318,7 +336,8 @@ class _Pool:
         self._emit(ShardDoneEvent(site=None, shard_id=sid,
                                   worker=worker, attempt=attempt,
                                   t=self._now(), status="ok",
-                                  seconds=seconds))
+                                  seconds=seconds,
+                                  ctx=self._ctx(shard)))
         if self.checkpoint is not None:
             self.checkpoint.record_result(sid, attempt + 1, payload)
 
@@ -334,7 +353,8 @@ class _Pool:
         self._emit(ShardDoneEvent(site=None, shard_id=sid,
                                   worker=worker, attempt=attempt,
                                   t=self._now(), status=reason,
-                                  seconds=seconds))
+                                  seconds=seconds,
+                                  ctx=self._ctx(shard)))
         if self.checkpoint is not None:
             self.checkpoint.record_failure(sid, attempt + 1, reason,
                                            detail)
@@ -346,14 +366,14 @@ class _Pool:
         sid = shard.shard_id
         self._emit(ShardStartEvent(site=None, shard_id=sid,
                                    worker=worker, attempt=attempt,
-                                   t=self._now()))
+                                   t=self._now(), ctx=self._ctx(shard)))
         preferred = self.preferred.get(sid, worker)
         if worker != preferred:
             self.result.steals += 1
             self.result.workers[worker].steals += 1
             self._emit(StealEvent(site=None, shard_id=sid,
                                   worker=worker, preferred=preferred,
-                                  t=self._now()))
+                                  t=self._now(), ctx=self._ctx(shard)))
         if self.checkpoint is not None:
             self.checkpoint.mark_running(sid, attempt)
 
@@ -379,7 +399,7 @@ class _Pool:
                 self._started(shard, attempt, worker=0)
                 started = time.monotonic()
                 try:
-                    payload = runner(shard.to_dict(), attempt)
+                    payload = runner(self._task_dict(shard), attempt)
                 except KeyboardInterrupt:
                     raise
                 except BaseException as exc:  # noqa: BLE001
@@ -394,7 +414,7 @@ class _Pool:
                     self._emit(ShardRetryEvent(
                         site=None, shard_id=shard.shard_id, worker=0,
                         attempt=attempt, t=self._now(), reason="error",
-                        delay=delay))
+                        delay=delay, ctx=self._ctx(shard)))
                     self.result.workers[0].busy_seconds += seconds
                     if self._stopping():
                         # drain beats backoff: leave the shard pending
@@ -469,7 +489,8 @@ class _Pool:
                 running[worker] = _Running(
                     shard=shard, attempt=attempt, worker=worker,
                     started=time.monotonic())
-                task_queues[worker].put((shard.to_dict(), attempt))
+                task_queues[worker].put((self._task_dict(shard),
+                                         attempt))
                 self._started(shard, attempt, worker)
 
         def retry_or_fail(shard: ShardSpec, attempt: int, worker: int,
@@ -491,7 +512,7 @@ class _Pool:
             self._emit(ShardRetryEvent(
                 site=None, shard_id=shard.shard_id, worker=worker,
                 attempt=attempt, t=self._now(), reason=reason,
-                delay=delay))
+                delay=delay, ctx=self._ctx(shard)))
             self.log(f"[repro.par] shard {shard.shard_id} {reason} "
                      f"(attempt {attempt + 1}); requeued after "
                      f"{delay:.2f}s backoff")
@@ -618,7 +639,8 @@ def run_plan(plan: ShardPlan, runner_ref: str, *, jobs: int = 1,
              checkpoint: Optional[Checkpoint] = None,
              bus: Optional[EventBus] = None,
              log: Optional[Callable[[str], None]] = None,
-             stop=None) -> PlanResult:
+             stop=None,
+             context: Optional[TraceContext] = None) -> PlanResult:
     """Execute ``plan`` with ``jobs`` workers; returns a
     :class:`PlanResult`.
 
@@ -632,11 +654,19 @@ def run_plan(plan: ShardPlan, runner_ref: str, *, jobs: int = 1,
     shards finish and checkpoint, and the result comes back with
     ``drained=True`` — pair with :func:`install_drain_handler` for
     clean SIGTERM/SIGINT behaviour.
+
+    ``context`` (a :class:`~repro.obs.events.TraceContext`, typically
+    minted by :mod:`repro.serve`) makes every shard event carry
+    (tenant, job, shard, seed) correlation ids and rides into each
+    runner as a dispatch-time ``trace`` key on the shard dict.  It is
+    execution-time only: plans, fingerprints, and checkpoints never see
+    it, so a correlated run resumes against an uncorrelated
+    checkpoint (and vice versa) byte-identically.
     """
     pool = _Pool(plan, runner_ref, jobs=jobs,
                  shard_timeout=shard_timeout, retries=retries,
                  backoff_base=backoff_base, checkpoint=checkpoint,
-                 bus=bus, log=log, stop=stop)
+                 bus=bus, log=log, stop=stop, context=context)
     if checkpoint is not None:
         for shard_id in sorted(checkpoint.open(plan)):
             pool.result.results[shard_id] = \

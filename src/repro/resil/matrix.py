@@ -300,10 +300,11 @@ class CampaignRunner:
         self.scale = scale
         self.timeout_seconds = timeout_seconds
         self.policy = policy
-        #: execution engine for every run.  The default "auto" gives the
-        #: clean reference runs the fastpath and automatically drops
-        #: faulted runs (which arm an injector) back onto the reference
-        #: interpreter; "reference" forces the slow path everywhere.
+        #: execution engine for every run.  The default "auto" runs
+        #: both the clean reference runs and the faulted runs (which
+        #: arm an injector) on the fastpath — armed runs get an
+        #: instrumented translation with inline guarded emits;
+        #: "reference" forces the slow path everywhere.
         self.engine = engine
         self._programs: Dict[Tuple[str, str], object] = {}
         self._references: Dict[Tuple[str, str], _Reference] = {}

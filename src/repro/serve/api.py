@@ -10,10 +10,18 @@ Routes::
     POST   /jobs              submit a job spec       -> 201 record
     GET    /jobs[?tenant=t]   list jobs               -> 200 {"jobs": []}
     GET    /jobs/<id>         one job record          -> 200 record
+    GET    /jobs/<id>/events[?after=N]  correlated event stream
+                                                      -> 200 NDJSON
     DELETE /jobs/<id>         cancel                  -> 200 record
     GET    /metrics           Prometheus exposition   -> 200 text
-    GET    /metrics?format=json   schema-v1 document  -> 200 JSON
+    GET    /metrics?format=json   schema-v2 document  -> 200 JSON
     GET    /healthz           liveness + job counts   -> 200 JSON
+
+The events endpoint returns one JSON object per line (NDJSON), each
+carrying ``seq`` plus the job's (tenant, job, shard, seed)
+correlation ids; ``?after=N`` resumes past the last ``seq`` a client
+has seen, so polling the endpoint while a job runs observes its event
+stream live and loss-free.
 
 Every error is a typed :class:`~repro.errors.ServiceError`: the status
 code comes from ``http_status``, the body is the error's ``to_dict``
@@ -115,6 +123,19 @@ def _route(service, method: str, target: str, body: bytes) -> Response:
                          for record in service.list_jobs(tenant)]})
         return _method_not_allowed(method, path)
 
+    if path.startswith("/jobs/") and path.endswith("/events"):
+        job_id = path[len("/jobs/"):-len("/events")]
+        if not job_id or "/" in job_id:
+            raise UnknownJob(job_id)
+        if method != "GET":
+            return _method_not_allowed(method, path)
+        after = _parse_after(query)
+        lines = [json.dumps(entry, sort_keys=True)
+                 for entry in service.job_events(job_id, after=after)]
+        body = ("\n".join(lines) + ("\n" if lines else "")) \
+            .encode("utf-8")
+        return 200, [("Content-Type", "application/x-ndjson")], body
+
     if path.startswith("/jobs/"):
         job_id = path[len("/jobs/"):]
         if "/" in job_id:
@@ -129,6 +150,16 @@ def _route(service, method: str, target: str, body: bytes) -> Response:
     return _json_response(404, {"error": {
         "type": "NotFound", "message": f"no route for {path}",
         "fields": {}}})
+
+
+def _parse_after(query: Dict[str, List[str]]) -> int:
+    raw = query.get("after", ["0"])[0]
+    try:
+        return int(raw)
+    except ValueError:
+        raise InvalidJobSpec(
+            f"expected an integer cursor, got {raw!r}",
+            field="after") from None
 
 
 def _method_not_allowed(method: str, path: str) -> Response:

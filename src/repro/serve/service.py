@@ -34,16 +34,17 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Dict, List, Optional
+from typing import Any, Deque, Dict, List, Optional
 
 from repro.errors import (
     JobNotCancellable, QueueFull, ReproError, ServiceUnavailable,
     UnknownJob,
 )
 from repro.obs.events import (
-    EventBus, JobEvent, QueueRejectEvent, ShardDoneEvent,
-    ShardRetryEvent,
+    Event, EventBus, JobEvent, QueueRejectEvent, ShardDoneEvent,
+    ShardRetryEvent, TraceContext,
 )
 from repro.obs.metrics import metrics_document
 from repro.par.engine import run_campaign_plan
@@ -65,7 +66,8 @@ class CampaignService:
                  default_quota: Optional[TenantQuota] = None,
                  quotas: Optional[Dict[str, TenantQuota]] = None,
                  kinds: Optional[List[str]] = None,
-                 bus: Optional[EventBus] = None, log=None):
+                 bus: Optional[EventBus] = None, log=None,
+                 events_tail: int = 4096):
         self.store = JobStore(store_dir)
         self.scheduler = WeightedFairScheduler(
             default_quota=default_quota, quotas=quotas)
@@ -80,6 +82,12 @@ class CampaignService:
         self._records: Dict[str, JobRecord] = {}
         self._stops: Dict[str, threading.Event] = {}
         self._granted: Dict[str, int] = {}
+        #: per-job correlated event ring (the ``GET /jobs/{id}/events``
+        #: stream); each entry is an event dict with a monotonically
+        #: increasing ``seq`` so bounded rings keep cursors valid
+        self._events_tail = max(1, events_tail)
+        self._job_events: Dict[str, Deque[Dict[str, Any]]] = {}
+        self._job_seq: Dict[str, int] = {}
         self._free_workers = self.workers_total
         self._draining = False
         self._t0 = time.monotonic()
@@ -90,10 +98,27 @@ class CampaignService:
     def _now(self) -> float:
         return time.monotonic() - self._t0
 
+    def _job_ctx(self, record: JobRecord) -> TraceContext:
+        return TraceContext(tenant=record.tenant,
+                            job_id=record.job_id)
+
+    def _record_event(self, job_id: str, event: Event) -> None:
+        with self._lock:
+            ring = self._job_events.setdefault(
+                job_id, deque(maxlen=self._events_tail))
+            seq = self._job_seq.get(job_id, 0) + 1
+            self._job_seq[job_id] = seq
+            entry = event.to_dict()
+            entry["seq"] = seq
+            ring.append(entry)
+
     def _emit_job(self, record: JobRecord, status: str) -> None:
-        self.bus.emit(JobEvent(
+        event = JobEvent(
             site=None, job_id=record.job_id, tenant=record.tenant,
-            campaign=record.kind, status=status, t=self._now()))
+            campaign=record.kind, status=status, t=self._now(),
+            ctx=self._job_ctx(record))
+        self._record_event(record.job_id, event)
+        self.bus.emit(event)
 
     # -- recovery -----------------------------------------------------------
 
@@ -139,7 +164,7 @@ class CampaignService:
             if self._draining:
                 self.bus.emit(QueueRejectEvent(
                     site=None, tenant=tenant, reason="draining",
-                    t=self._now()))
+                    t=self._now(), ctx=TraceContext(tenant=tenant)))
                 raise ServiceUnavailable()
             record = new_record(
                 self.store.next_job_id(), tenant, kind, workers,
@@ -149,7 +174,7 @@ class CampaignService:
             except QueueFull:
                 self.bus.emit(QueueRejectEvent(
                     site=None, tenant=tenant, reason="queue_full",
-                    t=self._now()))
+                    t=self._now(), ctx=TraceContext(tenant=tenant)))
                 raise
             self._records[record.job_id] = record
             self.store.save(record)
@@ -178,10 +203,12 @@ class CampaignService:
 
     def _progress_bus(self, record: JobRecord) -> EventBus:
         """A per-job bus whose sink folds shard events into the
-        record's live progress counters."""
+        record's live progress counters and the job's correlated
+        event ring (the ``GET /jobs/{id}/events`` stream)."""
         bus = EventBus()
 
         def sink(event) -> None:
+            self._record_event(record.job_id, event)
             if isinstance(event, ShardDoneEvent) \
                     and event.status == "ok":
                 record.progress["shards_done"] = \
@@ -208,7 +235,7 @@ class CampaignService:
                 checkpoint_dir=self.store.checkpoint_dir(
                     record.job_id),
                 bus=self._progress_bus(record), stop=stop,
-                log=self.log)
+                log=self.log, context=self._job_ctx(record))
         except BaseException as exc:  # noqa: BLE001 — typed to client
             error = exc.to_dict() if isinstance(exc, ReproError) else {
                 "type": type(exc).__name__, "message": str(exc),
@@ -233,6 +260,10 @@ class CampaignService:
             return
         result = _render_result(record.kind, record.params, merged,
                                 outcome)
+        # Correlation ids ride beside the metrics document, never in
+        # it: the embedded document must stay byte-comparable with the
+        # batch CLI's artifact for the same seed.
+        result["correlation"] = self._job_ctx(record).to_dict()
         if outcome.ok and result.get("ok", True):
             self._finish(record, granted, status="done",
                          result=result)
@@ -276,6 +307,23 @@ class CampaignService:
         if record is None:
             raise UnknownJob(job_id)
         return record
+
+    def job_events(self, job_id: str,
+                   after: int = 0) -> List[Dict[str, Any]]:
+        """The job's correlated event stream (dicts with ``seq``,
+        ``kind``, and ``ctx`` correlation ids), oldest first.
+
+        ``after`` is a resume cursor: only events with ``seq > after``
+        are returned, so a client polling the NDJSON endpoint sees each
+        event exactly once.  The ring is bounded (``events_tail``), so
+        very chatty jobs drop their oldest entries — ``seq`` gaps tell
+        the client when that happened.
+        """
+        self.get(job_id)    # raises UnknownJob for unknown ids
+        with self._lock:
+            ring = self._job_events.get(job_id, ())
+            return [entry for entry in list(ring)
+                    if entry["seq"] > after]
 
     def list_jobs(self, tenant: Optional[str] = None) -> List[JobRecord]:
         with self._lock:
@@ -337,13 +385,39 @@ class CampaignService:
             }
 
     def metrics(self) -> Dict[str, Any]:
-        """One schema-v1 metrics document describing the service."""
+        """One schema-v2 metrics document describing the service.
+
+        Besides the service-wide gauges, ``per_shard`` rolls the
+        correlated event rings up per job and shard — event, retry, and
+        completion counts keyed by the same (job, shard) ids every
+        event stream and forensics bundle carries — so a scrape can be
+        joined against ``GET /jobs/{id}/events`` without replaying it.
+        """
         with self._lock:
             counts = {status: 0 for status in JOB_STATUSES}
             shards_done = 0
             for record in self._records.values():
                 counts[record.status] = counts.get(record.status, 0) + 1
                 shards_done += record.progress.get("shards_done", 0)
+            per_shard: Dict[str, Any] = {}
+            for job_id, ring in self._job_events.items():
+                rollup: Dict[str, Dict[str, int]] = {}
+                for entry in ring:
+                    ctx = entry.get("ctx") or {}
+                    shard_id = ctx.get("shard_id")
+                    if shard_id is None:
+                        continue
+                    cell = rollup.setdefault(
+                        str(shard_id),
+                        {"events": 0, "done": 0, "retries": 0})
+                    cell["events"] += 1
+                    if entry["kind"] == "shard_done" \
+                            and entry.get("status") == "ok":
+                        cell["done"] += 1
+                    elif entry["kind"] == "shard_retry":
+                        cell["retries"] += 1
+                if rollup:
+                    per_shard[job_id] = rollup
             payload = {
                 "uptime_seconds": self._now(),
                 "draining": int(self._draining),
@@ -353,9 +427,11 @@ class CampaignService:
                 "queue_depth": self.scheduler.depth(),
                 "shards_done": shards_done,
                 "tenants": self.scheduler.snapshot(),
+                "per_shard": per_shard,
             }
         return metrics_document("serve", {"store": self.store.root},
-                                payload)
+                                payload,
+                                labels={"component": "repro.serve"})
 
     # -- shutdown -----------------------------------------------------------
 

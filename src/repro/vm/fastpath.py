@@ -36,9 +36,35 @@ exactly, including at trap time:
   zero charges one cycle less than a completed division).
 
 Runs with the wall-clock watchdog armed single-step (the deadline is
-polled between instructions, as in the reference); runs with a tracer,
-observer, or fault injector armed never reach this engine —
-:meth:`Machine.select_interp` routes them to the reference interpreter.
+polled between instructions, as in the reference).
+
+Instrumented runs compile a *second variant* instead of falling back to
+the reference interpreter.  Translations are keyed by an
+**instrumentation signature** — a bitmask of which instruments are
+armed (``SIG_TRACE`` for a tracer, ``SIG_OBS`` for an observer) — and
+the signature selects what the compiler inlines at each emit site:
+
+* signature 0 is today's zero-cost variant: no guard, no emit, not even
+  a dead branch — observability costs literally nothing when disarmed;
+* with ``SIG_TRACE`` every instruction is prefixed with a direct call to
+  the tracer's bound ``record`` method, placed exactly where the
+  reference calls it (before the budget check, on pre-execution
+  register values);
+* with ``SIG_OBS`` the observer's emits are compiled inline at the
+  reference's exact sites: ``CheckEvent`` between the bounds predicate
+  and the trap, ``PromoteEvent`` (with ``obs.site`` attribution
+  bracketing the IFP-unit call), ``BoundsSpillEvent`` before the
+  bounds-table access, and ``scheme_assigned`` after local-object
+  registration.
+
+Fault injectors need no translation support at all: they live in the
+shared IFP unit / metadata port, which both engines call through the
+same bound methods.  The event *stream* (kinds, payloads, order), the
+``RunStats``, and trap forensics are byte-identical to the reference
+under any signature; the only latitude is that ``executed`` and the
+deferred cycle counters lag by at most one basic block mid-block, which
+no event payload (and hence no sink) can observe.
+
 The one knowable divergence: when the watchdog fires at the exact
 instruction where the budget also trips, this engine reports the timeout
 and the reference the budget trap — unobservable in practice since
@@ -57,12 +83,18 @@ from repro.errors import (
 from repro.compiler.ir import IRFunction, Op
 from repro.ifp.bounds import Bounds
 from repro.mem.layout import ADDRESS_MASK
+from repro.obs.events import BoundsSpillEvent, CheckEvent, PromoteEvent
 from repro.vm.interp import (
-    Interpreter, U64, _CALL_EXTRA, _DIV_EXTRA, _MUL_EXTRA, _signed,
+    Interpreter, U64, _CALL_EXTRA, _DIV_EXTRA, _MUL_EXTRA,
+    _SCHEME_NAMES, _signed,
 )
 
 #: clears both poison bits of a tagged pointer
 _PCLR = ~(3 << 62)
+
+# instrumentation-signature bits (translation-cache key, see module doc)
+SIG_TRACE = 1  #: a tracer is armed: inline tracer.record before each ins
+SIG_OBS = 2    #: an observer is armed: inline guarded emits
 
 # instruction classification for block formation
 _SIMPLE = 0    #: cannot raise; fusable anywhere in a block
@@ -141,11 +173,20 @@ class _FuncCompiler:
     * ``singles`` — one handler per instruction, used when the wall-clock
       watchdog is armed (the deadline is polled between instructions) and
       by the near-budget fallback of fused blocks.
+
+    ``sig`` is the instrumentation signature (``SIG_TRACE`` |
+    ``SIG_OBS``): it selects which emit statements are compiled inline.
+    Signature 0 produces the uninstrumented variant with no emit code at
+    all.
     """
 
-    def __init__(self, interp: "FastInterpreter", func: IRFunction):
+    def __init__(self, interp: "FastInterpreter", func: IRFunction,
+                 sig: int = 0):
         self.interp = interp
         self.func = func
+        self.sig = sig
+        self.trace = bool(sig & SIG_TRACE)
+        self.obs = bool(sig & SIG_OBS)
         self.ns = {
             "U64": U64, "ADDRESS_MASK": ADDRESS_MASK, "_signed": _signed,
             "Bounds": Bounds, "SimTrap": SimTrap, "PoisonTrap": PoisonTrap,
@@ -163,6 +204,36 @@ class _FuncCompiler:
             "FBA": interp.functions_by_address,
             "FN": func.name, "LIMIT": interp._limit, "PCLR": _PCLR,
         }
+        if self.trace:
+            # the bound method, resolved once at translate time: a traced
+            # instruction costs one direct call, no attribute walk
+            self.ns["T"] = interp.machine.tracer.record
+            self.ns["INS"] = func.instrs
+        if self.obs:
+            obs = interp.machine.obs
+            self.ns["OB"] = obs
+            # Specialize the emit call: for the standard Observer (whose
+            # emit() only forwards to its bus) bind the bus's emit
+            # directly, skipping one call frame per event.  Custom
+            # observers keep their own emit.
+            emit = obs.emit
+            from repro.obs.observer import Observer
+            if type(obs) is Observer:
+                emit = obs.bus.emit
+            self.ns["OBE"] = emit
+            self.ns["CK"] = CheckEvent
+            self.ns["PE"] = PromoteEvent
+            self.ns["BSE"] = BoundsSpillEvent
+            self.ns["SCHEME"] = _SCHEME_NAMES
+
+    def _site(self, ip: int) -> str:
+        """Intern the ``(function, ip)`` site tuple as a translate-time
+        constant; emit sites reference it by name instead of building a
+        fresh tuple per event."""
+        name = f"S{ip}"
+        if name not in self.ns:
+            self.ns[name] = (self.func.name, ip)
+        return name
 
     # -- per-instruction source ---------------------------------------------
 
@@ -186,8 +257,23 @@ class _FuncCompiler:
                 f"_bd = bnds[{a}]",
                 "if _bd is not None:",
                 "    stats.implicit_checks += 1",
-                f"    if not (_bd.lower <= _ea"
-                f" and _ea + {ins.size} <= _bd.upper):",
+            ]
+            if self.obs:
+                # the reference emits the CheckEvent between computing
+                # the predicate and delivering the trap
+                lines += [
+                    f"    _ps = (_bd.lower <= _ea"
+                    f" and _ea + {ins.size} <= _bd.upper)",
+                    f"    OBE(CK({self._site(ip)}, '{kind}', False, _ea,"
+                    f" {ins.size}, _ps))",
+                    "    if not _ps:",
+                ]
+            else:
+                lines += [
+                    f"    if not (_bd.lower <= _ea"
+                    f" and _ea + {ins.size} <= _bd.upper):",
+                ]
+            lines += [
                 "        stats.check_failures += 1",
                 "        c[4] -= 1",
                 f"        raise BoundsTrap('{kind} out of bounds', _p,"
@@ -265,6 +351,24 @@ class _FuncCompiler:
                 return _Emitted((0, 1, 0, 0, 1, 0, 0),
                                 [f"regs[{d}] = regs[{a}]",
                                  f"bnds[{d}] = None"], _SIMPLE)
+            if self.obs:
+                # site attribution brackets the unit call so unit-level
+                # events (metadata fetch, MAC, narrow) inherit it; if
+                # promote raises, site stays set — as in the reference
+                site = self._site(ip)
+                lines = [
+                    f"_pv = regs[{a}]",
+                    f"OB.site = {site}",
+                    "_pr = promote(_pv)",
+                    "c[4] += _pr.cycles",
+                    f"regs[{d}] = _pr.pointer",
+                    f"bnds[{d}] = _pr.bounds",
+                    f"OBE(PE({site}, _pv,"
+                    " SCHEME[(_pv >> 60) & 3], _pr.outcome.value,"
+                    " _pr.narrowed, _pr.cycles))",
+                    "OB.site = None",
+                ]
+                return _Emitted((0, 1, 0, 0, 0, 0, 0), lines, _RAISING)
             lines = [
                 f"_pr = promote(regs[{a}])",
                 "c[4] += _pr.cycles",
@@ -315,8 +419,21 @@ class _FuncCompiler:
                 "if _bd is not None:",
                 "    _ad = _v & ADDRESS_MASK",
                 "    stats.implicit_checks += 1",
-                f"    if not (_bd.lower <= _ad"
-                f" and _ad + {imm} <= _bd.upper):",
+            ]
+            if self.obs:
+                lines += [
+                    f"    _ps = (_bd.lower <= _ad"
+                    f" and _ad + {imm} <= _bd.upper)",
+                    f"    OBE(CK({self._site(ip)}, 'ifpchk', True, _ad,"
+                    f" {imm}, _ps))",
+                    "    if not _ps:",
+                ]
+            else:
+                lines += [
+                    f"    if not (_bd.lower <= _ad"
+                    f" and _ad + {imm} <= _bd.upper):",
+                ]
+            lines += [
                 "        stats.check_failures += 1",
                 f"        _v = (_v & PCLR) | {1 << 62}",
                 f"regs[{d}] = _v",
@@ -343,6 +460,13 @@ class _FuncCompiler:
                 lines.append("stats.local_objects += 1")
                 if ins.name == "local+lt":
                     lines.append("stats.local_objects_lt += 1")
+                if self.obs:
+                    lines += [
+                        f"OB.site = {self._site(ip)}",
+                        f"OB.scheme_assigned('local', regs[{d}], 0,"
+                        f" {ins.name == 'local+lt'})",
+                        "OB.site = None",
+                    ]
             return _Emitted((0, 0, 1, 0, 0, 0, 0), lines, _SIMPLE)
         if op == Op.IFPMAC:
             mac_cycles = self.interp.machine.config.ifp.mac_cycles
@@ -354,7 +478,8 @@ class _FuncCompiler:
             return _Emitted((0, 0, 1, 0, mac_cycles, 0, 0), lines,
                             _SIMPLE)
         if op == Op.LDBND:
-            lines = [
+            lines = ([f"OBE(BSE({self._site(ip)}, False))"]
+                     if self.obs else []) + [
                 f"_ea = (regs[{a}] & ADDRESS_MASK) + {imm}",
                 "c[4] += access(_ea, 16, False)",
                 "if not memory.is_mapped(_ea, 16):",
@@ -366,7 +491,8 @@ class _FuncCompiler:
             ]
             return _Emitted((0, 0, 0, 1, 0, 0, 0), lines, _RAISING)
         if op == Op.STBND:
-            lines = [
+            lines = ([f"OBE(BSE({self._site(ip)}, True))"]
+                     if self.obs else []) + [
                 f"_ea = (regs[{a}] & ADDRESS_MASK) + {imm}",
                 "c[4] += access(_ea, 16, True)",
                 "if not memory.is_mapped(_ea, 16):",
@@ -512,7 +638,10 @@ class _FuncCompiler:
             em = self.emit(ins, ip)
             body = self._counter_lines(em.counts) + list(em.lines)
             body.append(f"return {em.ret_expr if em.kind == _TERM else ip + 1}")
-        return self._assemble(self._single_header(ip), body)
+        # the reference records the trace before the budget check, on
+        # pre-execution register values — so does the compiled prologue
+        pre = [f"T(FN, {ip}, INS[{ip}], st.regs)"] if self.trace else []
+        return self._assemble(pre + self._single_header(ip), body)
 
     def compile_block(self, emitted: List[Tuple[int, _Emitted]],
                       fallback) -> object:
@@ -550,6 +679,11 @@ class _FuncCompiler:
             seg_lines = []
 
         for index, (ip, em) in enumerate(emitted):
+            if self.trace:
+                # in program order, before the instruction's own effect
+                # (and before any statement of it that can raise)
+                em.lines = [f"T(FN, {ip}, INS[{ip}], regs)"] \
+                    + list(em.lines)
             for i, n in enumerate(em.counts):
                 seg_counts[i] += n
             if em.kind == _RAISING:
@@ -620,7 +754,7 @@ class _FuncCompiler:
                 handlers[ip] = self.compile_single(instrs[ip], ip)
             else:
                 handlers[ip] = self.compile_block(
-                    block, _make_fallback(interp, func, ip))
+                    block, _make_fallback(interp, func, ip, self.sig))
             # non-leader slots inside the block are never entered (blocks
             # stop before branch targets); point them at the sentinel's
             # defensive neighbour anyway for debuggability
@@ -643,14 +777,15 @@ def _make_unreachable(name: str, ip: int):
     return _h
 
 
-def _make_fallback(interp: "FastInterpreter", func: IRFunction, base: int):
+def _make_fallback(interp: "FastInterpreter", func: IRFunction, base: int,
+                   sig: int):
     """Single-step continuation for a block entered too close to the
     instruction budget: runs the per-instruction handlers (which carry
     the exact budget check) until the function returns or traps."""
     def _fb(st):
-        singles = interp._singles.get(func.name)
+        singles = interp._singles.get((func.name, sig))
         if singles is None:
-            singles = interp._translate_singles(func)
+            singles = interp._translate_singles(func, sig)
         ip = base
         while ip >= 0:
             ip = singles[ip](st)
@@ -668,19 +803,44 @@ class FastInterpreter(Interpreter):
 
     def __init__(self, machine):
         super().__init__(machine)
-        #: function name -> fused handler list (blocks at leaders)
-        self._fused: Dict[str, list] = {}
-        #: function name -> per-instruction handler list
-        self._singles: Dict[str, list] = {}
+        #: (function name, signature) -> fused handler list
+        self._fused: Dict[Tuple[str, int], list] = {}
+        #: (function name, signature) -> per-instruction handler list
+        self._singles: Dict[Tuple[str, int], list] = {}
+        #: instrument identities the cached instrumented translations
+        #: are bound to (compiled code holds the tracer's bound method
+        #: and the observer object directly)
+        self._armed = (None, None)
 
-    def _translate_fused(self, func: IRFunction) -> list:
-        handlers = _FuncCompiler(self, func).compile_fused()
-        self._fused[func.name] = handlers
+    def _sig(self) -> int:
+        machine = self.machine
+        return ((SIG_TRACE if machine.tracer is not None else 0)
+                | (SIG_OBS if machine.obs is not None else 0))
+
+    def arm_deadline(self, timeout_seconds) -> None:
+        super().arm_deadline(timeout_seconds)
+        # Called once per Machine.run: if the armed instrument objects
+        # changed since the last run, instrumented translations bound to
+        # the old objects are stale — drop them (signature-0 entries
+        # bind no instrument and stay valid).
+        armed = (self.machine.tracer, self.machine.obs)
+        if armed != self._armed:
+            self._fused = {key: handlers
+                           for key, handlers in self._fused.items()
+                           if key[1] == 0}
+            self._singles = {key: handlers
+                             for key, handlers in self._singles.items()
+                             if key[1] == 0}
+            self._armed = armed
+
+    def _translate_fused(self, func: IRFunction, sig: int = 0) -> list:
+        handlers = _FuncCompiler(self, func, sig).compile_fused()
+        self._fused[(func.name, sig)] = handlers
         return handlers
 
-    def _translate_singles(self, func: IRFunction) -> list:
-        handlers = _FuncCompiler(self, func).compile_singles()
-        self._singles[func.name] = handlers
+    def _translate_singles(self, func: IRFunction, sig: int = 0) -> list:
+        handlers = _FuncCompiler(self, func, sig).compile_singles()
+        self._singles[(func.name, sig)] = handlers
         return handlers
 
     def _run(self, func: IRFunction, args: List[int],
@@ -702,14 +862,15 @@ class FastInterpreter(Interpreter):
                     if index < len(arg_bounds) else None
         stats = self.stats
         name = func.name
+        sig = self._sig()
         ip = 0
         try:
             deadline = self._deadline
             if deadline:
                 # Watchdog armed: single-step so the deadline is polled
                 # between instructions, exactly as the reference does.
-                handlers = self._singles.get(name) \
-                    or self._translate_singles(func)
+                handlers = self._singles.get((name, sig)) \
+                    or self._translate_singles(func, sig)
                 monotonic = time.monotonic
                 while ip >= 0:
                     e1 = self.executed + 1
@@ -724,8 +885,8 @@ class FastInterpreter(Interpreter):
                             executed=e1)
                     ip = handlers[ip](st)
             else:
-                handlers = self._fused.get(name) \
-                    or self._translate_fused(func)
+                handlers = self._fused.get((name, sig)) \
+                    or self._translate_fused(func, sig)
                 while ip >= 0:
                     ip = handlers[ip](st)
             return st.ret, st.retb

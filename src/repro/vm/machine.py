@@ -38,12 +38,16 @@ class MachineConfig:
     #: wall-clock watchdog for one run (seconds; None disables).  Checked
     #: coarsely by the interpreter; raises WorkloadTimeout, not a trap.
     wall_clock_timeout: Optional[float] = None
-    #: execution engine: "auto" picks the closure-compiled fastpath
-    #: whenever no tracer/observer/fault injector is armed (falling back
-    #: to the reference interpreter otherwise), "reference" forces the
-    #: reference interpreter, "fastpath" forces the fastpath (and errors
-    #: if an instrument is armed).  Both engines are byte-identical in
-    #: every simulated observable — see DESIGN.md.
+    #: execution engine: "auto" picks the closure-compiled fastpath —
+    #: including under an armed tracer/observer/fault injector, for
+    #: which it compiles an instrumented variant with inline emit sites
+    #: (see repro.vm.fastpath) — falling back to the reference
+    #: interpreter only when :meth:`Machine.fastpath_reasons` reports an
+    #: instrument the compiler cannot honour.  "reference" forces the
+    #: reference interpreter; "fastpath" forces the fastpath (and errors
+    #: when a fastpath_reasons fallback applies).  Both engines are
+    #: byte-identical in every simulated observable, including the
+    #: emitted event stream — see DESIGN.md.
     engine: str = "auto"
 
 
@@ -94,6 +98,9 @@ class Machine:
         #: optional observer (see repro.obs.attach_observer); None keeps
         #: every instrumented site on its zero-cost disabled path
         self.obs = None
+        #: engine the last ``run`` resolved to ("fastpath"|"reference");
+        #: None before the first run.  Telemetry labels use this.
+        self.engine_used: Optional[str] = None
 
         # Stack management (grows down; pages mapped on demand).
         self.stack_top = self.layout.stack_top
@@ -149,29 +156,60 @@ class Machine:
     # -- engine selection ---------------------------------------------------------
 
     def _instrumented(self) -> bool:
-        """True when any instrument that the fastpath cannot honour is
-        armed (tracer, observer, or fault injector)."""
+        """True when any instrument is armed (tracer, observer, or
+        fault injector).  Instrumented runs still use the fastpath —
+        the translator compiles an instrumented variant — unless
+        :meth:`fastpath_reasons` reports an instrument it cannot
+        honour."""
         ifp = self.ifp
         return (self.tracer is not None or self.obs is not None
                 or ifp.obs is not None or ifp.faults is not None
                 or ifp.port.faults is not None)
+
+    def fastpath_reasons(self) -> List[str]:
+        """Why this machine would fall back to the reference engine.
+
+        Empty (the overwhelmingly common case) means the fastpath can
+        honour everything that is armed: tracers compile to inline
+        ``record`` calls, observers to inline guarded emits, and fault
+        injectors live in the shared IFP unit, so none of them force the
+        reference interpreter anymore.  A non-empty list names armed
+        instruments that don't speak the standard protocol (a tracer
+        without ``record``, an observer without ``emit``/``site``) —
+        the translator cannot bind their emit sites, so ``engine=auto``
+        degrades to the reference interpreter, which duck-types the
+        same calls one instruction at a time.
+        """
+        reasons: List[str] = []
+        tracer = self.tracer
+        if tracer is not None \
+                and not callable(getattr(tracer, "record", None)):
+            reasons.append(
+                f"tracer {type(tracer).__name__} has no record() method")
+        obs = self.obs
+        if obs is not None \
+                and (not callable(getattr(obs, "emit", None))
+                     or not hasattr(obs, "site")):
+            reasons.append(
+                f"observer {type(obs).__name__} lacks the emit()/site "
+                f"protocol")
+        return reasons
 
     def select_interp(self):
         """Resolve ``config.engine`` to the interpreter for this run."""
         engine = self.config.engine
         if engine == "reference":
             return self.interp
-        if engine == "auto":
-            if self._instrumented():
+        if engine == "auto" or engine == "fastpath":
+            reasons = self.fastpath_reasons()
+            if reasons:
+                if engine == "fastpath":
+                    raise ReproError(
+                        "engine='fastpath' cannot honour the armed "
+                        "instruments: " + "; ".join(reasons)
+                        + " — use engine='auto' (it falls back to the "
+                        "reference interpreter) or detach the instrument")
                 return self.interp
-            return self._fastpath()
-        if engine == "fastpath":
-            if self._instrumented():
-                raise ReproError(
-                    "engine='fastpath' cannot run with a tracer, observer,"
-                    " or fault injector armed — use engine='auto' (it"
-                    " falls back to the reference interpreter) or detach"
-                    " the instrument")
             return self._fastpath()
         raise ReproError(f"unknown engine {engine!r} "
                          "(expected auto|fastpath|reference)")
@@ -197,6 +235,15 @@ class Machine:
         timeout = (timeout_seconds if timeout_seconds is not None
                    else self.config.wall_clock_timeout)
         interp = self.select_interp()
+        self.engine_used = "reference" if interp is self.interp \
+            else "fastpath"
+        if self.obs is not None:
+            # let observability consumers label everything they export
+            # with the engine that actually produced it
+            try:
+                self.obs.engine = self.engine_used
+            except AttributeError:  # slotted custom observer
+                pass
         interp.arm_deadline(timeout)
         old_limit = sys.getrecursionlimit()
         sys.setrecursionlimit(40_000)

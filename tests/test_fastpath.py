@@ -70,25 +70,55 @@ class TestEngineSelection:
         machine = Machine(program, MachineConfig(engine="auto"))
         assert isinstance(machine.select_interp(), FastInterpreter)
 
-    def test_auto_falls_back_with_observer(self):
+    def test_auto_uses_instrumented_fastpath_with_observer(self):
+        # The big behavior change of the instrumented translation: an
+        # armed observer no longer forfeits the fastpath.
         from repro.obs import attach_observer
         program = compile_source(SMALL, CompilerOptions.wrapped())
         machine = Machine(program, MachineConfig(engine="auto"))
         attach_observer(machine, profile=True, forensics=True)
-        assert machine.select_interp() is machine.interp
+        assert machine.fastpath_reasons() == []
+        assert isinstance(machine.select_interp(), FastInterpreter)
 
-    def test_auto_falls_back_with_tracer(self):
+    def test_auto_uses_instrumented_fastpath_with_tracer(self):
+        from repro.debug.trace import attach_tracer
+        program = compile_source(SMALL, CompilerOptions.baseline())
+        machine = Machine(program, MachineConfig(engine="auto"))
+        attach_tracer(machine, capacity=64)
+        assert machine.fastpath_reasons() == []
+        assert isinstance(machine.select_interp(), FastInterpreter)
+
+    def test_forced_fastpath_runs_instrumented(self):
+        from repro.obs import attach_observer
+        program = compile_source(SMALL, CompilerOptions.wrapped())
+        machine = Machine(program, MachineConfig(engine="fastpath"))
+        attach_observer(machine, profile=True, forensics=True)
+        result = machine.run()
+        assert result.exit_code == 7
+        assert machine.engine_used == "fastpath"
+
+    def test_alien_tracer_falls_back_with_reason(self):
+        # An armed instrument that doesn't speak the record() protocol
+        # can't be compiled in; auto degrades to the reference and
+        # fastpath_reasons says why.
         program = compile_source(SMALL, CompilerOptions.baseline())
         machine = Machine(program, MachineConfig(engine="auto"))
         machine.tracer = object()
+        assert machine.fastpath_reasons()
         assert machine.select_interp() is machine.interp
 
-    def test_forced_fastpath_rejects_instruments(self):
+    def test_forced_fastpath_rejects_alien_instruments(self):
         program = compile_source(SMALL, CompilerOptions.baseline())
         machine = Machine(program, MachineConfig(engine="fastpath"))
         machine.tracer = object()
-        with pytest.raises(ReproError, match="fastpath"):
+        with pytest.raises(ReproError, match="record"):
             machine.select_interp()
+
+    def test_engine_used_is_reported(self):
+        program = compile_source(SMALL, CompilerOptions.baseline())
+        machine = Machine(program, MachineConfig(engine="reference"))
+        machine.run()
+        assert machine.engine_used == "reference"
 
     def test_unknown_engine_rejected(self):
         program = compile_source(SMALL, CompilerOptions.baseline())
@@ -224,6 +254,161 @@ class TestWorkloadDifferential:
         # above proves the promote/walk/MAC caches behave structurally
         # identically under both engines.
         assert "promote_cache_hits" in run["stats"]["ifp"]
+
+
+# ---------------------------------------------------------------------------
+# instrumented translation: event streams, forensics, traces, faults
+# ---------------------------------------------------------------------------
+
+
+def _instrumented_observables(program, config: MachineConfig,
+                              engine: str, fault_plan=None):
+    """Run one program with the full observer stack armed (profiler,
+    forensics, event tail, auto-tracer) plus an event-capturing sink;
+    returns every instrumented observable as plain data."""
+    from dataclasses import replace
+
+    from repro.obs import attach_observer
+
+    machine = Machine(program, replace(config, engine=engine))
+    if fault_plan is not None:
+        from repro.resil.faults import FaultInjector
+        FaultInjector(fault_plan).arm(machine)
+    events = []
+    obs = attach_observer(machine, profile=True, forensics=True)
+    obs.bus.subscribe(lambda event: events.append(event.to_dict()))
+    result = machine.run()
+    trap = result.trap
+    return {
+        "engine_used": machine.engine_used,
+        "exit_code": result.exit_code,
+        "output": result.output,
+        "trap": (type(trap).__name__, str(trap),
+                 getattr(trap, "pc", None)) if trap else None,
+        "stats": dataclasses.asdict(result.stats),
+        "events": events,
+        "trace": machine.tracer.snapshot(),
+        "trace_recorded": machine.tracer.recorded,
+        "forensics": [report.to_dict() for report in obs.reports],
+        "profile": obs.profiler.to_dict(),
+    }
+
+
+def _assert_instrumented_engines_agree(source: str, config_name: str,
+                                       max_instructions: int = 5_000_000,
+                                       fault_plan=None):
+    program = compile_source(source, build_options(config_name))
+    config = build_machine_config(config_name, max_instructions)
+    reference = _instrumented_observables(program, config, "reference",
+                                          fault_plan)
+    fastpath = _instrumented_observables(program, config, "fastpath",
+                                         fault_plan)
+    assert reference["engine_used"] == "reference"
+    assert fastpath["engine_used"] == "fastpath"
+    del reference["engine_used"], fastpath["engine_used"]
+    assert fastpath == reference, (
+        f"instrumented engines diverged under {config_name!r}")
+    return reference
+
+
+class TestInstrumentedDifferential:
+    """The instrumented fastpath variant must reproduce the reference's
+    event stream, tracer ring, forensics, and RunStats byte-for-byte —
+    the equivalence contract extended to observability itself."""
+
+    @pytest.mark.parametrize("config", ["wrapped", "subheap"])
+    def test_trapping_program_full_obs_identical(self, config):
+        run = _assert_instrumented_engines_agree(OVERFLOW, config)
+        assert run["trap"] is not None
+        assert run["events"], "observer saw no events"
+        assert run["forensics"], "trap produced no forensics report"
+        assert run["trace_recorded"] > 0
+
+    @pytest.mark.parametrize("seed", FUZZ_SEEDS)
+    def test_fuzz_corpus_event_streams_identical(self, seed):
+        program = generate_program(seed)
+        for config in FUZZ_CONFIGS:
+            _assert_instrumented_engines_agree(program.source, config)
+
+    @pytest.mark.parametrize("seed", FUZZ_SEEDS[:3])
+    def test_attacked_programs_obs_identical(self, seed):
+        program = generate_program(seed)
+        budget = 3
+        for site in program.sites:
+            for attack in attacks_for(site)[:1]:
+                source = render(program.spec, (attack.sid, attack.index))
+                _assert_instrumented_engines_agree(source, "wrapped")
+                budget -= 1
+                if budget == 0:
+                    return
+
+    @pytest.mark.parametrize("name,config", WORKLOAD_MATRIX[:4],
+                             ids=[f"{w}-{c}"
+                                  for w, c in WORKLOAD_MATRIX[:4]])
+    def test_workload_event_streams_identical(self, name, config):
+        source = WORKLOADS[name].source(1)
+        run = _assert_instrumented_engines_agree(
+            source, config, max_instructions=200_000_000)
+        assert run["trap"] is None
+
+    @pytest.mark.parametrize("fault", ["tag_bit_flip",
+                                       "metadata_corrupt",
+                                       "mac_corrupt"])
+    def test_fault_injection_outcomes_identical(self, fault):
+        # Injectors hook the shared IFP unit, so the same seeded plan
+        # must perturb both engines identically — including the
+        # FaultEvents it emits and any trap it provokes.
+        from repro.resil.faults import FaultPlan
+        plan = FaultPlan.single(fault, seed=7, period=3, start=2)
+        run = _assert_instrumented_engines_agree(
+            WORKLOADS["treeadd"].source(1), "wrapped",
+            max_instructions=200_000_000, fault_plan=plan)
+        assert any(e["kind"] == "fault" for e in run["events"])
+
+    def test_tracer_only_run_identical(self):
+        # A tracer without an observer exercises the SIG_TRACE-only
+        # variant of the translation cache.
+        from dataclasses import replace
+
+        from repro.debug.trace import attach_tracer
+
+        program = compile_source(WORKLOADS["anagram"].source(1),
+                                 build_options("wrapped"))
+        config = build_machine_config("wrapped", 200_000_000)
+        rings = {}
+        for engine in ("reference", "fastpath"):
+            machine = Machine(program, replace(config, engine=engine))
+            tracer = attach_tracer(machine, capacity=512)
+            result = machine.run()
+            assert result.trap is None
+            rings[engine] = (tracer.recorded, tracer.snapshot())
+        assert rings["reference"] == rings["fastpath"]
+
+    def test_signature_keys_coexist_in_cache(self):
+        # One FastInterpreter must hold disarmed and instrumented
+        # translations side by side without cross-talk.
+        from dataclasses import replace
+
+        from repro.obs import attach_observer
+
+        program = compile_source(WORKLOADS["treeadd"].source(1),
+                                 build_options("wrapped"))
+        config = replace(build_machine_config("wrapped", 200_000_000),
+                         engine="fastpath")
+        machine = Machine(program, config)
+        plain = machine.run()
+        assert machine.engine_used == "fastpath"
+        sigs = {key[1] for key in machine._fast._fused}
+        assert sigs == {0}
+        machine2 = Machine(program, config)
+        obs = attach_observer(machine2, profile=True, forensics=True)
+        observed = machine2.run()
+        assert machine2.engine_used == "fastpath"
+        assert observed.exit_code == plain.exit_code
+        assert observed.output == plain.output
+        assert obs.bus.emitted > 0
+        sigs = {key[1] for key in machine2._fast._fused}
+        assert sigs <= {0, 3} and 3 in sigs
 
 
 # ---------------------------------------------------------------------------

@@ -321,3 +321,170 @@ class TestCLI:
         doc = load_metrics(metrics_path)
         assert doc["name"] == "fuzz"
         assert doc["metrics"]["programs"] == 2
+
+
+# ---------------------------------------------------------------------------
+# trace correlation: TraceContext on events, buses, and forensics
+# ---------------------------------------------------------------------------
+
+class TestTraceCorrelation:
+    def test_uncorrelated_events_serialize_without_ctx(self):
+        event = PromoteEvent(site=("main", 3), pointer=0x10,
+                             scheme="local_offset", outcome="hit",
+                             narrowed=False, cycles=5)
+        record = event.to_dict()
+        assert "ctx" not in record
+        assert record["kind"] == "promote"
+
+    def test_explicit_ctx_serializes(self):
+        from repro.obs import TraceContext
+        ctx = TraceContext(tenant="acme", job_id="job-7")
+        event = PromoteEvent(site=None, pointer=1, scheme="s",
+                             outcome="hit", narrowed=False, cycles=1,
+                             ctx=ctx)
+        record = event.to_dict()
+        assert record["ctx"] == {"tenant": "acme", "job_id": "job-7",
+                                 "shard_id": None, "seed": None}
+
+    def test_bus_ambient_context_stamps_events(self):
+        from repro.obs import TraceContext
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        bus.context = TraceContext(tenant="acme", job_id="job-1",
+                                   shard_id=2, seed=99)
+        bus.emit(CheckEvent(site=("f", 0), op="load", explicit=False,
+                            address=8, size=4, passed=True))
+        assert seen[0].ctx.tenant == "acme"
+        assert seen[0].ctx.shard_id == 2
+        # an explicitly stamped ctx wins over the ambient one
+        other = TraceContext(tenant="zen")
+        bus.emit(CheckEvent(site=None, op="load", explicit=False,
+                            address=8, size=4, passed=True, ctx=other))
+        assert seen[1].ctx is other
+
+    def test_with_shard_and_labels(self):
+        from repro.obs import TraceContext
+        ctx = TraceContext(tenant="acme", job_id="job-1")
+        refined = ctx.with_shard(3, 1234)
+        assert refined.shard_id == 3 and refined.seed == 1234
+        assert ctx.shard_id is None  # frozen original untouched
+        assert refined.labels() == {"tenant": "acme",
+                                    "job_id": "job-1",
+                                    "shard_id": "3", "seed": "1234"}
+        assert TraceContext.from_dict(refined.to_dict()) == refined
+
+    def test_forensics_report_carries_bus_context(self):
+        from repro.obs import TraceContext
+        machine = _machine(OVERFLOW_SOURCE)
+        obs = attach_observer(machine, profile=False, forensics=True)
+        obs.bus.context = TraceContext(tenant="acme", job_id="job-9",
+                                       shard_id=0, seed=7)
+        result = machine.run()
+        assert result.trap is not None
+        report = obs.last_report
+        assert report.context == {"tenant": "acme", "job_id": "job-9",
+                                  "shard_id": 0, "seed": 7}
+        assert "tenant=acme" in report.render()
+        assert report.to_dict()["context"]["job_id"] == "job-9"
+
+    def test_fuzz_trap_forensics_accepts_trace(self):
+        from repro.fuzz.oracle import capture_trap_forensics
+        trace = {"tenant": "acme", "job_id": "job-2",
+                 "shard_id": 1, "seed": 42}
+        report = capture_trap_forensics(OVERFLOW_SOURCE, "wrapped",
+                                        trace=trace)
+        assert report is not None
+        assert report.context == trace
+
+
+# ---------------------------------------------------------------------------
+# metrics schema v2: correlation/engine labels
+# ---------------------------------------------------------------------------
+
+class TestMetricsV2:
+    def test_labels_produce_v2(self, tmp_path):
+        from repro.obs import SCHEMA_V2
+        doc = metrics_document("run", "wrapped", {"cycles": 7},
+                               labels={"engine": "fastpath",
+                                       "tenant": "acme"})
+        assert doc["schema"] == SCHEMA_V2
+        assert validate_document(doc) == []
+        path = write_metrics(str(tmp_path / "v2.json"), doc)
+        assert load_metrics(path)["labels"]["engine"] == "fastpath"
+
+    def test_no_labels_stays_v1(self):
+        from repro.obs.metrics import SCHEMA
+        doc = metrics_document("run", "wrapped", {"cycles": 7})
+        assert doc["schema"] == SCHEMA
+        assert "labels" not in doc
+
+    def test_v2_rejects_non_string_labels(self):
+        doc = metrics_document("run", "wrapped", {"cycles": 7},
+                               labels={"engine": "fastpath"})
+        bad = {**doc, "labels": {"shard": 3}}
+        assert validate_document(bad) != []
+        bad = {**doc, "labels": "fastpath"}
+        assert validate_document(bad) != []
+
+    def test_v1_rejects_labels(self):
+        from repro.obs.metrics import SCHEMA
+        doc = metrics_document("run", "wrapped", {"cycles": 7},
+                               labels={"engine": "fastpath"})
+        assert validate_document({**doc, "schema": SCHEMA}) != []
+
+    def test_prometheus_merges_labels(self):
+        doc = metrics_document("run", "wrapped", {"cycles": 7},
+                               labels={"engine": "fastpath"})
+        text = to_prometheus(doc)
+        assert ('repro_cycles{name="run",config="wrapped",'
+                'engine="fastpath"} 7') in text
+
+
+# ---------------------------------------------------------------------------
+# armed-engine equivalence: the instrumented fastpath emits the same
+# event stream as the armed reference interpreter
+# ---------------------------------------------------------------------------
+
+class TestArmedEngineEquivalence:
+    def _event_stream(self, source, config, engine):
+        from dataclasses import replace as dc_replace
+        from repro.eval.configs import build_machine_config, \
+            build_options
+        program = compile_source(source, build_options(config))
+        machine = Machine(program,
+                          dc_replace(build_machine_config(config),
+                                     engine=engine))
+        obs = attach_observer(machine, profile=True, forensics=True,
+                              tracer_capacity=0)
+        stream = []
+        obs.bus.subscribe(lambda event: stream.append(event.to_dict()))
+        result = machine.run()
+        return stream, result, obs.profiler.metrics()
+
+    @pytest.mark.parametrize("config", ["wrapped", "subheap"])
+    def test_event_streams_byte_identical(self, config):
+        ref_stream, ref_result, ref_profile = self._event_stream(
+            NESTED_SOURCE, config, "reference")
+        fast_stream, fast_result, fast_profile = self._event_stream(
+            NESTED_SOURCE, config, "fastpath")
+        assert json.dumps(ref_stream) == json.dumps(fast_stream)
+        assert ref_profile == fast_profile
+        assert ref_result.output == fast_result.output
+        assert stats_to_dict(ref_result.stats) == \
+            stats_to_dict(fast_result.stats)
+        assert ref_stream  # armed run must actually observe something
+
+    def test_armed_fastpath_engine_selected(self):
+        from dataclasses import replace as dc_replace
+        from repro.eval.configs import build_machine_config, \
+            build_options
+        program = compile_source(NESTED_SOURCE,
+                                 build_options("wrapped"))
+        machine = Machine(program,
+                          dc_replace(build_machine_config("wrapped"),
+                                     engine="auto"))
+        obs = attach_observer(machine, profile=True, forensics=True)
+        machine.run()
+        assert machine.engine_used == "fastpath"
+        assert obs.engine == "fastpath"

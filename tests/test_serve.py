@@ -557,3 +557,122 @@ class TestHttpServer:
         finally:
             server.stop()
             service.drain()
+
+
+# ---------------------------------------------------------------------------
+# correlated job event streams: GET /jobs/<id>/events + /metrics v2
+# ---------------------------------------------------------------------------
+
+class TestJobEventStream:
+    def test_events_carry_correlation_ids(self, tmp_path):
+        service = _service(tmp_path)
+        try:
+            record = service.submit(_spec(total=8, seed=3, shards=4))
+            done = service.wait(record.job_id)
+            assert done.status == "done"
+            events = service.job_events(record.job_id)
+            assert events
+            kinds = {event["kind"] for event in events}
+            assert "job" in kinds and "shard_done" in kinds
+            for event in events:
+                assert event["ctx"]["tenant"] == "alice"
+                assert event["ctx"]["job_id"] == record.job_id
+            shard_events = [e for e in events
+                            if e["kind"] == "shard_done"]
+            assert {e["ctx"]["shard_id"]
+                    for e in shard_events} == {0, 1, 2, 3}
+            assert all(e["ctx"]["seed"] is not None
+                       for e in shard_events)
+            # seq is strictly monotonic: a valid resume cursor
+            seqs = [event["seq"] for event in events]
+            assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+            # the job result carries the same correlation ids
+            assert done.result["correlation"]["tenant"] == "alice"
+            assert done.result["correlation"]["job_id"] \
+                == record.job_id
+        finally:
+            service.drain()
+
+    def test_job_events_cursor_and_unknown_job(self, tmp_path):
+        service = _service(tmp_path)
+        try:
+            record = service.submit(_spec(total=4, shards=2))
+            service.wait(record.job_id)
+            events = service.job_events(record.job_id)
+            mid = events[len(events) // 2]["seq"]
+            tail = service.job_events(record.job_id, after=mid)
+            assert tail == [e for e in events if e["seq"] > mid]
+            assert service.job_events(record.job_id,
+                                      after=events[-1]["seq"]) == []
+            with pytest.raises(UnknownJob):
+                service.job_events("job-nope")
+        finally:
+            service.drain()
+
+    def test_api_streams_ndjson(self, tmp_path):
+        service = _service(tmp_path)
+        try:
+            record = service.submit(_spec(total=4, shards=2))
+            service.wait(record.job_id)
+            status, headers, body = dispatch(
+                service, "GET", f"/jobs/{record.job_id}/events")
+            assert status == 200
+            assert dict(headers)["Content-Type"] \
+                == "application/x-ndjson"
+            events = [json.loads(line)
+                      for line in body.decode().splitlines()]
+            assert events == service.job_events(record.job_id)
+            # ?after=N resumes past already-seen events
+            mid = events[len(events) // 2]["seq"]
+            status, _, body = dispatch(
+                service, "GET",
+                f"/jobs/{record.job_id}/events?after={mid}")
+            assert status == 200
+            tail = [json.loads(line)
+                    for line in body.decode().splitlines()]
+            assert all(event["seq"] > mid for event in tail)
+            # malformed cursor is a typed 400, unknown job a 404
+            status, _, body = dispatch(
+                service, "GET",
+                f"/jobs/{record.job_id}/events?after=xyz")
+            assert status == 400
+            status, _, _ = dispatch(service, "GET",
+                                    "/jobs/nope/events")
+            assert status == 404
+            status, _, _ = dispatch(
+                service, "DELETE", f"/jobs/{record.job_id}/events")
+            assert status == 405
+        finally:
+            service.drain()
+
+    def test_event_ring_is_bounded_with_valid_cursors(self, tmp_path):
+        service = _service(tmp_path, events_tail=5)
+        try:
+            record = service.submit(_spec(total=8, seed=3, shards=4))
+            service.wait(record.job_id)
+            events = service.job_events(record.job_id)
+            assert len(events) == 5
+            # dropped events show up as a seq gap, not silent loss
+            assert events[0]["seq"] > 1
+            seqs = [event["seq"] for event in events]
+            assert seqs == sorted(seqs)
+        finally:
+            service.drain()
+
+    def test_metrics_v2_with_per_shard_rollup(self, tmp_path):
+        from repro.obs import SCHEMA_V2
+        service = _service(tmp_path)
+        try:
+            record = service.submit(_spec(total=4, shards=2))
+            service.wait(record.job_id)
+            document = service.metrics()
+            assert document["schema"] == SCHEMA_V2
+            assert validate_document(document) == []
+            assert document["labels"] == {"component": "repro.serve"}
+            per_shard = document["metrics"]["per_shard"]
+            shards = per_shard[record.job_id]
+            assert set(shards) == {"0", "1"}
+            for stats in shards.values():
+                assert stats["done"] == 1
+        finally:
+            service.drain()
