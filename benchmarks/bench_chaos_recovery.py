@@ -1,0 +1,93 @@
+"""Recovery cost of the host-level chaos harness.
+
+Measures what self-healing actually costs: the same fixed-seed
+campaign is run fault-free, then under a seeded
+:class:`~repro.resil.chaos.ChaosSchedule` with every host fault class
+armed.  Recorded per cell:
+
+* **recovery overhead** — chaos-cell wall time over the fault-free
+  baseline's (crash/resume rounds, checkpoint restores, swept debris
+  all included);
+* **rounds and injections** — how much chaos the cell absorbed to get
+  back to a converged verdict;
+* the **convergence gate itself** — a diverged cell fails the bench,
+  so the perf numbers can never be quoted for a harness that silently
+  lost results.
+"""
+
+import time
+
+import pytest
+
+from repro.obs.metrics import write_bench
+from repro.resil.chaos import (
+    HOST_FAULT_CLASSES, ChaosSchedule, run_chaos_cell,
+)
+
+_SEED = 11
+_PERIOD = 2
+_MAX_INJECTIONS = 2
+
+
+@pytest.mark.benchmark(group="chaos")
+def test_chaos_recovery_overhead(benchmark, tmp_path):
+    cells = {}
+
+    def campaign():
+        for kind in ("fuzz", "selftest"):
+            # fault-free baseline: an empty schedule runs exactly one
+            # round through the identical code path
+            t0 = time.perf_counter()
+            clean = run_chaos_cell(
+                kind, _SEED, work_dir=str(tmp_path / f"clean-{kind}"),
+                schedule=ChaosSchedule(seed=_SEED, faults=(),
+                                       max_injections=0),
+                jobs=2)
+            clean_wall = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            chaotic = run_chaos_cell(
+                kind, _SEED, work_dir=str(tmp_path / f"chaos-{kind}"),
+                schedule=ChaosSchedule(seed=_SEED,
+                                       faults=HOST_FAULT_CLASSES,
+                                       period=_PERIOD,
+                                       max_injections=_MAX_INJECTIONS),
+                jobs=2)
+            chaos_wall = time.perf_counter() - t0
+            cells[kind] = (clean, clean_wall, chaotic, chaos_wall)
+        return cells
+
+    benchmark.pedantic(campaign, rounds=1, iterations=1)
+
+    rows = {}
+    for kind, (clean, clean_wall, chaotic, chaos_wall) in cells.items():
+        # the gate: perf numbers are only meaningful for a harness
+        # that did not silently lose results
+        assert clean.verdict == "converged", clean.verdict
+        assert chaotic.verdict != "diverged", chaotic.diffs
+        overhead = chaos_wall / (clean_wall or 1e-9)
+        injections = sum(chaotic.injections.values())
+        print(f"\n  {chaotic.name}: {chaotic.verdict} after "
+              f"{chaotic.rounds} round(s), {chaotic.crashes} "
+              f"crash/resume(s), {injections} injection(s); "
+              f"{chaos_wall:.2f}s vs {clean_wall:.2f}s clean "
+              f"({overhead:.2f}x)")
+        rows[chaotic.name] = {
+            "clean_seconds": clean_wall,
+            "chaos_seconds": chaos_wall,
+            "recovery_overhead": overhead,
+            "rounds": chaotic.rounds,
+            "crashes": chaotic.crashes,
+            "injections": injections,
+            "restored": chaotic.restored,
+            "swept_tmp": chaotic.swept_tmp,
+            "quarantined": len(chaotic.quarantined),
+        }
+
+    path = write_bench(
+        "chaos_recovery",
+        {"seed": _SEED, "period": _PERIOD,
+         "max_injections": _MAX_INJECTIONS,
+         "faults": ",".join(HOST_FAULT_CLASSES)},
+        {"cells": rows})
+    print(f"  bench record: {path}")

@@ -385,6 +385,56 @@ class ResourceExhausted(SimTrap):
 
 
 # ---------------------------------------------------------------------------
+# Injected host faults (repro.resil.chaos) — typed so a chaos run's
+# failures are distinguishable from real ones in every log and API
+# response, yet shaped like the real thing to the code under test
+# ---------------------------------------------------------------------------
+
+class InjectedFault(ReproError):
+    """Base class for faults the chaos harness injects on purpose.
+
+    ``fault`` names the schedule's fault class, ``op`` the persistence
+    call site it fired at, ``path`` the file involved — enough to join
+    an observed failure back to the schedule decision that caused it.
+    """
+
+    def __init__(self, message: str, fault: str = "", op: str = "",
+                 path: str = ""):
+        super().__init__(message)
+        self.fault = fault
+        self.op = op
+        self.path = path
+
+
+class InjectedIOFault(InjectedFault, OSError):
+    """An injected IO error (ENOSPC, EIO) raised from inside an atomic
+    write.
+
+    Deliberately *is* an :class:`OSError`: the hardening under test
+    guards persistence with ``except OSError``, and an injection that
+    bypassed those guards would be testing nothing.  ``errno_code``
+    rides in ``__dict__`` (so it serializes); the C-level ``errno``
+    slot is set too for code that switches on it.
+    """
+
+    def __init__(self, message: str, fault: str = "", op: str = "",
+                 path: str = "", errno_code: int = 0):
+        super().__init__(message, fault=fault, op=op, path=path)
+        self.errno_code = errno_code
+        self.errno = errno_code
+
+
+class InjectedCrash(InjectedFault):
+    """A simulated process death (torn write, worker kill).
+
+    Deliberately *not* an :class:`OSError`: a crash must blow past the
+    graceful IO-fault guards and abort the run, so the chaos campaign
+    exercises the checkpoint-resume path rather than the
+    degrade-in-place path.
+    """
+
+
+# ---------------------------------------------------------------------------
 # Campaign-service errors (repro.serve) — every one of these can cross
 # the HTTP API boundary, so each maps to a status code and round-trips
 # through to_dict/from_dict
@@ -472,3 +522,22 @@ class ServiceUnavailable(ServiceError):
                  retry_after: float = 5.0):
         super().__init__(message)
         self.retry_after = retry_after
+
+
+class CircuitOpen(ServiceError):
+    """A tenant's circuit breaker is open: recent jobs failed or
+    quarantined shards, so submissions are rejected until the cooldown
+    elapses (429 + Retry-After), then one probe job is admitted."""
+
+    http_status = 429
+
+    def __init__(self, tenant: str, retry_after: float = 1.0,
+                 reason: str = ""):
+        message = (f"tenant {tenant!r} circuit breaker is open; retry "
+                   f"after {retry_after:g}s")
+        if reason:
+            message += f" ({reason})"
+        super().__init__(message)
+        self.tenant = tenant
+        self.retry_after = retry_after
+        self.reason = reason

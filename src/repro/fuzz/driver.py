@@ -495,6 +495,7 @@ def run_fuzz(iterations: int, seed: int = 0,
                 call_with_retry(attempt_iteration,
                                 attempts=1 + max(0, retries),
                                 base_delay=backoff_base,
+                                jitter_seed=seed ^ iteration,
                                 on_retry=note_retry)
             except WorkloadTimeout as exc:
                 stats.timeouts += 1

@@ -280,11 +280,50 @@ class QueueRejectEvent(Event):
     t: float
 
 
+@dataclass(frozen=True)
+class ChaosEvent(Event):
+    """The chaos harness injected one host fault (repro.resil.chaos)."""
+
+    kind: ClassVar[str] = "chaos"
+
+    fault: str          #: fault class (chaos.HOST_FAULT_CLASSES)
+    op: str             #: persistence call site or 'dispatch'
+    index: int          #: 0-based op index the schedule fired at
+    detail: str         #: human-readable description (path, shard, …)
+
+
+@dataclass(frozen=True)
+class QuarantineEvent(Event):
+    """A poison shard was dead-lettered instead of failing the
+    campaign (repro.par)."""
+
+    kind: ClassVar[str] = "quarantine"
+
+    shard_id: int
+    attempts: int       #: attempts burned before quarantine
+    reason: str         #: 'error' | 'timeout' | 'crash'
+    t: float
+    detail: str
+
+
+@dataclass(frozen=True)
+class BreakerEvent(Event):
+    """A tenant's circuit breaker changed state (repro.serve)."""
+
+    kind: ClassVar[str] = "breaker"
+
+    tenant: str
+    state: str          #: 'closed' | 'open' | 'half_open'
+    reason: str         #: what drove the transition
+    t: float
+
+
 EVENT_KINDS = tuple(cls.kind for cls in (
     PromoteEvent, CheckEvent, BoundsSpillEvent, MetadataFetchEvent,
     MacVerifyEvent, NarrowEvent, SchemeAssignEvent, AllocEvent, TrapEvent,
     DegradeEvent, FaultEvent, ShardStartEvent, ShardDoneEvent,
-    ShardRetryEvent, StealEvent, JobEvent, QueueRejectEvent))
+    ShardRetryEvent, StealEvent, JobEvent, QueueRejectEvent, ChaosEvent,
+    QuarantineEvent, BreakerEvent))
 
 
 class EventBus:

@@ -26,7 +26,8 @@ module          role
 """
 
 from repro.par.seeds import (
-    GOLDEN_GAMMA, backoff_delay, derive_seed, shard_seed, splitmix64,
+    GOLDEN_GAMMA, backoff_delay, derive_seed, jittered_backoff,
+    shard_seed, splitmix64,
 )
 from repro.par.plan import (
     PLAN_KINDS, ShardPlan, ShardSpec, default_shard_count,
@@ -34,8 +35,8 @@ from repro.par.plan import (
 )
 from repro.par.checkpoint import Checkpoint, CheckpointMismatch
 from repro.par.pool import (
-    PlanResult, ShardFailure, WorkerStats, install_drain_handler,
-    resolve_runner, run_plan,
+    PlanResult, ShardFailure, ShardQuarantined, WorkerStats,
+    install_drain_handler, resolve_runner, run_plan,
 )
 from repro.par.merge import (
     canonical_metrics, diff_documents, merge_bench, merge_campaign,
@@ -49,12 +50,12 @@ from repro.par.engine import (
 )
 
 __all__ = [
-    "GOLDEN_GAMMA", "backoff_delay", "derive_seed", "shard_seed",
-    "splitmix64",
+    "GOLDEN_GAMMA", "backoff_delay", "derive_seed", "jittered_backoff",
+    "shard_seed", "splitmix64",
     "PLAN_KINDS", "ShardPlan", "ShardSpec", "default_shard_count",
     "plan_indices", "plan_range", "split_evenly",
     "Checkpoint", "CheckpointMismatch",
-    "PlanResult", "ShardFailure", "WorkerStats",
+    "PlanResult", "ShardFailure", "ShardQuarantined", "WorkerStats",
     "install_drain_handler", "resolve_runner", "run_plan",
     "canonical_metrics", "diff_documents", "merge_bench",
     "merge_campaign", "merge_fuzz_stats", "merge_juliet",

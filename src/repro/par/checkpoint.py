@@ -4,18 +4,33 @@ A checkpoint directory holds:
 
 * ``manifest.json`` — the full :class:`~repro.par.plan.ShardPlan`, its
   fingerprint, and the per-shard status table
-  (``pending`` → ``running`` → ``done`` | ``failed``);
-* ``shard-<id>.json`` — one result document per completed shard;
+  (``pending`` → ``running`` → ``done`` | ``failed`` |
+  ``quarantined``);
+* ``shard-<id>.json`` — one result document per completed shard,
+  carrying a CRC32 of its payload so corruption demotes the shard to
+  pending instead of merging silently;
+* ``quarantine-<id>.json`` — the dead-letter record of a poison shard
+  that exhausted its retry budget under a quarantining pool;
 * ``events.jsonl`` — the pool's shard/steal event stream (written by
   the engine when events are enabled; consumed by
   ``python -m repro.obs report --par-events``).
 
-The manifest is rewritten atomically (temp file + ``os.replace``) after
-every state change, so a campaign killed at any instant resumes from
-the last completed shard.  A resume validates the plan fingerprint:
+Every JSON file is written through
+:func:`repro.hostio.atomic_write_json` (temp file + ``os.replace``),
+so a campaign killed at any instant resumes from the last completed
+shard; opening a checkpoint first sweeps the ``.tmp`` debris such a
+kill can leave behind.  A resume validates the plan fingerprint:
 shards from two different campaigns can never be mixed, and a plan
 whose parameters changed (different seed, configs, budgets, …) is a
 *different campaign* by construction.
+
+Integrity: shard result documents are schema
+``repro.par.shard_result/v2`` — their ``crc32`` field covers the
+canonical JSON of the payload, and both :meth:`Checkpoint.open` and
+:meth:`Checkpoint.load_result` verify it.  A bit-flipped result file
+(the ``corrupt_result`` chaos fault, a dying disk) therefore re-runs
+its shard rather than poisoning the merge.  Legacy ``/v1`` documents
+(no checksum) are still accepted.
 """
 
 from __future__ import annotations
@@ -25,11 +40,16 @@ import os
 from typing import Any, Dict, List, Optional, Set
 
 from repro.errors import ReproError
+from repro.hostio import atomic_write_json, crc32_of_json, sweep_stale_tmp
 from repro.par.plan import ShardPlan
 
 MANIFEST_SCHEMA = "repro.par.checkpoint/v1"
 MANIFEST_NAME = "manifest.json"
 EVENTS_NAME = "events.jsonl"
+
+RESULT_SCHEMA = "repro.par.shard_result/v2"
+RESULT_SCHEMA_V1 = "repro.par.shard_result/v1"
+QUARANTINE_SCHEMA = "repro.par.quarantine/v1"
 
 
 class CheckpointMismatch(ReproError, ValueError):
@@ -39,14 +59,6 @@ class CheckpointMismatch(ReproError, ValueError):
     ``from_dict`` and crosses the campaign-service API boundary typed;
     it stays a :class:`ValueError` for existing callers.
     """
-
-
-def _atomic_write_json(path: str, payload: Dict[str, Any]) -> None:
-    tmp = path + ".tmp"
-    with open(tmp, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    os.replace(tmp, path)
 
 
 class Checkpoint:
@@ -71,8 +83,13 @@ class Checkpoint:
         validated against the plan fingerprint and its ``done`` shards
         are returned.  ``running``/``failed`` shards from an interrupted
         or partially-failed run are demoted to ``pending`` so the pool
-        re-executes them.
+        re-executes them; ``quarantined`` shards stay quarantined — a
+        dead-lettered poison shard is a recorded verdict, not pending
+        work.  Stale ``.tmp`` files from interrupted atomic writes are
+        swept first, so crash debris can never be mistaken for live
+        state.
         """
+        sweep_stale_tmp(self.directory)
         os.makedirs(self.directory, exist_ok=True)
         fingerprint = plan.fingerprint()
         if self.exists():
@@ -88,11 +105,14 @@ class Checkpoint:
                 # A 'done' row only counts if its result file survived
                 # intact: a kill can land between the manifest flush
                 # and the (atomic) result write, or leave a stale
-                # ``.tmp`` behind — a partially written or missing
+                # ``.tmp`` behind, or the file can rot on disk — a
+                # partially written, missing, or checksum-failing
                 # result demotes the shard to pending and it re-runs.
                 if row["status"] == "done" \
                         and self._result_intact(int(key)):
                     completed.add(int(key))
+                elif row["status"] == "quarantined":
+                    continue
                 else:
                     row["status"] = "pending"
                     row["result"] = None
@@ -132,11 +152,12 @@ class Checkpoint:
                       result: Dict[str, Any]) -> str:
         """Persist one shard result and mark the shard done."""
         path = self.result_path(shard_id)
-        _atomic_write_json(path, {
-            "schema": "repro.par.shard_result/v1",
+        atomic_write_json(path, {
+            "schema": RESULT_SCHEMA,
             "shard_id": shard_id, "attempts": attempts,
+            "crc32": crc32_of_json(result),
             "result": result,
-        })
+        }, op="shard_result")
         row = self._row(shard_id)
         row["status"] = "done"
         row["attempts"] = attempts
@@ -153,22 +174,50 @@ class Checkpoint:
         row["error"] = {"reason": reason, "detail": detail}
         self._flush()
 
+    def record_quarantine(self, shard_id: int, attempts: int,
+                          reason: str, detail: str) -> str:
+        """Dead-letter one poison shard: persist the quarantine record
+        and mark the manifest row ``quarantined`` (terminal — a resume
+        does not re-run it)."""
+        path = self.quarantine_path(shard_id)
+        atomic_write_json(path, {
+            "schema": QUARANTINE_SCHEMA,
+            "shard_id": shard_id, "attempts": attempts,
+            "reason": reason, "detail": detail,
+        }, op="quarantine")
+        row = self._row(shard_id)
+        row["status"] = "quarantined"
+        row["attempts"] = attempts
+        row["error"] = {"reason": reason, "detail": detail}
+        self._flush()
+        return path
+
     # -- reads --------------------------------------------------------------
 
     def _result_intact(self, shard_id: int) -> bool:
-        """True when the shard's result document exists, parses, and
-        identifies itself as this shard's result."""
+        """True when the shard's result document exists, parses,
+        identifies itself as this shard's result, and (schema v2)
+        passes its payload checksum."""
         try:
             with open(self.result_path(shard_id)) as handle:
                 document = json.load(handle)
         except (OSError, ValueError):
             return False
-        return (isinstance(document, dict)
+        if not (isinstance(document, dict)
                 and document.get("shard_id") == shard_id
-                and "result" in document)
+                and "result" in document):
+            return False
+        if document.get("schema") == RESULT_SCHEMA:
+            return document.get("crc32") \
+                == crc32_of_json(document["result"])
+        return True     # legacy /v1 documents carry no checksum
 
     def result_path(self, shard_id: int) -> str:
         return os.path.join(self.directory, f"shard-{shard_id:04d}.json")
+
+    def quarantine_path(self, shard_id: int) -> str:
+        return os.path.join(self.directory,
+                            f"quarantine-{shard_id:04d}.json")
 
     def load_result(self, shard_id: int) -> Dict[str, Any]:
         with open(self.result_path(shard_id)) as handle:
@@ -177,6 +226,12 @@ class Checkpoint:
             raise ValueError(
                 f"{self.result_path(shard_id)}: shard_id "
                 f"{document.get('shard_id')!r} != {shard_id}")
+        if document.get("schema") == RESULT_SCHEMA \
+                and document.get("crc32") \
+                != crc32_of_json(document["result"]):
+            raise ValueError(
+                f"{self.result_path(shard_id)}: payload checksum "
+                f"mismatch (corrupt shard result)")
         return document["result"]
 
     def statuses(self) -> Dict[int, str]:
@@ -189,6 +244,15 @@ class Checkpoint:
              **row["error"]}
             for key, row in self._load()["shards"].items()
             if row["status"] == "failed" and row["error"]]
+
+    def quarantined(self) -> List[Dict[str, Any]]:
+        """Dead-lettered shards, from the manifest rows (the
+        ``quarantine-<id>.json`` files carry the same content)."""
+        return [
+            {"shard_id": int(key), "attempts": row["attempts"],
+             **(row["error"] or {})}
+            for key, row in self._load()["shards"].items()
+            if row["status"] == "quarantined"]
 
     # -- plumbing -----------------------------------------------------------
 
@@ -213,4 +277,5 @@ class Checkpoint:
 
     def _flush(self) -> None:
         assert self._manifest is not None
-        _atomic_write_json(self.manifest_path, self._manifest)
+        atomic_write_json(self.manifest_path, self._manifest,
+                          op="manifest")

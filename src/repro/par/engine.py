@@ -40,13 +40,16 @@ def execute_plan(plan: ShardPlan, *, jobs: int,
                  log=None, events_out: Optional[str] = None,
                  bus: Optional[EventBus] = None,
                  stop=None,
-                 context: Optional[TraceContext] = None) -> PlanResult:
+                 context: Optional[TraceContext] = None,
+                 quarantine: bool = False, chaos=None) -> PlanResult:
     """Run one plan through the pool with checkpoint + event plumbing.
 
     ``bus`` (when given) receives the shard/steal event stream in
     addition to the on-disk ``events.jsonl`` — the campaign service
     subscribes live progress counters this way.  ``stop`` requests a
-    graceful drain (see :func:`repro.par.pool.run_plan`).
+    graceful drain; ``quarantine``/``chaos`` configure poison-shard
+    dead-lettering and host-fault injection (see
+    :func:`repro.par.pool.run_plan`).
     """
     checkpoint = Checkpoint(checkpoint_dir) if checkpoint_dir else None
     bus = bus if bus is not None else EventBus()
@@ -63,7 +66,8 @@ def execute_plan(plan: ShardPlan, *, jobs: int,
                         retries=shard_retries,
                         backoff_base=backoff_base,
                         checkpoint=checkpoint, bus=bus, log=log,
-                        stop=stop, context=context)
+                        stop=stop, context=context,
+                        quarantine=quarantine, chaos=chaos)
     finally:
         if close is not None:
             close()
@@ -117,7 +121,8 @@ def parallel_fuzz(plan: ShardPlan, *, jobs: int,
                   shard_retries: int = 2, backoff_base: float = 0.05,
                   log=None, events_out: Optional[str] = None,
                   bus: Optional[EventBus] = None, stop=None,
-                  context: Optional[TraceContext] = None
+                  context: Optional[TraceContext] = None,
+                  quarantine: bool = False, chaos=None
                   ) -> Tuple["FuzzStats", PlanResult]:
     """Execute a fuzz plan; returns the merged
     :class:`~repro.fuzz.driver.FuzzStats` plus the pool's
@@ -126,7 +131,8 @@ def parallel_fuzz(plan: ShardPlan, *, jobs: int,
         plan, jobs=jobs, checkpoint_dir=checkpoint_dir,
         shard_timeout=shard_timeout, shard_retries=shard_retries,
         backoff_base=backoff_base, log=log, events_out=events_out,
-        bus=bus, stop=stop, context=context)
+        bus=bus, stop=stop, context=context,
+        quarantine=quarantine, chaos=chaos)
     stats = merge_fuzz_stats(outcome.ordered_results(plan),
                              seed=plan.seed,
                              configs=plan.params["configs"])
@@ -163,7 +169,8 @@ def parallel_resil(plan: ShardPlan, *, jobs: int,
                    shard_retries: int = 2, backoff_base: float = 0.05,
                    log=None, events_out: Optional[str] = None,
                    bus: Optional[EventBus] = None, stop=None,
-                   context: Optional[TraceContext] = None
+                   context: Optional[TraceContext] = None,
+                   quarantine: bool = False, chaos=None
                    ) -> Tuple["CampaignResult", PlanResult]:
     """Execute a resil plan; returns the merged
     :class:`~repro.resil.matrix.CampaignResult` plus the pool
@@ -173,7 +180,8 @@ def parallel_resil(plan: ShardPlan, *, jobs: int,
         plan, jobs=jobs, checkpoint_dir=checkpoint_dir,
         shard_timeout=shard_timeout, shard_retries=shard_retries,
         backoff_base=backoff_base, log=log, events_out=events_out,
-        bus=bus, stop=stop, context=context)
+        bus=bus, stop=stop, context=context,
+        quarantine=quarantine, chaos=chaos)
     policy = STRICT_POLICY if plan.params["strict"] else DEFAULT_POLICY
     campaign = merge_campaign(
         outcome.ordered_results(plan), seed=plan.seed,
@@ -203,13 +211,15 @@ def parallel_juliet(plan: ShardPlan, *, jobs: int,
                     shard_retries: int = 2, backoff_base: float = 0.05,
                     log=None, events_out: Optional[str] = None,
                     bus: Optional[EventBus] = None, stop=None,
-                    context: Optional[TraceContext] = None
+                    context: Optional[TraceContext] = None,
+                    quarantine: bool = False, chaos=None
                     ) -> Tuple["JulietReport", PlanResult]:
     outcome = execute_plan(
         plan, jobs=jobs, checkpoint_dir=checkpoint_dir,
         shard_timeout=shard_timeout, shard_retries=shard_retries,
         backoff_base=backoff_base, log=log, events_out=events_out,
-        bus=bus, stop=stop, context=context)
+        bus=bus, stop=stop, context=context,
+        quarantine=quarantine, chaos=chaos)
     return merge_juliet(outcome.ordered_results(plan)), outcome
 
 
@@ -240,13 +250,15 @@ def parallel_bench(plan: ShardPlan, *, jobs: int,
                    shard_retries: int = 2, backoff_base: float = 0.05,
                    log=None, events_out: Optional[str] = None,
                    bus: Optional[EventBus] = None, stop=None,
-                   context: Optional[TraceContext] = None
+                   context: Optional[TraceContext] = None,
+                   quarantine: bool = False, chaos=None
                    ) -> Tuple[Dict[str, Any], PlanResult]:
     outcome = execute_plan(
         plan, jobs=jobs, checkpoint_dir=checkpoint_dir,
         shard_timeout=shard_timeout, shard_retries=shard_retries,
         backoff_base=backoff_base, log=log, events_out=events_out,
-        bus=bus, stop=stop, context=context)
+        bus=bus, stop=stop, context=context,
+        quarantine=quarantine, chaos=chaos)
     return merge_bench(outcome.ordered_results(plan)), outcome
 
 
@@ -261,7 +273,8 @@ def parallel_selftest(plan: ShardPlan, *, jobs: int,
                       shard_retries: int = 2, backoff_base: float = 0.05,
                       log=None, events_out: Optional[str] = None,
                       bus: Optional[EventBus] = None, stop=None,
-                      context: Optional[TraceContext] = None
+                      context: Optional[TraceContext] = None,
+                      quarantine: bool = False, chaos=None
                       ) -> Tuple[List[Optional[Dict[str, Any]]],
                                  PlanResult]:
     """Execute a selftest plan; the 'merged' result is simply the
@@ -270,7 +283,8 @@ def parallel_selftest(plan: ShardPlan, *, jobs: int,
         plan, jobs=jobs, checkpoint_dir=checkpoint_dir,
         shard_timeout=shard_timeout, shard_retries=shard_retries,
         backoff_base=backoff_base, log=log, events_out=events_out,
-        bus=bus, stop=stop, context=context)
+        bus=bus, stop=stop, context=context,
+        quarantine=quarantine, chaos=chaos)
     return outcome.ordered_results(plan), outcome
 
 
@@ -292,7 +306,8 @@ def run_campaign_plan(plan: ShardPlan, *, jobs: int = 1,
                       backoff_base: float = 0.05, log=None,
                       events_out: Optional[str] = None,
                       bus: Optional[EventBus] = None, stop=None,
-                      context: Optional[TraceContext] = None
+                      context: Optional[TraceContext] = None,
+                      quarantine: bool = False, chaos=None
                       ) -> Tuple[Any, PlanResult]:
     """Execute-and-merge any campaign plan by kind.
 
@@ -308,7 +323,7 @@ def run_campaign_plan(plan: ShardPlan, *, jobs: int = 1,
                   shard_retries=shard_retries,
                   backoff_base=backoff_base, log=log,
                   events_out=events_out, bus=bus, stop=stop,
-                  context=context)
+                  context=context, quarantine=quarantine, chaos=chaos)
 
 
 def resume_checkpoint(checkpoint_dir: str, *, jobs: int,
@@ -316,7 +331,8 @@ def resume_checkpoint(checkpoint_dir: str, *, jobs: int,
                       shard_retries: int = 2,
                       backoff_base: float = 0.05, log=None,
                       bus: Optional[EventBus] = None, stop=None,
-                      context: Optional[TraceContext] = None
+                      context: Optional[TraceContext] = None,
+                      quarantine: bool = False, chaos=None
                       ) -> Tuple[str, Any, PlanResult]:
     """Resume any checkpointed campaign from its manifest.
 
@@ -333,5 +349,5 @@ def resume_checkpoint(checkpoint_dir: str, *, jobs: int,
         plan, jobs=jobs, checkpoint_dir=checkpoint_dir,
         shard_timeout=shard_timeout, shard_retries=shard_retries,
         backoff_base=backoff_base, log=log, bus=bus, stop=stop,
-        context=context)
+        context=context, quarantine=quarantine, chaos=chaos)
     return plan.kind, merged, outcome

@@ -27,11 +27,28 @@ Three failure modes mark a shard *failed-retryable*:
 
 A failed-retryable shard re-enters the queue up to ``retries`` times
 with the deterministic exponential backoff shared with
-:mod:`repro.resil.retry` (:func:`repro.par.seeds.backoff_delay`).
-Backoff is *scheduled*, not slept: the parent keeps draining other
-shards while a requeued shard waits out its delay.  A shard that
-exhausts its budget is recorded as a typed :class:`ShardFailure`
-instead of sinking the campaign.
+:mod:`repro.resil.retry`, de-synchronized per shard by seeded jitter
+(:func:`repro.par.seeds.jittered_backoff` keyed on the shard's derived
+seed — fully replayable, never simultaneous).  Backoff is *scheduled*,
+not slept: the parent keeps draining other shards while a requeued
+shard waits out its delay.  A shard that exhausts its budget is
+recorded as a typed :class:`ShardFailure` instead of sinking the
+campaign — or, under ``quarantine=True`` (the campaign service's
+setting), dead-lettered as a typed :class:`ShardQuarantined` record:
+the poison shard is excluded from the merge, the rest of the campaign
+completes, and ``PlanResult.ok`` stays true.
+
+Host-fault posture
+==================
+
+Checkpoint writes are best-effort under real or injected IO failure
+(ENOSPC, EIO): a failed persistence call is counted and logged, the
+in-memory result survives, and the campaign completes — the checkpoint
+merely goes stale, so a later resume re-runs the affected shard
+deterministically.  A ``chaos`` injector
+(:class:`repro.resil.chaos.HostFaultInjector`) can additionally kill
+workers at seeded dispatch indices; the ordinary crash-recovery path
+(respawn + requeue) absorbs those too.
 
 Retries re-execute the *same* shard spec (same seed): a shard's output
 must stay a pure function of its spec or the merge layer's
@@ -49,13 +66,14 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
+from repro.errors import InjectedCrash
 from repro.obs.events import (
-    EventBus, ShardDoneEvent, ShardRetryEvent, ShardStartEvent,
-    StealEvent, TraceContext,
+    ChaosEvent, EventBus, QuarantineEvent, ShardDoneEvent,
+    ShardRetryEvent, ShardStartEvent, StealEvent, TraceContext,
 )
 from repro.par.checkpoint import Checkpoint
 from repro.par.plan import ShardPlan, ShardSpec
-from repro.par.seeds import backoff_delay
+from repro.par.seeds import jittered_backoff
 
 #: how long the parent blocks on the result queue per scheduling turn
 _POLL_SECONDS = 0.05
@@ -143,6 +161,33 @@ class ShardFailure:
 
 
 @dataclass
+class ShardQuarantined:
+    """A poison shard dead-lettered after exhausting its retry budget.
+
+    Like :class:`ShardFailure` a typed campaign record, not an
+    exception — but unlike a failure it does not sink the campaign:
+    ``PlanResult.ok`` stays true, the merge simply excludes the shard,
+    and the quarantine record (persisted as ``quarantine-<id>.json``
+    in the checkpoint) survives resume so the poison shard is never
+    re-run."""
+
+    shard_id: int
+    reason: str          #: 'error' | 'timeout' | 'crash'
+    attempts: int
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"shard_id": self.shard_id, "reason": self.reason,
+                "attempts": self.attempts, "detail": self.detail}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ShardQuarantined":
+        return cls(shard_id=data["shard_id"], reason=data["reason"],
+                   attempts=data["attempts"],
+                   detail=data.get("detail", ""))
+
+
+@dataclass
 class WorkerStats:
     """Per-worker-slot utilization accounting."""
 
@@ -159,12 +204,18 @@ class PlanResult:
 
     results: Dict[int, Dict[str, Any]] = field(default_factory=dict)
     failures: List[ShardFailure] = field(default_factory=list)
+    #: poison shards dead-lettered under ``quarantine=True`` — typed
+    #: verdicts, excluded from the merge, not failures
+    quarantined: List[ShardQuarantined] = field(default_factory=list)
     workers: List[WorkerStats] = field(default_factory=list)
     wall_seconds: float = 0.0
     executed: List[int] = field(default_factory=list)
     restored: List[int] = field(default_factory=list)
     retries: int = 0
     steals: int = 0
+    #: checkpoint writes that failed on host IO errors (ENOSPC, EIO)
+    #: and were degraded to in-memory-only results
+    io_errors: int = 0
     #: the run stopped early on a drain request; unfinished shards
     #: stay pending in the checkpoint and re-run on resume
     drained: bool = False
@@ -187,8 +238,10 @@ class PlanResult:
             "shards_executed": len(self.executed),
             "shards_restored": len(self.restored),
             "shard_failures": len(self.failures),
+            "shards_quarantined": len(self.quarantined),
             "shard_retries": self.retries,
             "steals": self.steals,
+            "io_errors": self.io_errors,
             "drained": int(self.drained),
             "wall_seconds": self.wall_seconds,
             "workers": {
@@ -206,8 +259,12 @@ class PlanResult:
         lines = [f"repro.par: {len(self.executed)} shards executed, "
                  f"{len(self.restored)} restored from checkpoint, "
                  f"{self.retries} retries, {self.steals} steals, "
-                 f"{len(self.failures)} failed "
-                 f"({self.wall_seconds:.1f}s)"
+                 f"{len(self.failures)} failed"
+                 + (f", {len(self.quarantined)} quarantined"
+                    if self.quarantined else "")
+                 + (f", {self.io_errors} degraded checkpoint writes"
+                    if self.io_errors else "")
+                 + f" ({self.wall_seconds:.1f}s)"
                  + (" [drained: remaining shards left pending]"
                     if self.drained else "")]
         wall = self.wall_seconds or 1e-9
@@ -222,6 +279,10 @@ class PlanResult:
             lines.append(f"  FAILED shard {failure.shard_id} "
                          f"({failure.reason} after {failure.attempts} "
                          f"attempts): {failure.detail}")
+        for q in self.quarantined:
+            lines.append(f"  QUARANTINED shard {q.shard_id} "
+                         f"({q.reason} after {q.attempts} attempts): "
+                         f"{q.detail}")
         return "\n".join(lines)
 
 
@@ -278,7 +339,8 @@ class _Pool:
                  backoff_base: float, checkpoint: Optional[Checkpoint],
                  bus: Optional[EventBus],
                  log: Optional[Callable[[str], None]],
-                 stop=None, context: Optional[TraceContext] = None):
+                 stop=None, context: Optional[TraceContext] = None,
+                 quarantine: bool = False, chaos=None):
         self.plan = plan
         self.runner_ref = runner_ref
         self.jobs = max(1, jobs)
@@ -290,6 +352,8 @@ class _Pool:
         self.log = log or (lambda message: None)
         self.stop = stop
         self.context = context
+        self.quarantine = quarantine
+        self.chaos = chaos
         self.preferred: Dict[int, int] = {}
         self.result = PlanResult(
             workers=[WorkerStats(worker=i) for i in range(self.jobs)])
@@ -323,6 +387,41 @@ class _Pool:
     def _now(self) -> float:
         return time.monotonic() - self._t0
 
+    def _persist(self, action: Callable[[], Any], what: str) -> None:
+        """Best-effort checkpoint write.
+
+        A host IO failure (real or injected ENOSPC/EIO) degrades
+        persistence, never the campaign: the in-memory result
+        survives, the write is counted and logged, and the checkpoint
+        merely goes stale — a later resume re-runs the affected shard
+        deterministically.  Non-IO failures (a torn-write crash, a
+        manifest mismatch) still propagate: those mean the process is
+        supposed to die.
+        """
+        try:
+            action()
+        except OSError as exc:
+            self.result.io_errors += 1
+            self.log(f"[repro.par] checkpoint write degraded ({what}): "
+                     f"{type(exc).__name__}: {exc}; result kept "
+                     f"in memory")
+
+    def _chaos_kill(self, shard: ShardSpec, worker: int) -> bool:
+        """Consult the chaos injector at dispatch; emits a
+        :class:`ChaosEvent` when the schedule fires."""
+        if self.chaos is None:
+            return False
+        injection = self.chaos.fire(
+            "worker_kill", op="dispatch",
+            detail=f"shard {shard.shard_id} on worker {worker}")
+        if injection is None:
+            return False
+        self._emit(ChaosEvent(site=None, fault=injection.fault,
+                              op=injection.op, index=injection.index,
+                              detail=injection.detail,
+                              ctx=self._ctx(shard)))
+        return True
+
     # -- shared outcome handling -------------------------------------------
 
     def _complete(self, shard: ShardSpec, attempt: int, worker: int,
@@ -339,15 +438,18 @@ class _Pool:
                                   seconds=seconds,
                                   ctx=self._ctx(shard)))
         if self.checkpoint is not None:
-            self.checkpoint.record_result(sid, attempt + 1, payload)
+            self._persist(
+                lambda: self.checkpoint.record_result(
+                    sid, attempt + 1, payload),
+                f"record_result shard {sid}")
 
     def _fail(self, shard: ShardSpec, attempt: int, worker: int,
               reason: str, detail: str, seconds: float) -> None:
-        """Terminal failure: retries exhausted."""
+        """Terminal failure: retries exhausted.  Under
+        ``quarantine=True`` the shard is dead-lettered instead — a
+        typed :class:`ShardQuarantined` record the campaign carries
+        without failing."""
         sid = shard.shard_id
-        failure = ShardFailure(shard_id=sid, reason=reason,
-                               attempts=attempt + 1, detail=detail)
-        self.result.failures.append(failure)
         if worker >= 0:
             self.result.workers[worker].busy_seconds += seconds
         self._emit(ShardDoneEvent(site=None, shard_id=sid,
@@ -355,9 +457,32 @@ class _Pool:
                                   t=self._now(), status=reason,
                                   seconds=seconds,
                                   ctx=self._ctx(shard)))
+        if self.quarantine:
+            record = ShardQuarantined(shard_id=sid, reason=reason,
+                                      attempts=attempt + 1,
+                                      detail=detail)
+            self.result.quarantined.append(record)
+            self._emit(QuarantineEvent(site=None, shard_id=sid,
+                                       attempts=attempt + 1,
+                                       reason=reason, t=self._now(),
+                                       detail=detail,
+                                       ctx=self._ctx(shard)))
+            if self.checkpoint is not None:
+                self._persist(
+                    lambda: self.checkpoint.record_quarantine(
+                        sid, attempt + 1, reason, detail),
+                    f"record_quarantine shard {sid}")
+            self.log(f"[repro.par] shard {sid} QUARANTINED ({reason}) "
+                     f"after {attempt + 1} attempts: {detail}")
+            return
+        failure = ShardFailure(shard_id=sid, reason=reason,
+                               attempts=attempt + 1, detail=detail)
+        self.result.failures.append(failure)
         if self.checkpoint is not None:
-            self.checkpoint.record_failure(sid, attempt + 1, reason,
-                                           detail)
+            self._persist(
+                lambda: self.checkpoint.record_failure(
+                    sid, attempt + 1, reason, detail),
+                f"record_failure shard {sid}")
         self.log(f"[repro.par] shard {sid} FAILED ({reason}) after "
                  f"{attempt + 1} attempts: {detail}")
 
@@ -375,7 +500,9 @@ class _Pool:
                                   worker=worker, preferred=preferred,
                                   t=self._now(), ctx=self._ctx(shard)))
         if self.checkpoint is not None:
-            self.checkpoint.mark_running(sid, attempt)
+            self._persist(
+                lambda: self.checkpoint.mark_running(sid, attempt),
+                f"mark_running shard {sid}")
 
     # -- inline execution (jobs == 1, no extra processes) -------------------
 
@@ -397,6 +524,15 @@ class _Pool:
             attempt = 0
             while True:
                 self._started(shard, attempt, worker=0)
+                if self._chaos_kill(shard, worker=0):
+                    # Inline pools have no process to kill: the
+                    # injected crash aborts the run the way a SIGKILL
+                    # would (the shard stays 'running' in the
+                    # checkpoint), exercising checkpoint-resume.
+                    raise InjectedCrash(
+                        f"chaos: worker killed dispatching shard "
+                        f"{shard.shard_id}", fault="worker_kill",
+                        op="dispatch")
                 started = time.monotonic()
                 try:
                     payload = runner(self._task_dict(shard), attempt)
@@ -409,7 +545,8 @@ class _Pool:
                         self._fail(shard, attempt, 0, "error", detail,
                                    seconds)
                         break
-                    delay = backoff_delay(self.backoff_base, attempt)
+                    delay = jittered_backoff(self.backoff_base,
+                                             attempt, shard.seed)
                     self.result.retries += 1
                     self._emit(ShardRetryEvent(
                         site=None, shard_id=shard.shard_id, worker=0,
@@ -492,6 +629,13 @@ class _Pool:
                 task_queues[worker].put((self._task_dict(shard),
                                          attempt))
                 self._started(shard, attempt, worker)
+                if self._chaos_kill(shard, worker):
+                    # SIGKILL the worker right after dispatch: the
+                    # ordinary dead-worker sweep detects it, counts a
+                    # crash, respawns the slot, and requeues the
+                    # shard — the chaos fault rides the normal
+                    # crash-recovery path.
+                    workers[worker].kill()
 
         def retry_or_fail(shard: ShardSpec, attempt: int, worker: int,
                           reason: str, detail: str,
@@ -501,7 +645,8 @@ class _Pool:
                            seconds)
                 resolved.add(shard.shard_id)
                 return
-            delay = backoff_delay(self.backoff_base, attempt)
+            delay = jittered_backoff(self.backoff_base, attempt,
+                                     shard.seed)
             self.result.retries += 1
             # Invalidate in-flight messages from the failed attempt
             # *now* (not at re-dispatch time): a "done" racing with a
@@ -625,9 +770,16 @@ class _Pool:
     # -- helpers ------------------------------------------------------------
 
     def _plan_order(self) -> List[ShardSpec]:
-        """Shards still to execute, with round-robin preferred slots."""
+        """Shards still to execute, with round-robin preferred slots.
+
+        Restored results and previously quarantined shards are both
+        settled: a dead-lettered poison shard is a recorded verdict a
+        resume must not re-run.
+        """
+        settled = set(self.result.results)
+        settled.update(q.shard_id for q in self.result.quarantined)
         todo = [shard for shard in self.plan.shards
-                if shard.shard_id not in self.result.results]
+                if shard.shard_id not in settled]
         for position, shard in enumerate(todo):
             self.preferred[shard.shard_id] = position % self.jobs
         return todo
@@ -640,7 +792,8 @@ def run_plan(plan: ShardPlan, runner_ref: str, *, jobs: int = 1,
              bus: Optional[EventBus] = None,
              log: Optional[Callable[[str], None]] = None,
              stop=None,
-             context: Optional[TraceContext] = None) -> PlanResult:
+             context: Optional[TraceContext] = None,
+             quarantine: bool = False, chaos=None) -> PlanResult:
     """Execute ``plan`` with ``jobs`` workers; returns a
     :class:`PlanResult`.
 
@@ -648,6 +801,14 @@ def run_plan(plan: ShardPlan, runner_ref: str, *, jobs: int = 1,
     already holds results for are *restored* instead of re-run, and
     every completion/failure is persisted as it happens, so the run can
     be killed and resumed at shard granularity.
+
+    ``quarantine=True`` dead-letters poison shards (retry budget
+    exhausted) as :class:`ShardQuarantined` records instead of
+    :class:`ShardFailure`: ``PlanResult.ok`` stays true and the merge
+    excludes them.  ``chaos`` (a
+    :class:`repro.resil.chaos.HostFaultInjector`) arms seeded host
+    faults — worker kills at dispatch plus whatever the injector does
+    to persistence writes.
 
     ``stop`` (a :class:`threading.Event` or anything with ``is_set``)
     requests a graceful drain: no new shards are dispatched, in-flight
@@ -666,14 +827,19 @@ def run_plan(plan: ShardPlan, runner_ref: str, *, jobs: int = 1,
     pool = _Pool(plan, runner_ref, jobs=jobs,
                  shard_timeout=shard_timeout, retries=retries,
                  backoff_base=backoff_base, checkpoint=checkpoint,
-                 bus=bus, log=log, stop=stop, context=context)
+                 bus=bus, log=log, stop=stop, context=context,
+                 quarantine=quarantine, chaos=chaos)
     if checkpoint is not None:
         for shard_id in sorted(checkpoint.open(plan)):
             pool.result.results[shard_id] = \
                 checkpoint.load_result(shard_id)
             pool.result.restored.append(shard_id)
-    if all(shard.shard_id in pool.result.results
-           for shard in plan.shards):
+        for record in checkpoint.quarantined():
+            pool.result.quarantined.append(
+                ShardQuarantined.from_dict(record))
+    settled = set(pool.result.results)
+    settled.update(q.shard_id for q in pool.result.quarantined)
+    if all(shard.shard_id in settled for shard in plan.shards):
         pool.result.wall_seconds = 0.0
         return pool.result
     if jobs <= 1:

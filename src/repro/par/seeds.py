@@ -12,8 +12,14 @@ an existing seed plus an index" goes through this module:
   seed.
 * :func:`backoff_delay` — the exponential backoff schedule shared by
   iteration-level retries (``repro.resil.retry``) and shard-level
-  requeues (``repro.par.pool``).  No jitter: jitter buys nothing for a
-  deterministic harness and costs reproducibility.
+  requeues (``repro.par.pool``).  The plain schedule carries no
+  jitter; it is the pinned base other schedules derive from.
+* :func:`jittered_backoff` — the same schedule de-synchronized with
+  *seeded* jitter: the multiplier is a pure function of
+  ``(seed, attempt)``, so retry storms spread out without giving up a
+  single bit of reproducibility.  Jitter only moves *when* a retry
+  runs, never *what* it computes, so checkpoints and merged artifacts
+  stay byte-identical to the unjittered schedule.
 
 The mixing function is the splitmix64 finalizer (Steele, Lea & Flood,
 "Fast splittable pseudorandom number generators", OOPSLA 2014) — the
@@ -33,6 +39,9 @@ GOLDEN_GAMMA = 0x9E3779B97F4A7C15
 
 #: domain-separation salt for shard seeds (``b"SHARD"`` as an integer).
 _SHARD_SALT = 0x5348415244
+
+#: domain-separation salt for backoff jitter (``b"JITTER"``).
+_JITTER_SALT = 0x4A4954544552
 
 
 def splitmix64(z: int) -> int:
@@ -71,3 +80,23 @@ def shard_seed(seed: int, shard_index: int) -> int:
 def backoff_delay(base_delay: float, attempt: int) -> float:
     """Delay before re-running 0-based ``attempt``: ``base * 2**attempt``."""
     return base_delay * (2 ** attempt)
+
+
+def jittered_backoff(base_delay: float, attempt: int, seed: int, *,
+                     spread: float = 0.5) -> float:
+    """:func:`backoff_delay` scaled by deterministic seeded jitter.
+
+    The multiplier is uniform in ``[1 - spread/2, 1 + spread/2)``,
+    drawn from the splitmix64 stream of ``(seed, attempt)`` under a
+    jitter-specific salt — a pure function, so the same shard retries
+    on the same schedule in every replay, while *different* shards
+    (different seeds) de-synchronize instead of stampeding the host in
+    lockstep.  Golden-value tests pin the outputs: persisted event
+    streams record these delays.
+    """
+    delay = backoff_delay(base_delay, attempt)
+    word = splitmix64(
+        ((seed ^ _JITTER_SALT) + (attempt + 1) * GOLDEN_GAMMA)
+        & _MASK64)
+    unit = word / float(1 << 64)              # uniform in [0, 1)
+    return delay * (1.0 + spread * (unit - 0.5))

@@ -16,6 +16,10 @@ Examples::
     # strict policy: resource exhaustion traps instead of degrading
     python -m repro.resil --strict --faults global_table_exhaust
 
+    # host-fault chaos campaign (worker kills, torn writes, ENOSPC):
+    # the gate fails on any silent divergence from a fault-free run
+    python -m repro.resil chaos --check --out chaos-matrix.json
+
     # the full matrix sharded across 4 worker processes, resumable
     python -m repro.resil --jobs 4 --checkpoint ckpt-resil \\
         --out resil-matrix.json
@@ -34,6 +38,13 @@ from repro.workloads import WORKLOADS
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "chaos":
+        # host-fault chaos campaign: its own CLI, imported lazily so
+        # the package root stays light (repro.vm.machine imports it)
+        from repro.resil.chaos import main as chaos_main
+        return chaos_main(argv[1:])
     from repro.resil.matrix import (
         DEFAULT_WORKLOADS, SCHEMES, run_campaign,
     )

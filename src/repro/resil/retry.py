@@ -11,9 +11,13 @@ reproduction harness:
   attempt number into the base seed with the splitmix64 finalizer, so
   attempt *k* of seed *s* is a pure function of ``(s, k)``.
 * **Bounded, predictable backoff**: delays grow as
-  ``base_delay * 2**attempt`` (:func:`repro.par.seeds.backoff_delay`)
-  with no jitter — jitter buys nothing single-process and costs
-  reproducibility.
+  ``base_delay * 2**attempt`` (:func:`repro.par.seeds.backoff_delay`).
+  Passing ``jitter_seed`` de-synchronizes concurrent retry loops with
+  *seeded* jitter (:func:`repro.par.seeds.jittered_backoff`): the
+  delay becomes a pure function of ``(jitter_seed, attempt)``, so two
+  campaigns retrying in lockstep spread out while each one stays
+  exactly replayable.  Jitter only moves when a retry runs, never what
+  it computes.
 
 Seed derivation and the backoff schedule live in
 :mod:`repro.par.seeds` so the parallel campaign engine shares the
@@ -27,9 +31,10 @@ import time
 from typing import Callable, Optional, Tuple, Type
 
 from repro.errors import WorkloadTimeout
-from repro.par.seeds import backoff_delay, derive_seed
+from repro.par.seeds import backoff_delay, derive_seed, jittered_backoff
 
-__all__ = ["backoff_delay", "call_with_retry", "derive_seed"]
+__all__ = ["backoff_delay", "call_with_retry", "derive_seed",
+           "jittered_backoff"]
 
 
 def call_with_retry(fn: Callable[[int], object], *,
@@ -38,6 +43,7 @@ def call_with_retry(fn: Callable[[int], object], *,
                     transient: Tuple[Type[BaseException], ...] = (
                         WorkloadTimeout,),
                     sleep: Optional[Callable[[float], None]] = None,
+                    jitter_seed: Optional[int] = None,
                     on_retry: Optional[
                         Callable[[int, BaseException, float], None]] = None):
     """Call ``fn(attempt)`` until it succeeds or attempts are exhausted.
@@ -46,6 +52,10 @@ def call_with_retry(fn: Callable[[int], object], *,
     seed via :func:`derive_seed`).  Only exceptions in ``transient`` are
     retried; everything else propagates immediately.  After the last
     attempt the final transient exception propagates.
+
+    ``jitter_seed`` (when given) draws each delay from
+    :func:`jittered_backoff` instead of the plain schedule — the
+    caller's seed keeps the jitter deterministic per call site.
 
     ``sleep`` is injectable for tests (defaults to :func:`time.sleep`);
     ``on_retry(attempt, exc, delay)`` observes each retry decision.
@@ -59,7 +69,11 @@ def call_with_retry(fn: Callable[[int], object], *,
         except transient as exc:
             if attempt == attempts - 1:
                 raise
-            delay = backoff_delay(base_delay, attempt)
+            if jitter_seed is None:
+                delay = backoff_delay(base_delay, attempt)
+            else:
+                delay = jittered_backoff(base_delay, attempt,
+                                         jitter_seed)
             if on_retry is not None:
                 on_retry(attempt, exc, delay)
             if delay > 0:

@@ -19,6 +19,17 @@ shards finish and checkpoint, interrupted jobs park back in ``queued``,
 and the next boot against the same ``--store`` resumes them from their
 checkpoints — results stay byte-identical (timing aside) to an
 uninterrupted run.
+
+``--supervise`` adds the self-healing layer on top: the server runs
+as a child process and any abnormal exit (crash, OOM, ``kill -9``)
+restarts it against the same store with exponential backoff — see
+:mod:`repro.serve.supervisor`.  ``--pid-file`` records the *server*
+process's pid (the child, under ``--supervise``) so chaos tooling can
+aim its kills::
+
+    python -m repro.serve --supervise --pid-file server.pid \\
+        --store serve-store
+    kill -9 "$(cat server.pid)"   # supervisor restarts; jobs resume
 """
 
 from __future__ import annotations
@@ -74,10 +85,33 @@ def main(argv=None) -> int:
     parser.add_argument("--kinds",
                         help="comma-separated campaign kinds to accept "
                              "(default: all)")
+    parser.add_argument("--supervise", action="store_true",
+                        help="run the server as a supervised child; "
+                             "abnormal exits restart it against the "
+                             "same store with exponential backoff")
+    parser.add_argument("--restart-backoff", type=float, default=0.5,
+                        metavar="SECONDS",
+                        help="supervisor restart backoff base "
+                             "(default 0.5, doubles per crash streak)")
+    parser.add_argument("--max-restarts", type=int, default=0,
+                        help="supervisor restart budget "
+                             "(default 0 = unbounded)")
+    parser.add_argument("--pid-file", metavar="PATH",
+                        help="write the server process's pid here "
+                             "(the child's, under --supervise)")
     parser.add_argument("--quiet", "-q", action="store_true")
     args = parser.parse_args(argv)
 
     log = (lambda message: None) if args.quiet else print
+    if args.supervise:
+        from repro.serve.supervisor import supervise
+        return supervise(list(argv) if argv is not None
+                         else sys.argv[1:],
+                         backoff_base=args.restart_backoff,
+                         max_restarts=args.max_restarts, log=log)
+    if args.pid_file:
+        from repro.serve.supervisor import write_pid_file
+        write_pid_file(args.pid_file)
     weights = _parse_weights(args.tenant_weight)
     default_quota = TenantQuota(max_queued=args.max_queued,
                                 max_running=args.max_running)

@@ -39,16 +39,17 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Deque, Dict, List, Optional
 
 from repro.errors import (
-    JobNotCancellable, QueueFull, ReproError, ServiceUnavailable,
-    UnknownJob,
+    CircuitOpen, JobNotCancellable, QueueFull, ReproError,
+    ServiceUnavailable, UnknownJob,
 )
 from repro.obs.events import (
-    Event, EventBus, JobEvent, QueueRejectEvent, ShardDoneEvent,
-    ShardRetryEvent, TraceContext,
+    BreakerEvent, Event, EventBus, JobEvent, QuarantineEvent,
+    QueueRejectEvent, ShardDoneEvent, ShardRetryEvent, TraceContext,
 )
 from repro.obs.metrics import metrics_document
 from repro.par.engine import run_campaign_plan
 from repro.par.pool import PlanResult
+from repro.serve.breaker import BreakerBoard
 from repro.serve.jobs import (
     JOB_KINDS, JOB_STATUSES, JobRecord, build_plan, new_record,
     validate_spec,
@@ -67,10 +68,16 @@ class CampaignService:
                  quotas: Optional[Dict[str, TenantQuota]] = None,
                  kinds: Optional[List[str]] = None,
                  bus: Optional[EventBus] = None, log=None,
-                 events_tail: int = 4096):
+                 events_tail: int = 4096,
+                 breaker_threshold: int = 3,
+                 breaker_cooldown: float = 2.0):
         self.store = JobStore(store_dir)
         self.scheduler = WeightedFairScheduler(
             default_quota=default_quota, quotas=quotas)
+        self.breakers = BreakerBoard(
+            failure_threshold=breaker_threshold,
+            base_cooldown=breaker_cooldown,
+            on_transition=self._on_breaker)
         self.workers_total = max(1, workers_total)
         self.allowed_kinds = tuple(kinds) if kinds else JOB_KINDS
         self.bus = bus if bus is not None else EventBus()
@@ -111,6 +118,33 @@ class CampaignService:
             entry = event.to_dict()
             entry["seq"] = seq
             ring.append(entry)
+            try:
+                # spill beside the ring so cursors survive both ring
+                # eviction and service restarts
+                self.store.append_event(job_id, entry)
+            except OSError as exc:
+                self.log(f"[repro.serve] event spill degraded "
+                         f"({job_id}): {exc}")
+
+    def _on_breaker(self, tenant: str, state: str, reason: str) -> None:
+        """BreakerBoard transition hook → typed observability event."""
+        self.log(f"[repro.serve] breaker for tenant {tenant!r} -> "
+                 f"{state}: {reason}")
+        self.bus.emit(BreakerEvent(site=None, tenant=tenant,
+                                   state=state, reason=reason,
+                                   t=self._now(),
+                                   ctx=TraceContext(tenant=tenant)))
+
+    def _save(self, record: JobRecord, what: str) -> None:
+        """Best-effort record persistence: a host IO failure (real or
+        injected ENOSPC/EIO) degrades durability, never the job — the
+        in-memory record stays authoritative and the write is logged."""
+        try:
+            self.store.save(record)
+        except OSError as exc:
+            self.log(f"[repro.serve] job record write degraded "
+                     f"({what}, {record.job_id}): "
+                     f"{type(exc).__name__}: {exc}")
 
     def _emit_job(self, record: JobRecord, status: str) -> None:
         event = JobEvent(
@@ -134,12 +168,17 @@ class CampaignService:
         for record in sorted(self.store.load_all(),
                              key=lambda r: r.job_id):
             self._records[record.job_id] = record
+            # resume per-job event numbering after the spill's high
+            # water mark so restart never reissues a seq a client saw
+            spilled_seq = self.store.last_event_seq(record.job_id)
+            if spilled_seq:
+                self._job_seq[record.job_id] = spilled_seq
             if record.terminal:
                 continue
             if record.status != "queued" or record.cancel_requested:
                 record.status = "queued"
                 record.cancel_requested = False
-                self.store.save(record)
+                self._save(record, "recover")
             self.scheduler.submit(record, force=True)
             self._emit_job(record, "requeued")
             self.log(f"[repro.serve] recovered {record.job_id} "
@@ -155,7 +194,8 @@ class CampaignService:
 
         Raises typed :class:`~repro.errors.ServiceError` subclasses on
         every rejection path: bad spec (400), draining (503), tenant
-        queue full (429 + Retry-After).
+        queue full (429 + Retry-After), circuit breaker open
+        (429 + Retry-After).
         """
         tenant, kind, workers, params = validate_spec(
             body, allowed_kinds=self.allowed_kinds)
@@ -166,6 +206,13 @@ class CampaignService:
                     site=None, tenant=tenant, reason="draining",
                     t=self._now(), ctx=TraceContext(tenant=tenant)))
                 raise ServiceUnavailable()
+            try:
+                self.breakers.admit(tenant)
+            except CircuitOpen:
+                self.bus.emit(QueueRejectEvent(
+                    site=None, tenant=tenant, reason="breaker",
+                    t=self._now(), ctx=TraceContext(tenant=tenant)))
+                raise
             record = new_record(
                 self.store.next_job_id(), tenant, kind, workers,
                 params, plan.fingerprint(), len(plan.shards))
@@ -177,7 +224,7 @@ class CampaignService:
                     t=self._now(), ctx=TraceContext(tenant=tenant)))
                 raise
             self._records[record.job_id] = record
-            self.store.save(record)
+            self._save(record, "submit")
             self._emit_job(record, "queued")
             self._pump()
         return record
@@ -197,7 +244,7 @@ class CampaignService:
             self._stops[record.job_id] = threading.Event()
             record.status = "running"
             record.started = time.time()
-            self.store.save(record)
+            self._save(record, "dispatch")
             self._emit_job(record, "running")
             self._executor.submit(self._run_job, record, granted)
 
@@ -216,10 +263,13 @@ class CampaignService:
             elif isinstance(event, ShardRetryEvent):
                 record.progress["retries"] = \
                     record.progress.get("retries", 0) + 1
+            elif isinstance(event, QuarantineEvent):
+                record.progress["quarantined"] = \
+                    record.progress.get("quarantined", 0) + 1
             else:
                 return
             with self._lock:
-                self.store.save(record)
+                self._save(record, "progress")
         bus.subscribe(sink)
         return bus
 
@@ -235,11 +285,13 @@ class CampaignService:
                 checkpoint_dir=self.store.checkpoint_dir(
                     record.job_id),
                 bus=self._progress_bus(record), stop=stop,
-                log=self.log, context=self._job_ctx(record))
+                log=self.log, context=self._job_ctx(record),
+                quarantine=True)
         except BaseException as exc:  # noqa: BLE001 — typed to client
             error = exc.to_dict() if isinstance(exc, ReproError) else {
                 "type": type(exc).__name__, "message": str(exc),
                 "fields": {}}
+            self.breakers.record_failure(record.tenant, error["type"])
             self._finish(record, granted, status="failed", error=error)
             return
         self._on_executed(record, granted, merged, outcome)
@@ -264,7 +316,20 @@ class CampaignService:
         # it: the embedded document must stay byte-comparable with the
         # batch CLI's artifact for the same seed.
         result["correlation"] = self._job_ctx(record).to_dict()
+        if outcome.quarantined:
+            # poison shards are typed result records, not job failures:
+            # the campaign completed around them — but the tenant's
+            # breaker trips, because a quarantine means a full retry
+            # budget proved the submitted work hostile
+            result["quarantined"] = [q.to_dict()
+                                     for q in outcome.quarantined]
+            self.breakers.record_quarantine(
+                record.tenant,
+                f"{record.job_id} shard "
+                f"{outcome.quarantined[0].shard_id}")
         if outcome.ok and result.get("ok", True):
+            if not outcome.quarantined:
+                self.breakers.record_success(record.tenant)
             self._finish(record, granted, status="done",
                          result=result)
         else:
@@ -276,6 +341,11 @@ class CampaignService:
                          "fields": {"failures": [
                              failure.to_dict()
                              for failure in outcome.failures]}}
+                self.breakers.record_failure(record.tenant,
+                                             "ShardFailure")
+            else:
+                self.breakers.record_failure(record.tenant,
+                                             "campaign not ok")
             self._finish(record, granted, status="failed",
                          result=result, error=error)
 
@@ -295,7 +365,7 @@ class CampaignService:
             self._free_workers += granted
             self._granted.pop(record.job_id, None)
             self._stops.pop(record.job_id, None)
-            self.store.save(record)
+            self._save(record, "finish")
             self._emit_job(record, event or status)
             self._pump()
 
@@ -315,15 +385,25 @@ class CampaignService:
 
         ``after`` is a resume cursor: only events with ``seq > after``
         are returned, so a client polling the NDJSON endpoint sees each
-        event exactly once.  The ring is bounded (``events_tail``), so
-        very chatty jobs drop their oldest entries — ``seq`` gaps tell
-        the client when that happened.
+        event exactly once.  The ring is bounded (``events_tail``), and
+        every entry is also spilled to
+        ``<store>/events/<job_id>.jsonl`` as it is recorded — a cursor
+        older than the ring's oldest entry (ring eviction, or a service
+        restart that emptied the ring) is served transparently from the
+        spill, so clients never see artificial ``seq`` gaps.
         """
         self.get(job_id)    # raises UnknownJob for unknown ids
         with self._lock:
-            ring = self._job_events.get(job_id, ())
-            return [entry for entry in list(ring)
-                    if entry["seq"] > after]
+            ring = list(self._job_events.get(job_id, ()))
+        entries = [entry for entry in ring if entry["seq"] > after]
+        oldest = ring[0]["seq"] if ring else None
+        if oldest is None or oldest > after + 1:
+            spilled = self.store.load_events(job_id, after)
+            if oldest is not None:
+                spilled = [entry for entry in spilled
+                           if entry["seq"] < oldest]
+            entries = spilled + entries
+        return entries
 
     def list_jobs(self, tenant: Optional[str] = None) -> List[JobRecord]:
         with self._lock:
@@ -347,11 +427,11 @@ class CampaignService:
                 self.scheduler.cancel_queued(job_id)
                 record.status = "cancelled"
                 record.finished = time.time()
-                self.store.save(record)
+                self._save(record, "cancel")
                 self._emit_job(record, "cancelled")
                 return record
             record.cancel_requested = True
-            self.store.save(record)
+            self._save(record, "cancel")
             stop = self._stops.get(job_id)
             if stop is not None:
                 stop.set()
@@ -372,16 +452,30 @@ class CampaignService:
     # -- health & metrics ---------------------------------------------------
 
     def healthz(self) -> Dict[str, Any]:
+        """Service health: ``ok`` | ``degraded`` | ``draining``.
+
+        ``degraded`` means the service is up but some tenant's circuit
+        breaker is not closed; the ``breakers`` block carries the
+        per-tenant detail (state, trip count, cooldown, reason) so a
+        prober can tell *whose* work is being rejected.
+        """
         with self._lock:
             counts = {status: 0 for status in JOB_STATUSES}
             for record in self._records.values():
                 counts[record.status] = counts.get(record.status, 0) + 1
+            if self._draining:
+                status = "draining"
+            elif self.breakers.degraded():
+                status = "degraded"
+            else:
+                status = "ok"
             return {
-                "status": "draining" if self._draining else "ok",
+                "status": status,
                 "uptime_seconds": self._now(),
                 "workers_total": self.workers_total,
                 "workers_free": self._free_workers,
                 "jobs": counts,
+                "breakers": self.breakers.open_breakers(),
             }
 
     def metrics(self) -> Dict[str, Any]:
@@ -425,6 +519,7 @@ class CampaignService:
                             "free": self._free_workers},
                 "jobs": counts,
                 "queue_depth": self.scheduler.depth(),
+                "breakers_open": len(self.breakers.open_breakers()),
                 "shards_done": shards_done,
                 "tenants": self.scheduler.snapshot(),
                 "per_shard": per_shard,

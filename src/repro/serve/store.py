@@ -5,13 +5,18 @@ survive a kill -9::
 
     <root>/jobs/job-000001.json      one JSON document per job record
     <root>/checkpoints/job-000001/   that job's repro.par checkpoint
+    <root>/events/job-000001.jsonl   that job's spilled event ring
 
-Job records are written atomically (temp file + ``os.replace``), the
-same discipline as the checkpoint manifests one level down, so a crash
-mid-write can never leave a half-record: the restarted service sees
-either the previous state or the new one.  Campaign *results* live in
-the checkpoint layer (per-shard result files), which is what makes a
-restart resume mid-campaign instead of restarting it.
+Job records are written through :func:`repro.hostio.atomic_write_json`
+(temp file + ``os.replace``), the same discipline — and the same
+chaos-injection seam — as the checkpoint manifests one level down, so
+a crash mid-write can never leave a half-record: the restarted service
+sees either the previous state or the new one.  Opening a store sweeps
+the stale ``.tmp`` debris such a crash leaves behind.  Campaign
+*results* live in the checkpoint layer (per-shard result files), which
+is what makes a restart resume mid-campaign instead of restarting it;
+the event spill is what lets ``GET /jobs/<id>/events`` page past the
+bounded in-memory ring after a restart.
 """
 
 from __future__ import annotations
@@ -22,17 +27,10 @@ import re
 from typing import Any, Dict, List
 
 from repro.errors import UnknownJob
+from repro.hostio import atomic_write_json, sweep_stale_tmp
 from repro.serve.jobs import JobRecord
 
 _JOB_FILE = re.compile(r"^job-(\d{6})\.json$")
-
-
-def _atomic_write_json(path: str, payload: Dict[str, Any]) -> None:
-    tmp = path + ".tmp"
-    with open(tmp, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    os.replace(tmp, path)
 
 
 class JobStore:
@@ -42,8 +40,12 @@ class JobStore:
         self.root = root
         self.jobs_dir = os.path.join(root, "jobs")
         self.checkpoints_dir = os.path.join(root, "checkpoints")
+        self.events_dir = os.path.join(root, "events")
+        sweep_stale_tmp(self.jobs_dir)
+        sweep_stale_tmp(self.events_dir)
         os.makedirs(self.jobs_dir, exist_ok=True)
         os.makedirs(self.checkpoints_dir, exist_ok=True)
+        os.makedirs(self.events_dir, exist_ok=True)
         self._next_index = 1 + max(
             (int(match.group(1))
              for name in os.listdir(self.jobs_dir)
@@ -62,11 +64,17 @@ class JobStore:
     def checkpoint_dir(self, job_id: str) -> str:
         return os.path.join(self.checkpoints_dir, job_id)
 
+    def events_path(self, job_id: str) -> str:
+        """The job's event spill: one JSON line per service/shard
+        event, appended as emitted (plain append — each line is small
+        enough that a torn tail line is just skipped on read)."""
+        return os.path.join(self.events_dir, f"{job_id}.jsonl")
+
     # -- records ------------------------------------------------------------
 
     def save(self, record: JobRecord) -> None:
-        _atomic_write_json(self.job_path(record.job_id),
-                           record.to_dict())
+        atomic_write_json(self.job_path(record.job_id),
+                          record.to_dict(), op="job_record")
 
     def load(self, job_id: str) -> JobRecord:
         try:
@@ -87,3 +95,44 @@ class JobStore:
             except (OSError, ValueError, KeyError):
                 continue    # a torn record never existed (atomic write)
         return records
+
+    # -- event spill ----------------------------------------------------------
+
+    def append_event(self, job_id: str, entry: Dict[str, Any]) -> None:
+        """Append one event entry to the job's spill file.
+
+        Best-effort by design: the spill is an observability artifact,
+        so a full disk degrades event history, never the job itself —
+        the caller guards with ``except OSError``.
+        """
+        with open(self.events_path(job_id), "a") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+
+    def load_events(self, job_id: str, after: int = 0
+                    ) -> List[Dict[str, Any]]:
+        """Read the job's spilled events with ``seq > after``, in
+        order.  Missing spill → empty; a torn final line (the crash
+        window of a plain append) is skipped."""
+        entries: List[Dict[str, Any]] = []
+        try:
+            with open(self.events_path(job_id)) as handle:
+                for line in handle:
+                    try:
+                        entry = json.loads(line)
+                    except ValueError:
+                        continue
+                    if isinstance(entry, dict) \
+                            and entry.get("seq", 0) > after:
+                        entries.append(entry)
+        except OSError:
+            return []
+        return entries
+
+    def last_event_seq(self, job_id: str) -> int:
+        """Highest spilled sequence number (0 when no spill) — how a
+        restarted service resumes its per-job event numbering without
+        replaying rings into memory."""
+        seq = 0
+        for entry in self.load_events(job_id):
+            seq = max(seq, int(entry.get("seq", 0)))
+        return seq

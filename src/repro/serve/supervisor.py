@@ -1,0 +1,191 @@
+"""Self-healing supervisor for the campaign service.
+
+``python -m repro.serve --supervise`` does not run the server in the
+invoking process: it forks the *same* command line minus
+``--supervise`` as a child and babysits it.  A child that dies
+abnormally — a crash, an OOM kill, a chaos-harness ``kill -9`` — is
+restarted against the same ``--store``, where :class:`JobStore`
+recovery parks interrupted jobs back in ``queued`` and resumes their
+campaigns from checkpoints.  That loop is what turns the host fault
+model of :mod:`repro.resil.chaos` into a live service property: kill
+the server mid-campaign and the numbers still come out identical.
+
+Restart policy:
+
+* exponential backoff — ``backoff_base * 2**(restarts_in_a_row - 1)``,
+  capped at ``backoff_max`` — so a crash-looping child (bad flags, a
+  corrupt store) cannot spin the host;
+* the streak resets once a child stays up ``healthy_seconds``: a crash
+  every few hours pays the base delay, not the accumulated one;
+* ``max_restarts`` bounds the total (0 = unbounded);
+* a child that exits 0 (clean drain after SIGTERM) ends supervision
+  with exit 0 — a deliberate shutdown is not a fault.
+
+SIGTERM/SIGINT to the supervisor forward to the child, then wait for
+its clean drain.  The supervisor never parses the child's traffic; the
+contract is purely process-level, which is what makes it honest as a
+chaos subject — CI kills the child with ``-9`` exactly like the fault
+model does.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+@dataclass
+class SupervisorPolicy:
+    """Restart-loop knobs, defaults tuned for the CI chaos smoke."""
+
+    backoff_base: float = 0.5
+    backoff_max: float = 30.0
+    healthy_seconds: float = 5.0    #: uptime that resets the streak
+    max_restarts: int = 0           #: total restart budget; 0 = unbounded
+
+    def delay(self, streak: int) -> float:
+        """Backoff before restart number ``streak`` (1-based) of the
+        current crash run."""
+        return min(self.backoff_max,
+                   self.backoff_base * (2 ** max(0, streak - 1)))
+
+
+@dataclass
+class Supervisor:
+    """Run ``child_argv`` until it exits cleanly, restarting crashes.
+
+    ``sleep`` and ``clock`` are injectable so tests drive time; the
+    real CLI passes the defaults.
+    """
+
+    child_argv: List[str]
+    policy: SupervisorPolicy = field(default_factory=SupervisorPolicy)
+    log: Callable[[str], None] = print
+    sleep: Callable[[float], None] = time.sleep
+    clock: Callable[[], float] = time.monotonic
+    spawn: Callable[..., "subprocess.Popen"] = subprocess.Popen
+
+    def __post_init__(self) -> None:
+        self.restarts = 0           #: total restarts performed
+        self._streak = 0            #: consecutive unhealthy exits
+        self._child: Optional[subprocess.Popen] = None
+        self._stopping = False
+
+    # -- signals ---------------------------------------------------------
+
+    def request_stop(self, signum: int = signal.SIGTERM) -> None:
+        """Forward a shutdown signal to the child and stop restarting.
+        Safe to call from a signal handler."""
+        self._stopping = True
+        child = self._child
+        if child is not None and child.poll() is None:
+            try:
+                child.send_signal(signum)
+            except (ProcessLookupError, OSError):
+                pass
+
+    # -- the loop ----------------------------------------------------------
+
+    def _reap_group(self, pid: int) -> None:
+        """SIGKILL everything left in the child's process group.
+
+        A kill -9 on the server leaves its forked pool workers alive —
+        orphans that still hold the inherited listening socket (so the
+        restarted server cannot bind) and still write the checkpoint
+        (racing the resume).  The child runs as its own group leader
+        precisely so one killpg reaps the whole family."""
+        try:
+            os.killpg(pid, signal.SIGKILL)
+        except (ProcessLookupError, PermissionError, OSError):
+            pass
+
+    def run(self) -> int:
+        """Supervise until a clean exit (returns 0), the restart
+        budget runs out, or a stop was requested (returns the child's
+        last exit code)."""
+        while True:
+            started = self.clock()
+            self._child = self.spawn(self.child_argv,
+                                     start_new_session=True)
+            self.log(f"[repro.serve.supervisor] child started "
+                     f"(pid {self._child.pid})")
+            code = self._child.wait()
+            uptime = self.clock() - started
+            self._reap_group(self._child.pid)
+            self._child = None
+            if code == 0:
+                self.log("[repro.serve.supervisor] child drained "
+                         "cleanly; supervision complete")
+                return 0
+            if self._stopping:
+                self.log(f"[repro.serve.supervisor] child exited "
+                         f"{code} during shutdown; not restarting")
+                return code
+            if uptime >= self.policy.healthy_seconds:
+                self._streak = 0
+            self._streak += 1
+            self.restarts += 1
+            if self.policy.max_restarts \
+                    and self.restarts > self.policy.max_restarts:
+                self.log(f"[repro.serve.supervisor] restart budget "
+                         f"({self.policy.max_restarts}) exhausted; "
+                         f"giving up with child exit {code}")
+                return code
+            delay = self.policy.delay(self._streak)
+            self.log(f"[repro.serve.supervisor] child exited {code} "
+                     f"after {uptime:.1f}s; restart #{self.restarts} "
+                     f"in {delay:.1f}s")
+            self.sleep(delay)
+            if self._stopping:
+                return code
+
+
+def strip_supervise_flags(argv: List[str]) -> List[str]:
+    """The child's argv: the supervisor's own, minus the flags that
+    would make the child supervise recursively."""
+    out: List[str] = []
+    skip = 0
+    for arg in argv:
+        if skip:
+            skip -= 1
+            continue
+        if arg == "--supervise":
+            continue
+        if arg in ("--restart-backoff", "--max-restarts"):
+            skip = 1
+            continue
+        if arg.startswith(("--restart-backoff=", "--max-restarts=")):
+            continue
+        out.append(arg)
+    return out
+
+
+def supervise(argv: List[str], *, backoff_base: float = 0.5,
+              max_restarts: int = 0, log=print) -> int:
+    """Entry point used by ``python -m repro.serve --supervise``:
+    re-exec this interpreter on ``repro.serve`` with the supervise
+    flags stripped, and babysit it."""
+    child_argv = [sys.executable, "-m", "repro.serve",
+                  *strip_supervise_flags(argv)]
+    supervisor = Supervisor(
+        child_argv,
+        policy=SupervisorPolicy(backoff_base=backoff_base,
+                                max_restarts=max_restarts),
+        log=log)
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(
+            signum,
+            lambda s, _frame: supervisor.request_stop(s))
+    return supervisor.run()
+
+
+def write_pid_file(path: str) -> None:
+    """Record this process's pid for out-of-band chaos tooling (CI
+    uses it to aim ``kill -9`` at the server, not the shell)."""
+    with open(path, "w") as handle:
+        handle.write(f"{os.getpid()}\n")

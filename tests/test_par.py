@@ -16,8 +16,9 @@ from repro.fuzz.driver import FuzzStats, run_fuzz
 from repro.par import (
     GOLDEN_GAMMA, Checkpoint, CheckpointMismatch, PlanResult,
     ShardFailure, ShardPlan, ShardSpec, backoff_delay,
-    canonical_metrics, derive_seed, diff_documents, plan_indices,
-    plan_range, run_plan, shard_seed, split_evenly, splitmix64,
+    canonical_metrics, derive_seed, diff_documents, jittered_backoff,
+    plan_indices, plan_range, run_plan, shard_seed, split_evenly,
+    splitmix64,
 )
 from repro.par.engine import (
     parallel_fuzz, parallel_resil, plan_fuzz, plan_resil,
@@ -66,6 +67,32 @@ class TestSeeds:
     def test_backoff_delay_doubles(self):
         assert [backoff_delay(0.1, a) for a in range(4)] \
             == [0.1, 0.2, 0.4, 0.8]
+
+    def test_jittered_backoff_golden_values(self):
+        # pinned: seeded jitter must stay byte-stable across refactors
+        # (retry timing is part of the deterministic-replay contract)
+        assert [jittered_backoff(0.1, a, 7) for a in range(4)] \
+            == pytest.approx([0.11632463251904675,
+                              0.19993571527220494,
+                              0.30160054653054746,
+                              0.8571751160925519])
+
+    def test_jittered_backoff_varies_by_seed_not_randomness(self):
+        assert jittered_backoff(0.1, 0, 7) \
+            == jittered_backoff(0.1, 0, 7)
+        assert jittered_backoff(0.1, 0, 7) != jittered_backoff(0.1, 0, 8)
+
+    def test_jittered_backoff_is_bounded_by_spread(self):
+        for attempt in range(6):
+            for seed in range(32):
+                delay = jittered_backoff(0.1, attempt, seed, spread=0.5)
+                plain = backoff_delay(0.1, attempt)
+                assert 0.75 * plain <= delay <= 1.25 * plain
+
+    def test_jittered_backoff_zero_spread_is_plain_backoff(self):
+        assert [jittered_backoff(0.1, a, 7, spread=0.0)
+                for a in range(4)] \
+            == [backoff_delay(0.1, a) for a in range(4)]
 
 
 # ---------------------------------------------------------------------------
@@ -615,6 +642,77 @@ class TestCheckpointEdgeCases:
 
 
 # ---------------------------------------------------------------------------
+# degraded persistence: injected ENOSPC/EIO on every checkpoint call
+# site must degrade writes, never sink a run
+# ---------------------------------------------------------------------------
+
+class _OpFault:
+    """Injector that raises ENOSPC on atomic writes with one op tag,
+    after skipping the first ``skip`` hits (so ``Checkpoint.open`` can
+    still create the manifest)."""
+
+    def __init__(self, op, skip=0):
+        self.op = op
+        self.skip = skip
+        self.hits = 0
+
+    def before_write(self, op, path):
+        import errno
+        from repro.errors import InjectedIOFault
+        if op != self.op:
+            return
+        self.hits += 1
+        if self.hits > self.skip:
+            raise InjectedIOFault(f"chaos: ENOSPC writing {path}",
+                                  fault="enospc", op=op, path=path,
+                                  errno_code=errno.ENOSPC)
+
+    def torn_write(self, op, path):
+        return False
+
+    def after_write(self, op, path):
+        pass
+
+
+class TestDegradedPersistence:
+    def _run(self, tmp_path, injector, **kwargs):
+        from repro.hostio import inject_faults
+        with inject_faults(injector):
+            return run_plan(
+                _selftest_plan(3, 8, 4, **kwargs.pop("params", {})),
+                SELFTEST, jobs=1, backoff_base=0.0,
+                checkpoint=Checkpoint(str(tmp_path / "ck")), **kwargs)
+
+    def test_enospc_on_manifest_degrades_not_fails(self, tmp_path):
+        injector = _OpFault("manifest", skip=1)
+        outcome = self._run(tmp_path, injector)
+        assert outcome.ok
+        assert len(outcome.results) == 4
+        assert outcome.io_errors > 0
+        assert injector.hits > 1
+
+    def test_enospc_on_shard_results_degrades_not_fails(self, tmp_path):
+        outcome = self._run(tmp_path, _OpFault("shard_result"))
+        assert outcome.ok
+        assert len(outcome.results) == 4    # kept in memory
+        assert outcome.io_errors == 4       # one degraded write each
+        # nothing persisted: a resume re-runs everything, still clean
+        again = run_plan(_selftest_plan(3, 8, 4), SELFTEST, jobs=1,
+                         checkpoint=Checkpoint(str(tmp_path / "ck")))
+        assert again.ok and again.restored == []
+
+    def test_enospc_on_quarantine_records_degrades_not_fails(
+            self, tmp_path):
+        outcome = self._run(
+            tmp_path, _OpFault("quarantine"), retries=1,
+            quarantine=True,
+            params={"mode": "raise", "fail_shards": [1]})
+        assert outcome.ok
+        assert [q.shard_id for q in outcome.quarantined] == [1]
+        assert outcome.io_errors == 1
+
+
+# ---------------------------------------------------------------------------
 # error serialization: every ReproError crosses the API boundary typed
 # ---------------------------------------------------------------------------
 
@@ -668,6 +766,16 @@ class TestErrorSerialization:
                 "alice", depth=4, limit=4, retry_after=2.0),
             "ServiceUnavailable": errors_mod.ServiceUnavailable(),
             "CheckpointMismatch": CkMismatch("fingerprint differs"),
+            "InjectedFault": errors_mod.InjectedFault(
+                "chaos", fault="enospc", op="manifest", path="/tmp/x"),
+            "InjectedIOFault": errors_mod.InjectedIOFault(
+                "chaos: no space", fault="enospc", op="shard_result",
+                path="/tmp/y", errno_code=28),
+            "InjectedCrash": errors_mod.InjectedCrash(
+                "chaos: torn write", fault="torn_write", op="manifest",
+                path="/tmp/z"),
+            "CircuitOpen": errors_mod.CircuitOpen(
+                "alice", retry_after=2.0, reason="quarantine"),
         }
 
     @staticmethod

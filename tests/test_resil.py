@@ -378,7 +378,11 @@ class TestFuzzDriverRetry:
         assert stats.programs == 2  # original + one reseeded attempt
         # The retry regenerated the program from a *different* seed.
         assert calls[0] != calls[1]
-        assert delays == pytest.approx([0.1])
+        # Backoff is seeded-jittered (+-50% around the exponential
+        # base), keyed on seed ^ iteration = 42 ^ 0.
+        from repro.par.seeds import jittered_backoff
+        assert delays == pytest.approx([jittered_backoff(0.1, 0, 42)])
+        assert 0.05 <= delays[0] <= 0.15
 
     def test_retry_sequence_is_deterministic(self, monkeypatch):
         first = self._run(monkeypatch, fail_first_n=1)[1]
@@ -390,7 +394,9 @@ class TestFuzzDriverRetry:
         assert stats.timeouts == 1
         assert stats.reseed_retries == 2
         assert len(calls) == 3  # 1 + retries attempts
-        assert delays == pytest.approx([0.1, 0.2])
+        from repro.par.seeds import jittered_backoff
+        assert delays == pytest.approx(
+            [jittered_backoff(0.1, attempt, 42) for attempt in (0, 1)])
         assert stats.ok  # a timeout is not an oracle failure
 
 

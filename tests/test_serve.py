@@ -212,15 +212,21 @@ class TestCampaignService:
         finally:
             service.drain()
 
-    def test_failed_shards_fail_the_job_typed(self, tmp_path):
+    def test_failed_shards_quarantine_instead_of_failing(self, tmp_path):
+        # poison shards dead-letter after exhausting retries; the job
+        # still completes and reports them, and the tenant's breaker
+        # trips so follow-up submissions bounce with a 429
         service = _service(tmp_path)
         try:
             record = service.submit(
                 _spec(mode="raise", fail_shards=[0, 1, 2, 3]))
             done = service.wait(record.job_id)
-            assert done.status == "failed"
-            assert done.error["type"] == "ShardFailure"
-            assert len(done.error["fields"]["failures"]) == 4
+            assert done.status == "done"
+            quarantined = done.result["quarantined"]
+            assert len(quarantined) == 4
+            assert {q["reason"] for q in quarantined} == {"error"}
+            assert done.progress.get("quarantined") == 4
+            assert service.breakers.state("alice") == "open"
         finally:
             service.drain()
 
@@ -645,17 +651,23 @@ class TestJobEventStream:
         finally:
             service.drain()
 
-    def test_event_ring_is_bounded_with_valid_cursors(self, tmp_path):
+    def test_event_ring_spills_past_its_bound(self, tmp_path):
         service = _service(tmp_path, events_tail=5)
         try:
             record = service.submit(_spec(total=8, seed=3, shards=4))
             service.wait(record.job_id)
+            # the in-memory ring stays bounded...
+            with service._lock:
+                assert len(service._job_events[record.job_id]) == 5
+            # ...but the on-disk spill fills the gap: the cursor walks
+            # the full history with no seq holes, starting at 1
             events = service.job_events(record.job_id)
-            assert len(events) == 5
-            # dropped events show up as a seq gap, not silent loss
-            assert events[0]["seq"] > 1
+            assert len(events) > 5
             seqs = [event["seq"] for event in events]
-            assert seqs == sorted(seqs)
+            assert seqs == list(range(1, len(events) + 1))
+            # cursoring inside the spilled region works too
+            tail = service.job_events(record.job_id, after=seqs[2])
+            assert [event["seq"] for event in tail] == seqs[3:]
         finally:
             service.drain()
 
@@ -674,5 +686,159 @@ class TestJobEventStream:
             assert set(shards) == {"0", "1"}
             for stats in shards.values():
                 assert stats["done"] == 1
+        finally:
+            service.drain()
+
+
+# ---------------------------------------------------------------------------
+# circuit breakers: poison tenants back off, the service degrades typed
+# ---------------------------------------------------------------------------
+
+class TestCircuitBreaker:
+    def _trip(self, service, tenant="alice"):
+        """Run one poison campaign to completion; its quarantine trips
+        the tenant's breaker."""
+        record = service.submit(
+            _spec(tenant=tenant, mode="raise",
+                  fail_shards=[0, 1, 2, 3]))
+        done = service.wait(record.job_id)
+        assert done.status == "done"
+        assert service.breakers.state(tenant) == "open"
+        return record
+
+    def test_open_breaker_rejects_with_429_and_retry_after(
+            self, tmp_path):
+        from repro.errors import CircuitOpen
+        service = _service(tmp_path)
+        try:
+            self._trip(service)
+            with pytest.raises(CircuitOpen) as info:
+                service.submit(_spec())
+            assert info.value.http_status == 429
+            assert info.value.retry_after > 0
+            status, headers, body = dispatch(
+                service, "POST", "/jobs",
+                json.dumps(_spec()).encode())
+            assert status == 429
+            assert "Retry-After" in dict(headers)
+            assert json.loads(body)["error"]["type"] == "CircuitOpen"
+        finally:
+            service.drain()
+
+    def test_healthz_degrades_with_breaker_detail(self, tmp_path):
+        service = _service(tmp_path)
+        try:
+            health = service.healthz()
+            assert health["status"] == "ok"
+            assert health["breakers"] == []
+            self._trip(service)
+            health = service.healthz()
+            assert health["status"] == "degraded"
+            [detail] = health["breakers"]
+            assert detail["tenant"] == "alice"
+            assert detail["state"] == "open"
+            assert "quarantined" in detail["reason"]
+        finally:
+            service.drain()
+
+    def test_breaker_isolates_tenants(self, tmp_path):
+        service = _service(tmp_path)
+        try:
+            self._trip(service)
+            record = service.submit(_spec(tenant="bob"))
+            assert service.wait(record.job_id).status == "done"
+            assert service.breakers.state("bob") == "closed"
+        finally:
+            service.drain()
+
+    def test_half_open_probe_recovers_the_tenant(self, tmp_path):
+        service = _service(tmp_path, breaker_cooldown=0.05)
+        try:
+            self._trip(service)
+            time.sleep(0.2)     # cooldown elapses -> half_open probe
+            record = service.submit(_spec())
+            done = service.wait(record.job_id)
+            assert done.status == "done"
+            assert service.breakers.state("alice") == "closed"
+            assert service.healthz()["status"] == "ok"
+        finally:
+            service.drain()
+
+    def test_quarantined_shards_ride_in_the_result(self, tmp_path):
+        service = _service(tmp_path)
+        try:
+            record = service.submit(
+                _spec(mode="raise", fail_shards=[2]))
+            done = service.wait(record.job_id)
+            assert done.status == "done"
+            assert [q["shard_id"]
+                    for q in done.result["quarantined"]] == [2]
+            # the healthy shards still merged
+            assert len(done.result["values"]) == 4
+        finally:
+            service.drain()
+
+
+# ---------------------------------------------------------------------------
+# event spill + degraded saves: full-disk turns history lossy, never
+# the job
+# ---------------------------------------------------------------------------
+
+class _OpFault:
+    """Raise ENOSPC on every atomic write carrying one op tag."""
+
+    def __init__(self, op):
+        self.op = op
+        self.hits = 0
+
+    def before_write(self, op, path):
+        import errno
+        from repro.errors import InjectedIOFault
+        if op == self.op:
+            self.hits += 1
+            raise InjectedIOFault(f"chaos: ENOSPC writing {path}",
+                                  fault="enospc", op=op, path=path,
+                                  errno_code=errno.ENOSPC)
+
+    def torn_write(self, op, path):
+        return False
+
+    def after_write(self, op, path):
+        pass
+
+
+class TestSpillAndDegradedStore:
+    def test_event_history_survives_restart_via_spill(self, tmp_path):
+        first = _service(tmp_path)
+        record = first.submit(_spec(total=8, seed=3, shards=4))
+        first.wait(record.job_id)
+        before = first.job_events(record.job_id)
+        assert before
+        first.drain()
+
+        second = _service(tmp_path)
+        try:
+            after = second.job_events(record.job_id)
+            assert after == before          # ring gone, spill answers
+            mid = before[len(before) // 2]["seq"]
+            assert second.job_events(record.job_id, after=mid) \
+                == [e for e in before if e["seq"] > mid]
+            # per-job numbering resumes past the spill, no seq reuse
+            assert second._job_seq[record.job_id] == before[-1]["seq"]
+        finally:
+            second.drain()
+
+    def test_enospc_on_job_records_degrades_not_fails(self, tmp_path):
+        from repro.hostio import inject_faults
+        service = _service(tmp_path)
+        injector = _OpFault("job_record")
+        try:
+            with inject_faults(injector):
+                record = service.submit(_spec(total=4, shards=2))
+                done = service.wait(record.job_id)
+            assert done.status == "done"    # in-memory record intact
+            assert done.result["values"]
+            assert injector.hits > 0        # every save was refused
+            assert service.healthz()["status"] == "ok"
         finally:
             service.drain()
