@@ -258,6 +258,48 @@ class InvalidFree(SimTrap):
         self.kind = kind
 
 
+class TemporalViolation(SimTrap):
+    """A lock-and-key temporal memory-safety violation.
+
+    Raised when the generation key carried in a pointer's tag bits no
+    longer matches the lock registered for its allocation base in the
+    :class:`repro.temporal.TemporalRegistry` — the signature of a
+    use-after-free, double free, or stale post-``realloc`` pointer.
+    Distinct from the spatial traps (:class:`PoisonTrap` /
+    :class:`BoundsTrap`) and from :class:`InvalidFree` (the allocators'
+    structural free-path check): this trap fires on *temporal* identity,
+    which structural checks cannot see once an address is reused.
+
+    ``kind`` is the forensics anatomy:
+
+    * ``stale_key`` — the lock is live but holds a different key: the
+      allocation was freed and its address reused, and this pointer
+      belongs to the *previous* incarnation;
+    * ``freed_lock`` — the lock is dead: the allocation was freed and
+      not reallocated (the classic dangling-pointer dereference);
+    * ``double_free`` — a free through a pointer whose lock is already
+      dead;
+    * ``stale_free`` — a free through a stale-generation pointer into a
+      reused allocation.
+
+    ``origin`` names the check site (``promote`` / ``load`` / ``store``
+    / ``free`` / ``realloc``); ``key`` is the pointer's tag key;
+    ``lock`` the registry's current key (0 when the lock is dead or the
+    entry missing); ``address`` the allocation base probed.
+    """
+
+    def __init__(self, message: str, pointer: int = 0, address: int = 0,
+                 key: int = 0, lock: int = 0, kind: str = "stale_key",
+                 origin: str = "", pc: object = None):
+        super().__init__(message, pc)
+        self.pointer = pointer
+        self.address = address
+        self.key = key
+        self.lock = lock
+        self.kind = kind
+        self.origin = origin
+
+
 # ---------------------------------------------------------------------------
 # Evaluation-harness errors (differential running of one program under
 # several configurations)

@@ -39,7 +39,8 @@ def build_options(name: str) -> CompilerOptions:
 
 def build_machine_config(name: str,
                          max_instructions: int = 200_000_000,
-                         engine: str = "auto") -> MachineConfig:
+                         engine: str = "auto",
+                         temporal: str = "off") -> MachineConfig:
     return MachineConfig(no_promote=name.endswith("-np"),
                          max_instructions=max_instructions,
-                         engine=engine)
+                         engine=engine, temporal=temporal)

@@ -54,7 +54,8 @@ def run_workload(workload: Workload, config: str, scale: int = 1,
                  observe: bool = False,
                  forensics_dir: Optional[str] = None,
                  timeout_seconds: Optional[float] = None,
-                 engine: str = "auto") -> WorkloadRun:
+                 engine: str = "auto",
+                 temporal: str = "off") -> WorkloadRun:
     """Compile and execute one workload under one configuration.
 
     Raises :class:`repro.errors.WorkloadTrapped` when the run traps and
@@ -79,6 +80,10 @@ def run_workload(workload: Workload, config: str, scale: int = 1,
     Both engines are byte-identical in every simulated observable
     (including the emitted event stream), so results never depend on
     this knob.
+
+    ``temporal`` arms the lock-and-key use-after-free policy
+    (off/check/quarantine) on the machine; a well-behaved workload must
+    be transparent under every setting.
     """
     options = build_options(config)
     program = compile_source(workload.source(scale), options)
@@ -86,7 +91,7 @@ def run_workload(workload: Workload, config: str, scale: int = 1,
         config,
         **({} if max_instructions is None
            else {"max_instructions": max_instructions}),
-        engine=engine))
+        engine=engine, temporal=temporal))
     observer = None
     if observe:
         from repro.obs import attach_observer

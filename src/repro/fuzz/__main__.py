@@ -91,6 +91,12 @@ def main(argv=None) -> int:
                         help="execution engine for oracle runs; engines "
                              "are byte-identical in every simulated "
                              "observable (default auto)")
+    parser.add_argument("--temporal", type=str, default="off",
+                        choices=("off", "check", "quarantine"),
+                        help="lock-and-key temporal policy for oracle "
+                             "machines; also enables use-after-free / "
+                             "double-free / stale-realloc attack kinds "
+                             "(default off)")
     parser.add_argument("--replay", type=str, metavar="JSON",
                         help="re-run one corpus entry verbatim")
     parser.add_argument("--metrics-out", type=str, metavar="JSON",
@@ -129,7 +135,8 @@ def main(argv=None) -> int:
             max_attacks=args.max_attacks, plant_bug=args.plant_bug,
             timeout_seconds=args.timeout, retries=args.retries,
             backoff_base=args.backoff, jobs=args.jobs,
-            shard_size=args.shard_size, engine=args.engine)
+            shard_size=args.shard_size, engine=args.engine,
+            temporal=args.temporal)
         stop = threading.Event()
         restore = install_drain_handler(stop, log=log)
         try:
@@ -156,7 +163,8 @@ def main(argv=None) -> int:
             plant_bug=args.plant_bug, log=log,
             progress_every=0 if args.quiet else 25,
             timeout_seconds=args.timeout, retries=args.retries,
-            backoff_base=args.backoff, engine=args.engine)
+            backoff_base=args.backoff, engine=args.engine,
+            temporal=args.temporal)
     print(stats.summary())
     if args.metrics_out:
         from repro.obs.metrics import metrics_document, write_metrics
@@ -167,7 +175,9 @@ def main(argv=None) -> int:
         path = write_metrics(args.metrics_out, metrics_document(
             "fuzz",
             {"seed": args.seed, "iterations": args.iterations,
-             "configs": ",".join(configs)},
+             "configs": ",".join(configs),
+             **({"temporal": args.temporal}
+                if args.temporal != "off" else {})},
             stats.metrics()))
         print(f"metrics written to {path}")
     if drained:

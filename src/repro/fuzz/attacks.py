@@ -28,6 +28,23 @@ configuration:
   global-table tags have no subobject bits (Table 4 / Section 3), so
   those intra attacks must run **silently** — the expected-evasion rows
   of the oracle.
+
+When a campaign runs with the lock-and-key policy armed
+(``temporal != 'off'``), three *temporal* attack kinds join the pool
+for plain heap-array sites (``AccessSite.temporal_ok``):
+
+=============  ========================================================
+kind           meaning
+=============  ========================================================
+uaf            access through the pointer after ``free`` (CWE-416)
+double_free    ``free`` the same allocation twice (CWE-415)
+realloc_stale  access through the pre-``realloc`` pointer (CWE-416)
+=============  ========================================================
+
+Their expectations depend on the policy: strict configs must raise
+:class:`~repro.errors.TemporalViolation` under ``check``/``quarantine``
+and must stay silent on use-after-free with the policy ``off`` (the
+allocator may still catch a double free on its own — scored ``may``).
 """
 
 from __future__ import annotations
@@ -44,6 +61,13 @@ EXPECT_MAY = "may_trap"
 #: Configurations whose behaviour the oracle asserts (vs. just records).
 INSTRUMENTED_STRICT = ("subheap", "wrapped")
 
+#: Attack kinds that violate object *lifetime* rather than bounds.
+TEMPORAL_KINDS = ("uaf", "double_free", "realloc_stale")
+
+#: CWE family per temporal kind (reporting only).
+TEMPORAL_CWE = {"uaf": "CWE-416", "double_free": "CWE-415",
+                "realloc_stale": "CWE-416"}
+
 
 @dataclass(frozen=True)
 class Attack:
@@ -51,7 +75,9 @@ class Attack:
 
     sid: int
     kind: str        #: 'over' | 'under' | 'intra' | 'intra_under'
-    index: int       #: the mutated index
+    #: | one of :data:`TEMPORAL_KINDS`
+    index: int       #: the mutated index (for temporal kinds: the
+    #: site's safe index — the access stays in-bounds)
     description: str
 
     def to_dict(self) -> Dict[str, object]:
@@ -59,8 +85,15 @@ class Attack:
                 "description": self.description}
 
 
-def attacks_for(site: AccessSite) -> List[Attack]:
-    """Every attack kind this site's shape supports."""
+def attacks_for(site: AccessSite,
+                include_temporal: bool = False) -> List[Attack]:
+    """Every attack kind this site's shape supports.
+
+    ``include_temporal`` adds the lifetime attacks for sites that can
+    carry them; campaigns running with ``temporal='off'`` keep it False
+    so their iteration streams (and corpus digests) stay byte-identical
+    to historical runs.
+    """
     out: List[Attack] = []
     beyond = site.object_elems - site.member_offset_elems
     is_member = site.member_offset_elems > 0 \
@@ -77,11 +110,22 @@ def attacks_for(site: AccessSite) -> List[Attack]:
     if is_member and site.intra_room > 0:
         out.append(Attack(site.sid, "intra", site.length,
                           f"past-member (inside object) {what}"))
+    if include_temporal and site.temporal_ok:
+        base = f"on {site.obj} ({site.region})"
+        out.append(Attack(site.sid, "uaf", site.safe_index,
+                          f"use-after-free read {base}"))
+        out.append(Attack(site.sid, "double_free", site.safe_index,
+                          f"double free {base}"))
+        out.append(Attack(site.sid, "realloc_stale", site.safe_index,
+                          f"stale pre-realloc pointer read {base}"))
     return out
 
 
-def expectation(site: AccessSite, attack: Attack, config: str) -> str:
+def expectation(site: AccessSite, attack: Attack, config: str,
+                temporal: str = "off") -> str:
     """The oracle's verdict key for ``attack`` under ``config``."""
+    if attack.kind in TEMPORAL_KINDS:
+        return _temporal_expectation(attack, config, temporal)
     if config == "baseline":
         return EXPECT_NO_TRAP
     if config not in INSTRUMENTED_STRICT:
@@ -92,7 +136,28 @@ def expectation(site: AccessSite, attack: Attack, config: str) -> str:
     return EXPECT_TRAP if site.narrowable else EXPECT_NO_TRAP
 
 
+def _temporal_expectation(attack: Attack, config: str,
+                          temporal: str) -> str:
+    if config == "baseline":
+        # No lock-and-key, but the model allocator may still notice a
+        # structurally impossible second free on its own.
+        return EXPECT_MAY if attack.kind == "double_free" \
+            else EXPECT_NO_TRAP
+    if config not in INSTRUMENTED_STRICT:
+        # -np ablations: allocation-time bounds still carry keys, but
+        # promote produces none, so detection depends on the flow.
+        return EXPECT_MAY
+    if temporal in ("check", "quarantine"):
+        return EXPECT_TRAP
+    # Policy off: use-after-free must run silently (that *is* the gap
+    # the lock-and-key scheme exists to close); a double free may still
+    # be caught by allocator metadata (InvalidFree).
+    return EXPECT_MAY if attack.kind == "double_free" \
+        else EXPECT_NO_TRAP
+
+
 def expectation_map(site: AccessSite, attack: Attack,
-                    configs: List[str]) -> Dict[str, str]:
-    return {config: expectation(site, attack, config)
+                    configs: List[str],
+                    temporal: str = "off") -> Dict[str, str]:
+    return {config: expectation(site, attack, config, temporal)
             for config in configs}

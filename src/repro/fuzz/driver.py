@@ -25,7 +25,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.fuzz.attacks import Attack, attacks_for
+from repro.fuzz.attacks import Attack, TEMPORAL_KINDS, attacks_for
 from repro.fuzz.corpus import (
     CorpusEntry, DEFAULT_CORPUS_DIR, entry_name, save_failure,
     source_digest,
@@ -35,8 +35,8 @@ from repro.fuzz.generator import (
 )
 from repro.fuzz.minimize import minimize_source
 from repro.fuzz.oracle import (
-    SPATIAL_TRAPS, AttackVerdict, Divergence, capture_trap_forensics,
-    check_attack, check_clean, run_program,
+    SPATIAL_TRAPS, AttackVerdict, Divergence, accepted_traps,
+    capture_trap_forensics, check_attack, check_clean, run_program,
 )
 
 #: divergence kinds whose failing run ends in a trap — the ones a
@@ -82,6 +82,8 @@ class FuzzStats:
     seed: int = 0
     iterations: int = 0
     configs: List[str] = field(default_factory=list)
+    #: lock-and-key policy the campaign ran with (off/check/quarantine)
+    temporal: str = "off"
     programs: int = 0
     executions: int = 0
     clean_runs: int = 0
@@ -111,7 +113,9 @@ class FuzzStats:
     def summary(self) -> str:
         lines = [
             f"repro.fuzz: {self.iterations} iterations, "
-            f"seed {self.seed}",
+            f"seed {self.seed}"
+            + (f", temporal={self.temporal}"
+               if self.temporal != "off" else ""),
             f"  configs            : {', '.join(self.configs)}",
             f"  programs generated : {self.programs}",
             f"  executions         : {self.executions} "
@@ -182,7 +186,8 @@ class FuzzStats:
         results travel in and checkpoints persist."""
         return {
             "seed": self.seed, "iterations": self.iterations,
-            "configs": list(self.configs), "programs": self.programs,
+            "configs": list(self.configs), "temporal": self.temporal,
+            "programs": self.programs,
             "executions": self.executions,
             "clean_runs": self.clean_runs,
             "attack_runs": self.attack_runs,
@@ -206,7 +211,11 @@ class FuzzStats:
     def from_dict(cls, data: dict) -> "FuzzStats":
         stats = cls(
             seed=data["seed"], iterations=data["iterations"],
-            configs=list(data["configs"]), programs=data["programs"],
+            configs=list(data["configs"]),
+            # absent in checkpoints/manifests written before the
+            # temporal policy existed
+            temporal=data.get("temporal", "off"),
+            programs=data["programs"],
             executions=data["executions"],
             clean_runs=data["clean_runs"],
             attack_runs=data["attack_runs"],
@@ -228,17 +237,22 @@ class FuzzStats:
 # Failure predicates for the minimizer
 # ---------------------------------------------------------------------------
 
-def _false_positive_predicate(config: str) -> Callable[[str], bool]:
+def _false_positive_predicate(config: str,
+                              temporal: str = "off",
+                              ) -> Callable[[str], bool]:
     def predicate(source: str) -> bool:
-        return run_program(source, config).trap is not None
+        return run_program(source, config,
+                           temporal=temporal).trap is not None
     return predicate
 
 
-def _divergence_predicate(configs: List[str]) -> Callable[[str], bool]:
+def _divergence_predicate(configs: List[str],
+                          temporal: str = "off",
+                          ) -> Callable[[str], bool]:
     def predicate(source: str) -> bool:
         seen = set()
         for config in configs:
-            result = run_program(source, config)
+            result = run_program(source, config, temporal=temporal)
             if result.trap is not None:
                 return False
             seen.add((result.output, result.exit_code))
@@ -246,21 +260,30 @@ def _divergence_predicate(configs: List[str]) -> Callable[[str], bool]:
     return predicate
 
 
-def _missed_attack_predicate(config: str,
-                             needle: str) -> Callable[[str], bool]:
+def _missed_attack_predicate(config: str, needle: str,
+                             accepted: Tuple[str, ...] = SPATIAL_TRAPS,
+                             temporal: str = "off",
+                             ) -> Callable[[str], bool]:
     """The attack access must survive minimization, yet stay silent."""
     def predicate(source: str) -> bool:
         if needle not in source:
             return False
-        result = run_program(source, config)
+        result = run_program(source, config, temporal=temporal)
         return result.trap is None \
-            or type(result.trap).__name__ not in SPATIAL_TRAPS
+            or type(result.trap).__name__ not in accepted
     return predicate
 
 
 def _attack_needle(source: str, attack: Attack) -> str:
     """A line that must survive minimization of an attack failure: the
-    first line mentioning the mutated index."""
+    first line mentioning the mutated index — or, for a temporal
+    attack, the first ``free`` of the epilogue (the only frees in an
+    attacked render; cleanup frees are suppressed)."""
+    if attack.kind in TEMPORAL_KINDS:
+        for line in source.splitlines():
+            if "free(" in line:
+                return line.strip()
+        return ""
     probes = (f"[{attack.index}]", f"({attack.index})", f"{attack.index};")
     for line in source.splitlines():
         if any(probe in line for probe in probes):
@@ -270,19 +293,24 @@ def _attack_needle(source: str, attack: Attack) -> str:
 
 def _predicate_for(divergence: Divergence, configs: List[str],
                    attack: Optional[Attack],
-                   source: str) -> Optional[Callable[[str], bool]]:
+                   source: str,
+                   temporal: str = "off",
+                   ) -> Optional[Callable[[str], bool]]:
     if divergence.kind in ("false_positive", "unexpected_trap",
                            "wrong_trap_class"):
-        return _false_positive_predicate(divergence.config) \
+        return _false_positive_predicate(divergence.config, temporal) \
             if divergence.config else None
     if divergence.kind == "output_divergence":
         return _divergence_predicate(
-            [c for c in configs if not c.endswith("-np")] or configs)
+            [c for c in configs if not c.endswith("-np")] or configs,
+            temporal)
     if divergence.kind == "missed_attack" and divergence.config \
             and attack is not None:
         needle = _attack_needle(source, attack)
         if needle:
-            return _missed_attack_predicate(divergence.config, needle)
+            return _missed_attack_predicate(
+                divergence.config, needle,
+                accepted=accepted_traps(attack), temporal=temporal)
     return None
 
 
@@ -297,7 +325,8 @@ def _record_failure(stats: FuzzStats, *, kind: str, detail: str,
                     corpus_dir: str, minimize: bool,
                     predicate: Optional[Callable[[str], bool]],
                     log: Callable[[str], None],
-                    trace: Optional[dict] = None) -> None:
+                    trace: Optional[dict] = None,
+                    temporal: str = "off") -> None:
     digest = source_digest(source)
     name = entry_name(kind, seed, iteration, digest)
     # One corpus entry per (kind, program): the same planted bug seen by
@@ -317,10 +346,13 @@ def _record_failure(stats: FuzzStats, *, kind: str, detail: str,
     forensics = None
     if config and kind in _TRAP_KINDS:
         forensics = capture_trap_forensics(minimized, config,
-                                           trace=trace)
+                                           trace=trace,
+                                           temporal=temporal)
     repro = (f"PYTHONPATH=src python -m repro.fuzz --seed {seed} "
              f"--start {iteration} --iterations 1 "
              f"--configs {','.join(configs)}")
+    if temporal != "off":
+        repro += f" --temporal {temporal}"
     entry = CorpusEntry(
         name=name, kind=kind, detail=detail, seed=seed,
         iteration=iteration,
@@ -328,8 +360,10 @@ def _record_failure(stats: FuzzStats, *, kind: str, detail: str,
         configs=list(configs), source_sha256=source_digest(source),
         repro=repro, config=config,
         attack=attack.to_dict() if attack else None, site=site_dict,
-        extra={"forensics": name + ".forensics.txt"} if forensics
-        else {})
+        extra={**({"forensics": name + ".forensics.txt"} if forensics
+                  else {}),
+               **({"temporal": temporal} if temporal != "off"
+                  else {})})
     json_path = save_failure(corpus_dir, entry, source, minimized)
     forensics_path = ""
     if forensics is not None:
@@ -374,7 +408,8 @@ def run_fuzz(iterations: int, seed: int = 0,
              retries: int = 2,
              backoff_base: float = 0.1,
              engine: str = "auto",
-             trace: Optional[dict] = None) -> FuzzStats:
+             trace: Optional[dict] = None,
+             temporal: str = "off") -> FuzzStats:
     """Run the fuzzing loop; returns the run's :class:`FuzzStats`.
 
     ``engine`` selects the execution engine for every oracle run
@@ -396,13 +431,20 @@ def run_fuzz(iterations: int, seed: int = 0,
     would just hang again) and exponential backoff.  An iteration that
     exhausts its budget is counted in ``stats.timeouts`` and skipped;
     corpus entries record the *effective* seed so replays stay exact.
+
+    ``temporal`` (off/check/quarantine) arms the lock-and-key policy on
+    every oracle machine *and* widens the attack pool with the temporal
+    kinds (use-after-free, double free, stale realloc pointer) for
+    sites that support them.  With the default "off" the iteration
+    stream is byte-identical to historical campaigns.
     """
     from repro.errors import WorkloadTimeout
     from repro.resil.retry import call_with_retry, derive_seed
 
     configs = list(configs) if configs else list(DEFAULT_CONFIGS)
     log = log or (lambda message: print(message))
-    stats = FuzzStats(seed=seed, iterations=iterations, configs=configs)
+    stats = FuzzStats(seed=seed, iterations=iterations, configs=configs,
+                      temporal=temporal)
     started = time.monotonic()
 
     def one_iteration(iteration: int, iter_seed: int,
@@ -421,7 +463,8 @@ def run_fuzz(iterations: int, seed: int = 0,
                     _plant_bug_program(program, rng)
             runs, divergences = check_clean(
                 source, configs, name=f"fuzz-i{iteration}",
-                timeout_seconds=timeout_seconds, engine=engine)
+                timeout_seconds=timeout_seconds, engine=engine,
+                temporal=temporal)
             stats.clean_runs += len(configs)
             stats.executions += len(configs)
             for divergence in divergences:
@@ -436,17 +479,19 @@ def run_fuzz(iterations: int, seed: int = 0,
                     if planted_site else None, corpus_dir=corpus_dir,
                     minimize=minimize,
                     predicate=_predicate_for(divergence, configs, None,
-                                             source),
-                    log=log, trace=trace)
+                                             source, temporal),
+                    log=log, trace=trace, temporal=temporal)
 
         if inject and program.sites:
             sites = list(program.sites)
             rng.shuffle(sites)
             for site in sites[:max_attacks_per_program]:
-                attack = rng.choice(attacks_for(site))
+                attack = rng.choice(attacks_for(
+                    site, include_temporal=temporal != "off"))
                 source, verdict = check_attack(
                     program.spec, attack, configs,
-                    timeout_seconds=timeout_seconds, engine=engine)
+                    timeout_seconds=timeout_seconds, engine=engine,
+                    temporal=temporal)
                 stats.attacks_injected += 1
                 stats.attack_runs += len(configs)
                 stats.executions += len(configs)
@@ -470,8 +515,9 @@ def run_fuzz(iterations: int, seed: int = 0,
                         site_dict=site.to_dict(), corpus_dir=corpus_dir,
                         minimize=minimize,
                         predicate=_predicate_for(divergence, configs,
-                                                 attack, source),
-                        log=log, trace=trace)
+                                                 attack, source,
+                                                 temporal),
+                        log=log, trace=trace, temporal=temporal)
 
     for offset in range(iterations):
         iteration = start + offset
@@ -524,8 +570,15 @@ def replay_entry(path: str,
     program = generate_program(entry.seed, entry.iteration)
     source = program.source
     if entry.attack is not None:
-        source = render(program.spec,
-                        (entry.attack["sid"], entry.attack["index"]))
+        if entry.attack.get("kind") in TEMPORAL_KINDS:
+            source = render(program.spec,
+                            (entry.attack["sid"],
+                             entry.attack["index"],
+                             entry.attack["kind"]))
+        else:
+            source = render(program.spec,
+                            (entry.attack["sid"],
+                             entry.attack["index"]))
     digest = source_digest(source)
     if digest != entry.source_sha256:
         log(f"[repro.fuzz] replay {entry.name}: source mismatch "
@@ -535,6 +588,7 @@ def replay_entry(path: str,
     stats = run_fuzz(1, seed=entry.seed, start=entry.iteration,
                      configs=entry.configs, minimize=False,
                      corpus_dir=DEFAULT_CORPUS_DIR + "/.replay",
-                     log=log, progress_every=0)
+                     log=log, progress_every=0,
+                     temporal=entry.extra.get("temporal", "off"))
     log(stats.summary())
     return True

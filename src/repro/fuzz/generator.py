@@ -64,6 +64,10 @@ class AccessSite:
     member_offset_elems: int  #: elements before the member (0 = plain)
     object_elems: int    #: total elements in the whole object
     nested: bool         #: reached through an array-of-structs walk
+    #: the action can render a temporal (lock-and-key) attack epilogue:
+    #: a plain heap array whose pointer the action still owns at the end
+    #: of its fragment, so free/realloc can be appended after the access
+    temporal_ok: bool = False
 
     @property
     def narrowable(self) -> bool:
@@ -88,6 +92,7 @@ class AccessSite:
             "via_wrapper": self.via_wrapper, "scheme": self.scheme,
             "member_offset_elems": self.member_offset_elems,
             "object_elems": self.object_elems, "nested": self.nested,
+            "temporal_ok": self.temporal_ok,
         }
 
 
@@ -113,6 +118,11 @@ class _Action:
 
     def cleanup_lines(self) -> List[str]:
         return []
+
+    def temporal_epilogue(self, kind: str) -> List[str]:
+        """Lines appended after the clean fragment for a temporal attack
+        (only actions whose site has ``temporal_ok`` support this)."""
+        raise NotImplementedError
 
 
 def _site_index(site: AccessSite, attack_index: Optional[int]) -> int:
@@ -229,6 +239,26 @@ class _ArrayAction(_Action):
                 or self.site.via_wrapper:
             return [f"    free(h{self.index});"]
         return []
+
+    def temporal_epilogue(self, kind: str) -> List[str]:
+        # Cleanup frees are suppressed whenever an attack is active, so
+        # every epilogue renders its own frees — the program's lifetime
+        # story must be complete for the lock-and-key verdict to mean
+        # anything.
+        k, safe = str(self.index), self.site.safe_index
+        if kind == "uaf":
+            return [f"    free(h{k});",
+                    f"    g_sink += h{k}[{safe}];"]
+        if kind == "double_free":
+            return [f"    free(h{k});",
+                    f"    free(h{k});"]
+        if kind == "realloc_stale":
+            return [f"    int *st{k} = h{k};",
+                    f"    h{k} = (int *)realloc(h{k}, "
+                    f"{2 * self.length} * sizeof(int));",
+                    f"    g_sink += st{k}[{safe}];",
+                    f"    free(h{k});"]
+        raise ValueError(kind)
 
 
 @dataclass(frozen=True)
@@ -473,15 +503,21 @@ class GeneratedProgram:
 
 
 def render(spec: ProgramSpec,
-           attack: Optional[Tuple[int, int]] = None) -> str:
+           attack: Optional[Tuple[int, ...]] = None) -> str:
     """Render the spec to mini-C.
 
     ``attack`` is ``(site_id, index)``: the named site's index expression
     is replaced by ``index``; everything else renders identically to the
-    clean program.
+    clean program.  A three-element ``(site_id, index, kind)`` form with
+    a temporal ``kind`` ('uaf' | 'double_free' | 'realloc_stale')
+    instead keeps the site's access clean and appends the action's
+    temporal epilogue — the lifetime violation happens *after* the
+    spatial story completes.
     """
     attack_sid = attack[0] if attack is not None else None
     attack_idx = attack[1] if attack is not None else None
+    attack_kind = attack[2] if attack is not None and len(attack) > 2 \
+        else None
     parts: List[str] = [f"/* repro.fuzz seed={spec.seed} */", _PRELUDE]
     for action in spec.actions:
         parts.extend(action.struct_decls())
@@ -489,10 +525,12 @@ def render(spec: ProgramSpec,
         parts.extend(action.global_decls())
     body: List[str] = []
     for action in spec.actions:
-        this = attack_idx if (action.site is not None
-                              and action.site.sid == attack_sid) else None
+        hit = action.site is not None and action.site.sid == attack_sid
+        this = attack_idx if (hit and attack_kind is None) else None
         body.append(f"    /* action {action.index} */")
         body.extend(action.main_lines(this))
+        if hit and attack_kind is not None:
+            body.extend(action.temporal_epilogue(attack_kind))
     if attack is None:
         for action in spec.actions:
             body.extend(action.cleanup_lines())
@@ -525,7 +563,8 @@ def _scheme_for(region: str, length_bytes: int) -> str:
 def _make_site(sid: int, obj: str, region: str,
                flow: str, kind: str, length: int, safe_index: int,
                via_wrapper: bool, member_offset: int, object_elems: int,
-               nested: bool = False) -> AccessSite:
+               nested: bool = False,
+               temporal_ok: bool = False) -> AccessSite:
     return AccessSite(
         sid=sid, obj=obj,
         region={"heap_wrapped": "heap", "global_big": "global"}.get(
@@ -534,7 +573,7 @@ def _make_site(sid: int, obj: str, region: str,
         via_wrapper=via_wrapper,
         scheme=_scheme_for(region, object_elems * ELEM_BYTES),
         member_offset_elems=member_offset, object_elems=object_elems,
-        nested=nested)
+        nested=nested, temporal_ok=temporal_ok)
 
 
 def _gen_array_action(rng: random.Random, index: int, sid: int) -> _Action:
@@ -551,7 +590,8 @@ def _gen_array_action(rng: random.Random, index: int, sid: int) -> _Action:
     safe = length - 1 if flow == "loop" else rng.randint(0, length - 1)
     via_wrapper = region == "heap_wrapped"
     site = _make_site(sid, f"a{index}", region, flow, kind, length,
-                      safe, via_wrapper, 0, length)
+                      safe, via_wrapper, 0, length,
+                      temporal_ok=region in ("heap", "heap_wrapped"))
     return _ArrayAction(
         index=index, site=site, length=length, fill=True,
         fnptr_wrapper=via_wrapper and rng.random() < 0.4,

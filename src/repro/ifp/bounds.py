@@ -12,7 +12,7 @@ the register file; a loaded one by a :class:`Bounds` instance.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.mem.layout import ADDRESS_MASK
 
@@ -23,10 +23,23 @@ BOUNDS_SPILL_BYTES = 16
 
 @dataclass(frozen=True)
 class Bounds:
-    """A half-open address interval ``[lower, upper)``."""
+    """A half-open address interval ``[lower, upper)``.
+
+    When the temporal lock-and-key policy is armed (``repro.temporal``),
+    a promoted/minted bounds register additionally carries the pointer's
+    allocation base (``tbase``) and generation key (``tkey``) so the
+    engines can compare lock == key at every implicit deref check.  Both
+    default to 0 ("no temporal fact") and are excluded from equality and
+    repr: spatially, two bounds registers holding the same interval are
+    the same architectural value, and the spill format (``to_words``)
+    stays two 64-bit words — a spilled/reloaded bounds register drops
+    its temporal fact and is refreshed by the next promote (DESIGN §11).
+    """
 
     lower: int
     upper: int
+    tbase: int = field(default=0, repr=False, compare=False)
+    tkey: int = field(default=0, repr=False, compare=False)
 
     def __post_init__(self):
         object.__setattr__(self, "lower", self.lower & ADDRESS_MASK)
@@ -51,10 +64,16 @@ class Bounds:
     def narrowed(self, lower: int, upper: int) -> "Bounds":
         """Intersect with ``[lower, upper)`` (used by ``ifpbnd``)."""
         return Bounds(max(self.lower, lower & ADDRESS_MASK),
-                      min(self.upper, upper & ADDRESS_MASK))
+                      min(self.upper, upper & ADDRESS_MASK),
+                      self.tbase, self.tkey)
 
     def shifted(self, delta: int) -> "Bounds":
-        return Bounds(self.lower + delta, self.upper + delta)
+        return Bounds(self.lower + delta, self.upper + delta,
+                      self.tbase, self.tkey)
+
+    def with_temporal(self, tbase: int, tkey: int) -> "Bounds":
+        """Attach a temporal (allocation base, generation key) fact."""
+        return Bounds(self.lower, self.upper, tbase, tkey)
 
     # -- spill format -------------------------------------------------------
 

@@ -45,6 +45,14 @@ class IFPConfig:
     #: universal fallback and must always be present.
     schemes_enabled: Tuple[str, ...] = ("local_offset", "subheap", "global_table")
 
+    # -- temporal lock-and-key (repro.temporal) ------------------------------
+    #: generation-key width stolen from the *top* bits of each scheme's
+    #: subobject/index field (0 = no temporal tagging; the spatial layout
+    #: is bit-for-bit the paper's).  With k bits reserved, the usable
+    #: subobject/index widths shrink by k — the tag-bit budget trade-off
+    #: quantified in DESIGN §11.
+    temporal_key_bits: int = 0
+
     # -- timing (cycles), mirroring the prototype's multi-cycle units -------
     promote_base_cycles: int = 2      #: dispatch + poison/selector decode
     mac_cycles: int = 3               #: MAC recompute during promote
@@ -64,7 +72,7 @@ class IFPConfig:
 
     @property
     def local_max_layout_entries(self) -> int:
-        return 1 << self.local_subobj_bits
+        return 1 << (self.local_subobj_bits - self.temporal_key_bits)
 
     @property
     def subheap_register_count(self) -> int:
@@ -72,11 +80,11 @@ class IFPConfig:
 
     @property
     def subheap_max_layout_entries(self) -> int:
-        return 1 << self.subheap_subobj_bits
+        return 1 << (self.subheap_subobj_bits - self.temporal_key_bits)
 
     @property
     def global_table_rows(self) -> int:
-        return 1 << self.global_index_bits
+        return 1 << (self.global_index_bits - self.temporal_key_bits)
 
     def validate(self) -> None:
         """Sanity-check that the fields fit the 12-bit tag payload."""
@@ -90,6 +98,12 @@ class IFPConfig:
             raise ValueError("granule must be a power of two")
         if "global_table" not in self.schemes_enabled:
             raise ValueError("the global table scheme is the mandatory fallback")
+        if not (0 <= self.temporal_key_bits
+                < min(self.local_subobj_bits, self.subheap_subobj_bits,
+                      self.global_index_bits)):
+            raise ValueError(
+                "temporal_key_bits must leave at least one usable bit in "
+                "every subobject/index field")
 
 
 #: The paper's prototype design point.

@@ -72,17 +72,55 @@ class PointerTag:
             (1 << config.local_offset_bits) - 1)
 
     def local_subobject_index(self, config: IFPConfig = DEFAULT_CONFIG) -> int:
-        return self.payload & ((1 << config.local_subobj_bits) - 1)
+        return self.payload & (
+            (1 << (config.local_subobj_bits - config.temporal_key_bits)) - 1)
 
     def subheap_register_index(self, config: IFPConfig = DEFAULT_CONFIG) -> int:
         return (self.payload >> config.subheap_subobj_bits) & (
             (1 << config.subheap_reg_bits) - 1)
 
     def subheap_subobject_index(self, config: IFPConfig = DEFAULT_CONFIG) -> int:
-        return self.payload & ((1 << config.subheap_subobj_bits) - 1)
+        return self.payload & (
+            (1 << (config.subheap_subobj_bits - config.temporal_key_bits)) - 1)
 
     def global_table_index(self, config: IFPConfig = DEFAULT_CONFIG) -> int:
-        return self.payload & ((1 << config.global_index_bits) - 1)
+        return self.payload & (
+            (1 << (config.global_index_bits - config.temporal_key_bits)) - 1)
+
+    def temporal_key(self, config: IFPConfig = DEFAULT_CONFIG) -> int:
+        """Generation key in the top ``temporal_key_bits`` of the scheme's
+        subobject/index field (0 = untracked, or no key bits reserved)."""
+        bits = config.temporal_key_bits
+        if bits == 0 or self.scheme is Scheme.LEGACY:
+            return 0
+        if self.scheme is Scheme.LOCAL_OFFSET:
+            width = config.local_subobj_bits
+        elif self.scheme is Scheme.SUBHEAP:
+            width = config.subheap_subobj_bits
+        else:
+            width = config.global_index_bits
+        return (self.payload >> (width - bits)) & ((1 << bits) - 1)
+
+    def with_temporal_key(self, key: int,
+                          config: IFPConfig = DEFAULT_CONFIG) -> "PointerTag":
+        """Return a tag with the generation-key bits replaced."""
+        bits = config.temporal_key_bits
+        if bits == 0:
+            raise ValueError("no temporal key bits reserved in this config")
+        if self.scheme is Scheme.LOCAL_OFFSET:
+            width = config.local_subobj_bits
+        elif self.scheme is Scheme.SUBHEAP:
+            width = config.subheap_subobj_bits
+        elif self.scheme is Scheme.GLOBAL_TABLE:
+            width = config.global_index_bits
+        else:
+            raise ValueError("legacy pointers carry no temporal key")
+        if key >> bits:
+            raise ValueError(f"temporal key {key} exceeds {bits}-bit field")
+        shift = width - bits
+        mask = ((1 << bits) - 1) << shift
+        payload = (self.payload & ~mask) | (key << shift)
+        return PointerTag(self.poison, self.scheme, payload)
 
     def subobject_index(self, config: IFPConfig = DEFAULT_CONFIG) -> int:
         """The subobject index under whichever scheme is selected (0 when
@@ -102,6 +140,7 @@ class PointerTag:
             width = config.subheap_subobj_bits
         else:
             raise ValueError(f"scheme {self.scheme.name} has no subobject index")
+        width -= config.temporal_key_bits
         mask = (1 << width) - 1
         if index > mask:
             raise ValueError(
@@ -172,3 +211,38 @@ def scheme_of(pointer: int) -> Scheme:
 def is_legacy(pointer: int) -> bool:
     """True when the pointer carries no metadata (legacy / canonical)."""
     return scheme_of(pointer) is Scheme.LEGACY
+
+
+def _temporal_field_width(scheme: int, config: IFPConfig) -> int:
+    """Width of the subobject/index field the key bits are stolen from."""
+    if scheme == Scheme.LOCAL_OFFSET:
+        return config.local_subobj_bits
+    if scheme == Scheme.SUBHEAP:
+        return config.subheap_subobj_bits
+    return config.global_index_bits
+
+
+def temporal_key_of(pointer: int, config: IFPConfig = DEFAULT_CONFIG) -> int:
+    """Generation key of a packed pointer (0 = untracked/legacy)."""
+    bits = config.temporal_key_bits
+    if bits == 0:
+        return 0
+    scheme = (pointer >> _SELECTOR_SHIFT) & 0b11
+    if scheme == 0:
+        return 0
+    shift = TAG_SHIFT + _temporal_field_width(scheme, config) - bits
+    return (pointer >> shift) & ((1 << bits) - 1)
+
+
+def with_temporal_key(pointer: int, key: int,
+                      config: IFPConfig = DEFAULT_CONFIG) -> int:
+    """Stamp the generation key into a packed pointer's tag bits."""
+    bits = config.temporal_key_bits
+    scheme = (pointer >> _SELECTOR_SHIFT) & 0b11
+    if bits == 0 or scheme == 0:
+        raise ValueError("pointer/config cannot carry a temporal key")
+    if key >> bits:
+        raise ValueError(f"temporal key {key} exceeds {bits}-bit field")
+    shift = TAG_SHIFT + _temporal_field_width(scheme, config) - bits
+    mask = ((1 << bits) - 1) << shift
+    return ((pointer & ~mask) | (key << shift)) & U64_MASK

@@ -28,6 +28,7 @@ from repro.ifp.schemes.global_table import GlobalTableScheme
 from repro.ifp.schemes.local_offset import LocalOffsetScheme
 from repro.ifp.schemes.subheap import SubheapRegion, SubheapScheme
 from repro.ifp.tag import Scheme, address_of, unpack_tag, with_poison
+from repro.temporal.registry import temporal_violation
 
 
 class ControlRegisters:
@@ -193,6 +194,8 @@ class IFPUnitStats:
     narrow_no_layout_table: int = 0    #: narrowing wanted but layout_ptr == 0
     narrow_walk_failures: int = 0
     mac_failures: int = 0
+    temporal_probes: int = 0           #: promote-time lock==key comparisons
+    temporal_faults: int = 0           #: promote-time temporal violations
     promote_cycles: int = 0
     # Host-side cache effectiveness (no simulated-cost meaning; the caches
     # change nothing about simulated cycles/loads, only host work).
@@ -251,6 +254,10 @@ class IFPUnit:
         #: fault injector (repro.resil.faults.FaultInjector.arm); None
         #: keeps promote on its zero-cost path
         self.faults = None
+        #: temporal lock registry (repro.temporal.TemporalRegistry),
+        #: attached by the Machine when ``MachineConfig.temporal`` is not
+        #: "off"; None keeps promote free of any lock probing
+        self.temporal = None
         # Host-side result caches.  Both are active under *both* execution
         # engines (reference and fastpath), which is what keeps RunStats /
         # IFPUnitStats trivially identical across engines; they are
@@ -326,7 +333,12 @@ class IFPUnit:
         if (self.faults is None and self.obs is None
                 and self.port.faults is None):
             stats = self.stats
-            key = (pointer, self.control.version)
+            registry = self.temporal
+            # the registry version joins the key so a free/realloc (or an
+            # injected lock corruption) can never replay a cached bounds
+            # register whose temporal fact is stale
+            key = ((pointer, self.control.version) if registry is None
+                   else (pointer, self.control.version, registry.version))
             cached = self._promote_cache.get(key)
             if cached is not None:
                 stats.promote_cache_hits += 1
@@ -455,6 +467,28 @@ class IFPUnit:
         bounds = metadata.bounds
         narrowed = False
 
+        # 3b. Temporal lock-and-key check (repro.temporal): probe the
+        # allocation registry at the pre-narrowing base.  A mismatching
+        # or dead lock is a use-after-free — trap before narrowing ever
+        # runs.  Untracked bases (stack/global objects, or allocations
+        # minted while the policy was off) skip the comparison.
+        registry = self.temporal
+        tkey = 0
+        tbase = 0
+        if registry is not None:
+            tkey = tag.temporal_key(config)
+            if tkey:
+                tbase = bounds.lower
+                t_entry = registry.probe(tbase)
+                if t_entry is None:
+                    tkey = 0
+                else:
+                    stats.temporal_probes += 1
+                    if not t_entry[1] or t_entry[0] != tkey:
+                        stats.temporal_faults += 1
+                        raise temporal_violation(
+                            "promote", pointer, tbase, tkey, t_entry)
+
         # 4. Subobject narrowing.
         subobject_index = tag.subobject_index(config)
         if subobject_index != 0:
@@ -486,7 +520,12 @@ class IFPUnit:
                 if obs is not None:
                     obs.narrow("ok" if result.exact else "walk_failure")
 
-        # 5. Fused size check -> output poison bits.
+        # 5. Re-attach the temporal fact to whatever bounds narrowing
+        # produced, so implicit deref checks keep comparing lock == key.
+        if tkey:
+            bounds = bounds.with_temporal(tbase, tkey)
+
+        # 6. Fused size check -> output poison bits.
         if bounds.contains(address):
             poison = Poison.VALID
         else:

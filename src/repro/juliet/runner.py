@@ -92,19 +92,25 @@ class JulietReport:
 
 
 def run_case(case: JulietCase,
-             options: Optional[CompilerOptions] = None) -> CaseResult:
+             options: Optional[CompilerOptions] = None,
+             temporal: str = "off",
+             engine: str = "auto") -> CaseResult:
     options = options or CompilerOptions.wrapped()
     program = compile_source(case.source, options)
     result = Machine(program, MachineConfig(
-        max_instructions=2_000_000)).run()
+        max_instructions=2_000_000, temporal=temporal,
+        engine=engine)).run()
     trap_name = type(result.trap).__name__ if result.trap else None
     return CaseResult(case, result.trap is not None, trap_name)
 
 
 def run_suite(options: Optional[CompilerOptions] = None,
-              cases: Optional[List[JulietCase]] = None) -> JulietReport:
+              cases: Optional[List[JulietCase]] = None,
+              temporal: str = "off",
+              engine: str = "auto") -> JulietReport:
     cases = cases if cases is not None else generate_cases()
     report = JulietReport()
     for case in cases:
-        report.results.append(run_case(case, options))
+        report.results.append(run_case(case, options, temporal=temporal,
+                                       engine=engine))
     return report

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-from repro.errors import BoundsTrap, PoisonTrap, SimTrap
+from repro.errors import BoundsTrap, PoisonTrap, SimTrap, TemporalViolation
 
 
 @dataclass
@@ -105,6 +105,35 @@ class ForensicsReport:
         return path
 
 
+#: temporal violation kind -> one-line lock-state diagnosis
+_TEMPORAL_VERDICTS = {
+    "stale_key": ("lock is LIVE with a different key: the allocation "
+                  "was freed and its base reused; this pointer belongs "
+                  "to the previous incarnation"),
+    "freed_lock": ("lock is DEAD: the allocation was freed and never "
+                   "reallocated (dangling-pointer dereference)"),
+    "double_free": ("free through a pointer whose lock is already "
+                    "dead (double free)"),
+    "stale_free": ("free through a stale-generation pointer into a "
+                   "reused allocation"),
+}
+
+
+def _temporal_anatomy(trap: TemporalViolation) -> str:
+    """Render the lock-and-key anatomy of a temporal violation —
+    the temporal counterpart of the spatial pointer anatomy."""
+    lock_state = (f"{trap.lock} (live, mismatched)"
+                  if trap.lock else "dead (no live lock)")
+    verdict = _TEMPORAL_VERDICTS.get(trap.kind, trap.kind)
+    return "\n".join([
+        f"check origin  : {trap.origin or 'unknown'}",
+        f"allocation    : base 0x{trap.address:x}",
+        f"pointer key   : {trap.key}",
+        f"registry lock : {lock_state}",
+        f"verdict       : {trap.kind} — {verdict}",
+    ])
+
+
 def _metadata_path(anatomy) -> str:
     """Describe the route promote took to this pointer's metadata."""
     if anatomy.granule_offset is not None:
@@ -167,6 +196,18 @@ def capture_forensics(machine, trap: SimTrap,
             report.bounds = (anatomy.bounds.lower, anatomy.bounds.upper)
     if isinstance(trap, BoundsTrap):
         report.bounds = (trap.lower, trap.upper)
+    if isinstance(trap, TemporalViolation):
+        # Temporal traps get the lock-and-key anatomy instead of the
+        # spatial dry-run promote: what matters is the registry's view
+        # of the allocation base, not the tag's bounds route.
+        report.pointer = trap.pointer or report.pointer
+        report.tag_fields = {"temporal_key": trap.key,
+                             "lock": trap.lock,
+                             "kind": trap.kind,
+                             "origin": trap.origin}
+        report.metadata_path = (f"temporal registry lock for base "
+                                f"0x{trap.address:x}")
+        report.anatomy_text = _temporal_anatomy(trap)
 
     tracer = machine.tracer
     if tracer is not None and trace_tail > 0:

@@ -70,7 +70,9 @@ def run_fuzz_shard(shard: Dict[str, Any], attempt: int
         retries=params["retries"],
         backoff_base=params["backoff_base"],
         engine=params.get("engine", "auto"),
-        trace=shard.get("trace"))
+        trace=shard.get("trace"),
+        # absent from plans built before the temporal policy existed
+        temporal=params.get("temporal", "off"))
     return stats.to_dict()
 
 
@@ -122,17 +124,21 @@ def run_juliet_shard(shard: Dict[str, Any], attempt: int
     ``shard['items']`` under the configured allocator."""
     del attempt
     from repro.compiler import CompilerOptions
-    from repro.juliet.cases import generate_cases
+    from repro.juliet.cases import generate_cases, generate_temporal_cases
     from repro.juliet.runner import run_case
 
     params = shard["params"]
     options = CompilerOptions.subheap() \
         if params.get("allocator") == "subheap" \
         else CompilerOptions.wrapped()
+    # absent from plans built before the temporal policy existed
+    temporal = params.get("temporal", "off")
     cases = generate_cases()
+    if temporal != "off":
+        cases = cases + generate_temporal_cases()
     results = []
     for index in shard["items"]:
-        verdict = run_case(cases[index], options)
+        verdict = run_case(cases[index], options, temporal=temporal)
         results.append({"case_index": index,
                         "trapped": verdict.trapped,
                         "trap": verdict.trap})

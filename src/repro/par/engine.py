@@ -87,7 +87,8 @@ def plan_fuzz(iterations: int, seed: int, *, configs: Sequence[str],
               max_attacks: int = 2, plant_bug: bool = False,
               timeout_seconds: Optional[float] = None, retries: int = 2,
               backoff_base: float = 0.1, jobs: int = 1,
-              shard_size: int = 0, engine: str = "auto") -> ShardPlan:
+              shard_size: int = 0, engine: str = "auto",
+              temporal: str = "off") -> ShardPlan:
     """Plan a fuzzing campaign as contiguous iteration-range shards.
 
     The shards partition ``range(start, start + iterations)``; the
@@ -103,6 +104,11 @@ def plan_fuzz(iterations: int, seed: int, *, configs: Sequence[str],
         "retries": retries, "backoff_base": backoff_base,
         "engine": engine,
     }
+    # Only record the temporal policy when armed: a plan built with the
+    # default stays byte-identical to pre-temporal plans, so checkpoint
+    # fingerprints of old manifests keep verifying.
+    if temporal != "off":
+        params["temporal"] = temporal
     shards = default_shard_count(iterations, jobs, shard_size)
     plan = plan_range("fuzz", seed, iterations, params=params,
                       shards=shards,
@@ -135,7 +141,9 @@ def parallel_fuzz(plan: ShardPlan, *, jobs: int,
         quarantine=quarantine, chaos=chaos)
     stats = merge_fuzz_stats(outcome.ordered_results(plan),
                              seed=plan.seed,
-                             configs=plan.params["configs"])
+                             configs=plan.params["configs"],
+                             temporal=plan.params.get("temporal",
+                                                      "off"))
     stats.elapsed = outcome.wall_seconds
     return stats, outcome
 
@@ -195,11 +203,24 @@ def parallel_resil(plan: ShardPlan, *, jobs: int,
 # ---------------------------------------------------------------------------
 
 def plan_juliet(*, seed: int = 0, allocator: str = "wrapped",
-                jobs: int = 1, shard_size: int = 0) -> ShardPlan:
-    """Plan the Juliet-style suite as contiguous case-index slices."""
-    from repro.juliet.cases import generate_cases
+                jobs: int = 1, shard_size: int = 0,
+                temporal: str = "off") -> ShardPlan:
+    """Plan the Juliet-style suite as contiguous case-index slices.
+
+    With ``temporal`` armed the case list additionally includes the
+    CWE-415/CWE-416 lifetime families
+    (:func:`repro.juliet.cases.generate_temporal_cases`) and every
+    machine runs with the lock-and-key policy; the parameter is only
+    recorded in the plan when non-default, so fingerprints of
+    pre-temporal manifests keep verifying.
+    """
+    from repro.juliet.cases import generate_cases, generate_temporal_cases
     total = len(generate_cases())
+    if temporal != "off":
+        total += len(generate_temporal_cases())
     params = {"allocator": allocator}
+    if temporal != "off":
+        params["temporal"] = temporal
     shards = default_shard_count(total, jobs, shard_size)
     return plan_indices("juliet", seed, list(range(total)),
                         params=params, shards=shards)
@@ -220,7 +241,9 @@ def parallel_juliet(plan: ShardPlan, *, jobs: int,
         backoff_base=backoff_base, log=log, events_out=events_out,
         bus=bus, stop=stop, context=context,
         quarantine=quarantine, chaos=chaos)
-    return merge_juliet(outcome.ordered_results(plan)), outcome
+    return merge_juliet(outcome.ordered_results(plan),
+                        temporal=plan.params.get("temporal", "off")), \
+        outcome
 
 
 # ---------------------------------------------------------------------------

@@ -86,7 +86,8 @@ def diff_documents(a: Any, b: Any, *, ignore_timing: bool = True,
 
 def merge_fuzz_stats(shard_results: Sequence[Optional[Dict[str, Any]]],
                      *, seed: int,
-                     configs: Sequence[str]) -> "FuzzStats":
+                     configs: Sequence[str],
+                     temporal: str = "off") -> "FuzzStats":
     """Fold per-shard ``FuzzStats.to_dict()`` payloads (in shard order)
     into one :class:`~repro.fuzz.driver.FuzzStats`.
 
@@ -99,7 +100,8 @@ def merge_fuzz_stats(shard_results: Sequence[Optional[Dict[str, Any]]],
     """
     from repro.fuzz.driver import FuzzStats
 
-    merged = FuzzStats(seed=seed, configs=list(configs))
+    merged = FuzzStats(seed=seed, configs=list(configs),
+                       temporal=temporal)
     histogram: Counter = Counter()
     for payload in shard_results:
         if payload is None:
@@ -156,19 +158,23 @@ def merge_campaign(shard_results: Sequence[Optional[Dict[str, Any]]],
 # Juliet suite merge
 # ---------------------------------------------------------------------------
 
-def merge_juliet(shard_results: Sequence[Optional[Dict[str, Any]]]
-                 ) -> "JulietReport":
+def merge_juliet(shard_results: Sequence[Optional[Dict[str, Any]]],
+                 temporal: str = "off") -> "JulietReport":
     """Fold per-shard case verdicts into one
     :class:`~repro.juliet.runner.JulietReport`.
 
     Cases are regenerated deterministically on the merge side (they are
     a pure function of nothing but the generator code), so shard
     payloads only carry ``(case_index, trapped, trap)`` triples.
+    ``temporal`` must match the plan's policy: an armed campaign's case
+    list additionally contains the CWE-415/CWE-416 lifetime families.
     """
-    from repro.juliet.cases import generate_cases
+    from repro.juliet.cases import generate_cases, generate_temporal_cases
     from repro.juliet.runner import CaseResult, JulietReport
 
     cases = generate_cases()
+    if temporal != "off":
+        cases = cases + generate_temporal_cases()
     report = JulietReport()
     for payload in shard_results:
         if payload is None:

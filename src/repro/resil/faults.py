@@ -38,6 +38,12 @@ class                        effect
                              time, leaving ``payload`` registers free
 ``alloc_oom``                after ``start`` successful allocations,
                              every ``period``-th malloc returns NULL
+``temporal_lock_corrupt``    re-key a live lock in the temporal
+                             registry at every ``period``-th mint,
+                             modelling corruption of the lock table's
+                             generation field (requires the machine's
+                             ``temporal`` policy armed; a no-op
+                             otherwise)
 ===========================  ===========================================
 """
 
@@ -57,6 +63,7 @@ FAULT_CLASSES: Tuple[str, ...] = (
     "global_table_exhaust",
     "subheap_register_pressure",
     "alloc_oom",
+    "temporal_lock_corrupt",
 )
 
 #: fault classes applied once when the injector is armed (the rest are
@@ -176,6 +183,8 @@ class FaultInjector:
             self._fill_subheap_registers(machine, spec)
         for index, spec in self._by_class.get("alloc_oom", ()):
             self._wrap_allocators_oom(machine, index, spec)
+        for index, spec in self._by_class.get("temporal_lock_corrupt", ()):
+            self._hook_temporal_registry(machine, index, spec)
 
     # -- event-driven hooks (called from the IFP unit) -------------------------
 
@@ -262,6 +271,39 @@ class FaultInjector:
         machine.freelist.malloc = faulty_malloc
         machine.heap_freelist_malloc = faulty_malloc
         machine.buddy.alloc = faulty_buddy_alloc
+
+    def _hook_temporal_registry(self, machine, index: int,
+                                spec: FaultSpec) -> None:
+        """Re-key a live lock at every due mint opportunity.
+
+        The corrupted entry stays live with a different key, so every
+        later lock==key comparison of a legitimately-minted pointer
+        mismatches.  The resilience gate is that this surfaces as a
+        typed :class:`repro.errors.TemporalViolation` (or is harmless
+        when the allocation is never touched again) — never as silent
+        output divergence, which the registry cannot cause: corruption
+        only changes *check* outcomes, not data.
+        """
+        registry = getattr(machine, "temporal", None)
+        if registry is None:
+            # Policy off: there is no lock table to corrupt.  Leave the
+            # machine untouched so the cell classifies as unaffected.
+            return
+        original_mint = registry.mint
+
+        def faulty_mint(base, size):
+            key = original_mint(base, size)
+            if self._due(index, spec):
+                target = registry.any_live_base()
+                if target is not None and registry.corrupt(target):
+                    entry = registry.probe(target)
+                    self._record(
+                        spec, "temporal.registry",
+                        f"lock for base 0x{target:x} re-keyed to "
+                        f"{entry[0]}")
+            return key
+
+        registry.mint = faulty_mint
 
     # -- internals ------------------------------------------------------------
 

@@ -39,7 +39,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.compiler import CompilerOptions, compile_source
 from repro.errors import (
-    BoundsTrap, PoisonTrap, SimTrap, WorkloadTimeout,
+    BoundsTrap, PoisonTrap, SimTrap, TemporalViolation, WorkloadTimeout,
 )
 from repro.ifp.config import IFPConfig
 from repro.resil.faults import FAULT_CLASSES, FaultInjector, FaultPlan
@@ -51,8 +51,8 @@ from repro.vm import Machine, MachineConfig
 from repro.workloads import Workload, get as get_workload
 
 OUTCOMES: Tuple[str, ...] = (
-    "detected_by_mac", "detected_by_bounds", "degraded", "trapped",
-    "timeout", "silent_corruption", "unaffected",
+    "detected_by_mac", "detected_by_bounds", "detected_by_temporal",
+    "degraded", "trapped", "timeout", "silent_corruption", "unaffected",
 )
 
 #: metadata schemes the campaign exercises, and how: compiler options
@@ -76,7 +76,13 @@ DEFAULT_SPECS: Dict[str, dict] = {
     "global_table_exhaust": {"payload": 0},
     "subheap_register_pressure": {"payload": 0},
     "alloc_oom": {"start": 64, "period": 1},
+    "temporal_lock_corrupt": {"start": 2, "period": 7},
 }
+
+#: fault classes that need the lock-and-key policy armed on the faulted
+#: machine (the reference run stays policy-off; the policy is output-
+#: transparent, so the comparison is still apples-to-apples)
+_TEMPORAL_FAULTS = ("temporal_lock_corrupt",)
 
 #: fast workloads covering the three schemes' interesting paths —
 #: ``health`` is the one that exercises subobject narrowing (so
@@ -184,9 +190,18 @@ class CampaignResult:
                 if (cell.fault, cell.scheme) in MAC_PROTECTED_CELLS
                 and cell.outcome == "silent_corruption"]
 
+    def temporal_silent_corruptions(self) -> List[CellResult]:
+        """Lock-corruption cells that diverged silently — the outcome
+        the lock-and-key gate forbids: a flipped lock generation must
+        surface as a typed TemporalViolation or be harmless."""
+        return [cell for cell in self.cells
+                if cell.fault in _TEMPORAL_FAULTS
+                and cell.outcome == "silent_corruption"]
+
     @property
     def ok(self) -> bool:
-        return not self.mac_protected_silent_corruptions()
+        return not self.mac_protected_silent_corruptions() \
+            and not self.temporal_silent_corruptions()
 
     def metrics(self) -> dict:
         """Schema-v1 ``metrics`` payload (numbers / nested dicts only)."""
@@ -199,6 +214,8 @@ class CampaignResult:
             "injections_total": sum(c.injections for c in self.cells),
             "mac_protected_silent_corruption":
                 len(self.mac_protected_silent_corruptions()),
+            "temporal_silent_corruption":
+                len(self.temporal_silent_corruptions()),
             "outcomes": totals,
             "matrix": {
                 fault: {scheme: dict(outcomes)
@@ -259,12 +276,21 @@ class CampaignResult:
         else:
             lines.append("  MAC-protected metadata faults: "
                          "zero silent corruption ✓")
+        temporal_violations = self.temporal_silent_corruptions()
+        if temporal_violations:
+            lines.append("  TEMPORAL-LOCK SILENT CORRUPTION:")
+            for cell in temporal_violations:
+                lines.append("    " + cell.row())
+        elif any(fault in _TEMPORAL_FAULTS for fault in self.faults):
+            lines.append("  temporal lock corruption: "
+                         "zero silent corruption ✓")
         return "\n".join(lines)
 
 
 _ABBREV = {
     "detected_by_mac": "mac",
     "detected_by_bounds": "bnd",
+    "detected_by_temporal": "tmp",
     "degraded": "deg",
     "trapped": "trp",
     "timeout": "tmo",
@@ -319,11 +345,12 @@ class CampaignRunner:
                 workload.source(self.scale), options)
         return self._programs[key]
 
-    def _machine(self, workload: Workload, scheme: str) -> Machine:
+    def _machine(self, workload: Workload, scheme: str,
+                 temporal: str = "off") -> Machine:
         _options, ifp = scheme_setup(scheme)
         config = MachineConfig(ifp=ifp, policy=self.policy,
                                wall_clock_timeout=self.timeout_seconds,
-                               engine=self.engine)
+                               engine=self.engine, temporal=temporal)
         return Machine(self._program(workload, scheme), config)
 
     def _reference(self, workload: Workload, scheme: str) -> _Reference:
@@ -351,7 +378,9 @@ class CampaignRunner:
         reference = self._reference(workload, scheme)
         plan = FaultPlan.single(fault, seed,
                                 **DEFAULT_SPECS.get(fault, {}))
-        machine = self._machine(workload, scheme)
+        machine = self._machine(
+            workload, scheme,
+            temporal="check" if fault in _TEMPORAL_FAULTS else "off")
         injector = FaultInjector(plan)
         injector.arm(machine)
         cell = CellResult(workload=workload.name, scheme=scheme,
@@ -377,6 +406,8 @@ class CampaignRunner:
             cell.detail = f"{trap_name}: {result.trap}"
             if mac_hits > 0:
                 cell.outcome = "detected_by_mac"
+            elif isinstance(result.trap, TemporalViolation):
+                cell.outcome = "detected_by_temporal"
             elif isinstance(result.trap, (PoisonTrap, BoundsTrap)):
                 cell.outcome = "detected_by_bounds"
             else:

@@ -28,6 +28,10 @@ class BuddyAllocator:
         self.free_blocks: Dict[int, List[int]] = \
             {order: [] for order in range(min_order, max_order + 1)}
         self.allocated_bytes = 0
+        #: temporal quarantine (repro.temporal): freed blocks are neither
+        #: coalesced nor reinserted, so block addresses are never reused
+        self.quarantine = False
+        self.quarantined_bytes = 0
 
     def alloc(self, order: int) -> Tuple[int, int]:
         """Allocate a block of ``2**order`` bytes; returns (address, instrs).
@@ -67,6 +71,9 @@ class BuddyAllocator:
         instrs = 6
         block = address
         self.allocated_bytes -= 1 << order
+        if self.quarantine:
+            self.quarantined_bytes += 1 << order
+            return instrs
         while order < self.max_order:
             buddy = block ^ (1 << order)
             try:

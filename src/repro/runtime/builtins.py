@@ -16,8 +16,11 @@ from repro.ifp.poison import Poison
 from repro.ifp.schemes.local_offset import (
     LocalOffsetScheme, METADATA_BYTES,
 )
-from repro.ifp.tag import Scheme, address_of, unpack_tag
+from repro.ifp.tag import (
+    Scheme, address_of, temporal_key_of, unpack_tag, with_temporal_key,
+)
 from repro.resil.policy import STRICT
+from repro.temporal import check_free
 from repro.runtime.buddy import BuddyAllocator
 from repro.runtime.freelist import FreeListAllocator
 from repro.runtime.global_table import GlobalTableManager
@@ -51,9 +54,41 @@ def install(machine) -> Dict[str, callable]:
     machine.subheap_allocator = subheap
     if machine.program.allocator == "subheap":
         allocator = subheap
+        allocator_name = "subheap"
     else:
         allocator = wrapped
+        allocator_name = "wrapped"
     machine.ifp_allocator = allocator
+
+    # -- temporal lock-and-key plumbing (repro.temporal) ---------------------
+    # The registry lives on the machine; the mint/release seams live here
+    # so every allocator (freelist-backed wrapped, pool-backed subheap,
+    # and their global-table fallbacks) goes through one code path.
+    registry = getattr(machine, "temporal", None)
+    temporal_cfg = machine.ifp.config
+    if registry is not None and machine.config.temporal == "quarantine":
+        # Quarantine policy: freed storage is never reinserted into any
+        # free pool, so a stale key can never collide with a fresh one.
+        freelist.quarantine = True
+        buddy.quarantine = True
+        subheap.quarantine = True
+
+    def temporal_mint(tagged, bnd):
+        """Mint a generation key for a freshly allocated tagged pointer."""
+        if registry is None or bnd is None or not (tagged >> 60) & 3:
+            return tagged, bnd  # temporal off, or legacy-degraded alloc
+        base = bnd.lower
+        key = registry.mint(base, bnd.upper - bnd.lower)
+        return (with_temporal_key(tagged, key, temporal_cfg),
+                bnd.with_temporal(base, key))
+
+    def temporal_check_free(pointer):
+        """Lock==key probe before a structural free; raises on violation."""
+        base = address_of(pointer)
+        key = temporal_key_of(pointer, temporal_cfg)
+        return check_free(registry, pointer, base, key, allocator_name)
+
+    machine.temporal_mint = temporal_mint
 
     # glibc __ctype_b_loc support: a traits table plus the pointer slot.
     table_addr, _c, _i = freelist.malloc(256 * 2)
@@ -107,7 +142,10 @@ def install(machine) -> Dict[str, callable]:
     # -- IFP runtime allocator entry points ------------------------------------
 
     def ifp_malloc(mach, args, bounds):
-        return allocator.malloc(args[0], args[1], args[2])
+        tagged, bnd, cycles, instrs = allocator.malloc(args[0], args[1],
+                                                       args[2])
+        tagged, bnd = temporal_mint(tagged, bnd)
+        return tagged, bnd, cycles, instrs
 
     def ifp_calloc(mach, args, bounds):
         total = args[0] * args[1]
@@ -118,13 +156,19 @@ def install(machine) -> Dict[str, callable]:
             mach.memory.fill(address, 0, total)
             cycles += mach.hierarchy.access_cycles(address, total, True)
             instrs += total // 8
+        tagged, bnd = temporal_mint(tagged, bnd)
         return tagged, bnd, cycles, instrs
 
     def ifp_realloc(mach, args, bounds):
         old_tagged, new_size = args[0], args[1]
         lt, elem = args[2], args[3]
-        new_tagged, bnd, cycles, instrs = allocator.malloc(new_size, lt, elem)
         old_address = address_of(old_tagged)
+        if registry is not None and old_address:
+            # A stale/dangling old pointer must trap before any copying;
+            # on success the old lock dies below, so every pre-realloc
+            # pointer (shrink or grow) detects as stale afterwards.
+            temporal_check_free(old_tagged)
+        new_tagged, bnd, cycles, instrs = allocator.malloc(new_size, lt, elem)
         if old_address and new_tagged:
             old_size = allocator.usable_size(old_tagged)
             count = min(old_size, new_size)
@@ -134,10 +178,17 @@ def install(machine) -> Dict[str, callable]:
             free_cycles, free_instrs = allocator.free(old_tagged)
             cycles += free_cycles
             instrs += free_instrs
+            if registry is not None:
+                registry.release(old_address)
+        new_tagged, bnd = temporal_mint(new_tagged, bnd)
         return new_tagged, bnd, cycles, instrs
 
     def ifp_free(mach, args, bounds):
+        if registry is not None:
+            temporal_check_free(args[0])
         cycles, instrs = allocator.free(args[0])
+        if registry is not None:
+            registry.release(address_of(args[0]))
         return 0, None, cycles, instrs
 
     builtins["__ifp_malloc"] = ifp_malloc

@@ -41,6 +41,11 @@ class FreeListAllocator:
         self.live_bytes = 0
         self.peak_live_bytes = 0
         self.allocations = 0
+        #: temporal quarantine (repro.temporal): freed chunks are marked
+        #: free in their headers but never reinserted for reuse, so no
+        #: later allocation can alias a dangling pointer's address
+        self.quarantine = False
+        self.quarantined_bytes = 0
 
     # -- public API ----------------------------------------------------------
 
@@ -108,7 +113,10 @@ class FreeListAllocator:
                 address=payload, allocator="freelist", kind="double_free")
         cycles += self._write_header(chunk, chunk_size, in_use=False)
         self.live_bytes -= chunk_size
-        self._insert_free(chunk, chunk_size)
+        if self.quarantine:
+            self.quarantined_bytes += chunk_size
+        else:
+            self._insert_free(chunk, chunk_size)
         return cycles + instrs, instrs
 
     def usable_size(self, payload: int) -> int:

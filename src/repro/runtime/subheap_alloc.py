@@ -75,6 +75,12 @@ class SubheapAllocator:
         self.pools: Dict[Tuple[int, int], _Pool] = {}
         #: block base -> pool (for free())
         self.block_owner: Dict[int, _Pool] = {}
+        #: temporal quarantine (repro.temporal): freed slots are never
+        #: returned to ``free_slots``, so pool reuse cannot alias a
+        #: dangling pointer's address (the temporal registry catches the
+        #: double free before the structural check would)
+        self.quarantine = False
+        self.quarantined_bytes = 0
 
     # -- allocation --------------------------------------------------------------
 
@@ -191,7 +197,10 @@ class SubheapAllocator:
                 f"free list of pool(size={pool.object_size}) "
                 f"in block 0x{block:x}",
                 address=address, allocator="subheap", kind="double_free")
-        pool.free_slots.append(address)
+        if self.quarantine:
+            self.quarantined_bytes += pool.slot_size
+        else:
+            pool.free_slots.append(address)
         machine.stats.heap_frees += 1
         if machine.obs is not None:
             machine.obs.alloc_decision("subheap", "free", 0, address)

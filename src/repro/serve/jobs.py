@@ -151,6 +151,9 @@ def _fuzz_params(params: Dict[str, Any]) -> Dict[str, Any]:
         "engine": _require_str(
             "params.engine", params.get("engine", "auto"),
             ("auto", "fastpath", "reference")),
+        "temporal": _require_str(
+            "params.temporal", params.get("temporal", "off"),
+            ("off", "check", "quarantine")),
         "shard_size": _require_int("params.shard_size",
                                    params.get("shard_size", 0), 0),
     }
@@ -190,6 +193,9 @@ def _juliet_params(params: Dict[str, Any]) -> Dict[str, Any]:
         "allocator": _require_str(
             "params.allocator", params.get("allocator", "wrapped"),
             ("wrapped", "subheap")),
+        "temporal": _require_str(
+            "params.temporal", params.get("temporal", "off"),
+            ("off", "check", "quarantine")),
         "shard_size": _require_int("params.shard_size",
                                    params.get("shard_size", 0), 0),
     }
@@ -315,7 +321,11 @@ def build_plan(kind: str, params: Dict[str, Any],
             retries=p.pop("retries"),
             backoff_base=p.pop("backoff_base"),
             jobs=workers, shard_size=p.pop("shard_size"),
-            engine=p.pop("engine"))
+            engine=p.pop("engine"),
+            # specs persisted before the temporal policy existed
+            # resolve to "off", which plan_fuzz keeps out of the plan
+            # params — the fingerprint stays stable either way
+            temporal=p.pop("temporal", "off"))
     if kind == "resil":
         from repro.par.engine import plan_resil
         return plan_resil(
@@ -329,6 +339,7 @@ def build_plan(kind: str, params: Dict[str, Any],
         from repro.par.engine import plan_juliet
         return plan_juliet(
             seed=params["seed"], allocator=params["allocator"],
+            temporal=params.get("temporal", "off"),
             jobs=workers, shard_size=params["shard_size"])
     if kind == "bench":
         from repro.par.engine import plan_bench

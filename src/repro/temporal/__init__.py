@@ -1,0 +1,30 @@
+"""Lock-and-key temporal memory safety (use-after-free / double free).
+
+The subsystem pairs a *key* carried in reserved pointer-tag bits with a
+*lock* held in a sharded allocation registry keyed by allocation base:
+
+* every tracked allocation mints a generation key (1..2^k-1; 0 means
+  "untracked") that is stamped into the top ``k`` bits of the pointer
+  tag's subobject/index field (:mod:`repro.ifp.tag`) and mirrored in
+  the bounds register (:class:`repro.ifp.bounds.Bounds`);
+* ``free``/``realloc`` *release* the lock (bump the generation, mark it
+  dead), so a dangling pointer's key can never match again;
+* the IFP unit compares lock == key at promote, and both execution
+  engines compare it at every bounds-checked load/store, raising the
+  typed :class:`repro.errors.TemporalViolation` on mismatch.
+
+Policies (``MachineConfig.temporal``): ``off`` disables everything
+(zero cost — no key bits are reserved and no registry exists);
+``check`` arms the checks while allocators reuse addresses normally
+(a k-bit key cycles, so 2^k-1 reuses of one base can alias — see
+DESIGN §11); ``quarantine`` additionally suppresses address reuse in
+the allocators so a stale key can never collide with a live one.
+"""
+
+from repro.temporal.registry import (
+    TemporalRegistry, check_free, temporal_violation,
+)
+
+__all__ = [
+    "TemporalRegistry", "check_free", "temporal_violation",
+]

@@ -1,0 +1,215 @@
+"""The sharded allocation registry: locks for the lock-and-key scheme.
+
+One entry per tracked allocation base, living in one of
+``shard_count`` hash shards (selected by the base address, so the
+host-side structure scales the way a banked hardware lock cache or a
+striped lock table would).  Each entry is a small mutable record
+``[key, live, size, generation]``:
+
+* ``generation`` counts incarnations of the base address and only ever
+  grows; ``key`` is its projection into the k-bit tag field
+  (``((generation - 1) % (2^k - 1)) + 1`` — never 0, which is the
+  "untracked" sentinel);
+* ``live`` is the lock state: a free marks the lock dead *and* bumps
+  the generation, so a dangling key mismatches whether or not the base
+  is ever reallocated.
+
+``version`` is bumped on every architectural change (mint, release,
+corruption) and participates in the IFP unit's promote-result cache
+key, so a cached promote can never replay a bounds register whose
+temporal facts have changed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import TemporalViolation
+from repro.ifp.tag import temporal_key_of
+
+#: entry field indices (entries are lists for cheap mutation)
+KEY = 0
+LIVE = 1
+SIZE = 2
+GENERATION = 3
+
+
+def _key_of(generation: int, key_bits: int) -> int:
+    """Project a monotonic generation into the k-bit key space (1..2^k-1)."""
+    return ((generation - 1) % ((1 << key_bits) - 1)) + 1
+
+
+class TemporalRegistry:
+    """Sharded base-address -> lock table."""
+
+    def __init__(self, key_bits: int = 2, shard_count: int = 16):
+        if key_bits < 1:
+            raise ValueError("temporal registry needs at least 1 key bit")
+        if shard_count & (shard_count - 1):
+            raise ValueError("shard_count must be a power of two")
+        self.key_bits = key_bits
+        self.shard_count = shard_count
+        self._shard_mask = shard_count - 1
+        #: shard index uses bits above the typical 16-byte allocation
+        #: alignment so consecutive allocations spread across shards
+        self._shards: List[dict] = [dict() for _ in range(shard_count)]
+        #: bumped on mint/release/corrupt; part of the promote-cache key
+        self.version = 0
+        # lifetime counters (forensics / registry stats)
+        self.mints = 0
+        self.releases = 0
+        self.live_count = 0
+
+    def _shard(self, base: int) -> dict:
+        return self._shards[(base >> 4) & self._shard_mask]
+
+    # -- lock lifecycle ------------------------------------------------------
+
+    def mint(self, base: int, size: int) -> int:
+        """Mint (or re-mint) the lock for ``base``; returns the new key.
+
+        A fresh base starts at generation 1; a reused base continues its
+        generation sequence (the release already bumped it), so the new
+        key differs from every dangling key of the previous incarnation
+        modulo the k-bit wrap.
+        """
+        shard = self._shard(base)
+        entry = shard.get(base)
+        if entry is None:
+            entry = [_key_of(1, self.key_bits), True, size, 1]
+            shard[base] = entry
+        else:
+            entry[KEY] = _key_of(entry[GENERATION], self.key_bits)
+            entry[LIVE] = True
+            entry[SIZE] = size
+        self.mints += 1
+        self.live_count += 1
+        self.version += 1
+        return entry[KEY]
+
+    def release(self, base: int) -> Optional[list]:
+        """Destroy the lock for ``base`` (free/realloc path).
+
+        Bumps the generation and marks the lock dead; returns the entry
+        (or None for an untracked base, which is left to the allocators'
+        structural :class:`repro.errors.InvalidFree` checks).
+        """
+        entry = self._shard(base).get(base)
+        if entry is None:
+            return None
+        if entry[LIVE]:
+            self.live_count -= 1
+        entry[LIVE] = False
+        entry[GENERATION] += 1
+        self.releases += 1
+        self.version += 1
+        return entry
+
+    def probe(self, base: int) -> Optional[list]:
+        """Current lock entry for ``base`` (None when untracked)."""
+        return self._shard(base).get(base)
+
+    def corrupt(self, base: int) -> bool:
+        """Flip the lock's key to a different value in the key space.
+
+        The resil fault hook: simulates registry corruption (a flipped
+        generation).  The entry stays live, so every subsequent check of
+        a legitimately-minted pointer mismatches — the gate is that this
+        surfaces as a typed :class:`TemporalViolation`, never as silent
+        divergence.
+        """
+        entry = self._shard(base).get(base)
+        if entry is None:
+            return False
+        entry[KEY] = _key_of(entry[GENERATION] + 1, self.key_bits)
+        if entry[KEY] == 0:  # pragma: no cover - _key_of never returns 0
+            entry[KEY] = 1
+        self.version += 1
+        return True
+
+    def any_live_base(self) -> Optional[int]:
+        """Some currently-live base, if any (fault-injection target)."""
+        for shard in self._shards:
+            for base, entry in shard.items():
+                if entry[LIVE]:
+                    return base
+        return None
+
+    def stats(self) -> dict:
+        return {
+            "key_bits": self.key_bits,
+            "shard_count": self.shard_count,
+            "mints": self.mints,
+            "releases": self.releases,
+            "live": self.live_count,
+            "tracked_bases": sum(len(s) for s in self._shards),
+            "version": self.version,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Shared violation construction — both execution engines and the
+# allocator free paths build their traps through these helpers, which is
+# what keeps messages/fields byte-identical across the reference
+# interpreter and the fastpath compiler.
+# ---------------------------------------------------------------------------
+
+_DEREF_KINDS = {
+    "promote": ("stale_key", "freed_lock"),
+    "load": ("stale_key", "freed_lock"),
+    "store": ("stale_key", "freed_lock"),
+}
+
+
+def temporal_violation(origin: str, pointer: int, base: int, key: int,
+                       entry: Optional[list],
+                       pc: object = None) -> TemporalViolation:
+    """Build the trap for a failed lock==key comparison at a deref site."""
+    if entry is None or not entry[LIVE]:
+        kind = "freed_lock"
+        lock = 0
+        detail = "lock is dead (allocation freed, not reallocated)"
+    else:
+        kind = "stale_key"
+        lock = entry[KEY]
+        detail = (f"lock holds key {lock} (allocation freed and base "
+                  f"reused)")
+    message = (f"temporal violation at {origin}: pointer key {key} vs "
+               f"lock for base 0x{base:x} — {detail}")
+    return TemporalViolation(message, pointer=pointer, address=base,
+                             key=key, lock=lock, kind=kind, origin=origin,
+                             pc=pc)
+
+
+def check_free(registry: TemporalRegistry, pointer: int, base: int,
+               key: int, allocator: str) -> Optional[list]:
+    """Free-path lock check: raises on double free / stale-pointer free.
+
+    Runs *before* the allocator's structural checks, so a tracked
+    allocation's double free surfaces as the typed temporal trap (the
+    structural :class:`InvalidFree` remains the verdict for untracked
+    pointers).  Returns the live entry on success, None when the base is
+    untracked.
+    """
+    entry = registry.probe(base)
+    if entry is None or key == 0:
+        return None
+    if not entry[LIVE]:
+        raise TemporalViolation(
+            f"temporal violation at free: double free of base 0x{base:x} "
+            f"via {allocator} — lock is already dead",
+            pointer=pointer, address=base, key=key, lock=0,
+            kind="double_free", origin="free")
+    if entry[KEY] != key:
+        raise TemporalViolation(
+            f"temporal violation at free: stale pointer key {key} vs "
+            f"live lock key {entry[KEY]} for base 0x{base:x} via "
+            f"{allocator} — freeing a previous incarnation's pointer",
+            pointer=pointer, address=base, key=key, lock=entry[KEY],
+            kind="stale_free", origin="free")
+    return entry
+
+
+def extract_key(pointer: int, config) -> int:
+    """Tag key of a packed pointer under ``config`` (0 when untracked)."""
+    return temporal_key_of(pointer, config)

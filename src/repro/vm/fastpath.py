@@ -78,12 +78,13 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import (
     BoundsTrap, LinkError, PoisonTrap, SimTrap, StepBudgetExceeded,
-    WorkloadTimeout,
+    TemporalViolation, WorkloadTimeout,
 )
 from repro.compiler.ir import IRFunction, Op
 from repro.ifp.bounds import Bounds
 from repro.mem.layout import ADDRESS_MASK
 from repro.obs.events import BoundsSpillEvent, CheckEvent, PromoteEvent
+from repro.temporal import temporal_violation
 from repro.vm.interp import (
     Interpreter, U64, _CALL_EXTRA, _DIV_EXTRA, _MUL_EXTRA,
     _SCHEME_NAMES, _signed,
@@ -204,6 +205,16 @@ class _FuncCompiler:
             "FBA": interp.functions_by_address,
             "FN": func.name, "LIMIT": interp._limit, "PCLR": _PCLR,
         }
+        # Temporal lock-and-key (repro.temporal): check lines are only
+        # *emitted* when the machine's registry exists, so a temporal=off
+        # machine compiles exactly the code it always did — zero cost.
+        # Translations are cached per machine instance and the policy is
+        # fixed at construction, so the specialization cannot go stale.
+        self.temporal = interp._temporal is not None
+        if self.temporal:
+            self.ns["tprobe"] = interp._temporal.probe
+            self.ns["tviol"] = temporal_violation
+            self.ns["TemporalViolation"] = TemporalViolation
         if self.trace:
             # the bound method, resolved once at translate time: a traced
             # instruction costs one direct call, no attribute walk
@@ -279,6 +290,23 @@ class _FuncCompiler:
                 f"        raise BoundsTrap('{kind} out of bounds', _p,"
                 f" _bd.lower, _bd.upper, pc=(FN, {ip}))",
             ]
+            if self.temporal:
+                # lock==key probe, exactly where the reference runs it:
+                # after the bounds check passes, before the access is
+                # charged (hence the c[4] -= 1 on the trap path — the
+                # reference raises before its ``cycles += 1 + access``)
+                lines += [
+                    "    _tk = _bd.tkey",
+                    "    if _tk:",
+                    "        stats.temporal_checks += 1",
+                    "        _te = tprobe(_bd.tbase)",
+                    "        if _te is None or not _te[1]"
+                    " or _te[0] != _tk:",
+                    "            stats.temporal_failures += 1",
+                    "            c[4] -= 1",
+                    f"            raise tviol('{kind}', _p, _bd.tbase,"
+                    f" _tk, _te, pc=(FN, {ip}))",
+                ]
             if op == Op.LOAD:
                 lines += [
                     f"c[4] += access(_ea, {ins.size}, False)",
@@ -356,10 +384,20 @@ class _FuncCompiler:
                 # events (metadata fetch, MAC, narrow) inherit it; if
                 # promote raises, site stays set — as in the reference
                 site = self._site(ip)
+                if self.temporal:
+                    promote_call = [
+                        "try:",
+                        "    _pr = promote(_pv)",
+                        "except TemporalViolation as _tv:",
+                        f"    _tv.pc = {site}",
+                        "    raise",
+                    ]
+                else:
+                    promote_call = ["_pr = promote(_pv)"]
                 lines = [
                     f"_pv = regs[{a}]",
                     f"OB.site = {site}",
-                    "_pr = promote(_pv)",
+                ] + promote_call + [
                     "c[4] += _pr.cycles",
                     f"regs[{d}] = _pr.pointer",
                     f"bnds[{d}] = _pr.bounds",
@@ -369,8 +407,21 @@ class _FuncCompiler:
                     "OB.site = None",
                 ]
                 return _Emitted((0, 1, 0, 0, 0, 0, 0), lines, _RAISING)
-            lines = [
-                f"_pr = promote(regs[{a}])",
+            if self.temporal:
+                # stamp the promote site on a temporal trap, as the
+                # reference does (no cycle compensation: the reference
+                # raises before charging the promote's result cycles,
+                # and a promote contributes no baseline cycle)
+                lines = [
+                    "try:",
+                    f"    _pr = promote(regs[{a}])",
+                    "except TemporalViolation as _tv:",
+                    f"    _tv.pc = (FN, {ip})",
+                    "    raise",
+                ]
+            else:
+                lines = [f"_pr = promote(regs[{a}])"]
+            lines += [
                 "c[4] += _pr.cycles",
                 f"regs[{d}] = _pr.pointer",
                 f"bnds[{d}] = _pr.bounds",

@@ -24,12 +24,13 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import (
     BoundsTrap, GuestExit, LinkError, PoisonTrap, SimTrap,
-    StepBudgetExceeded, WorkloadTimeout,
+    StepBudgetExceeded, TemporalViolation, WorkloadTimeout,
 )
 from repro.compiler.ir import BIN_CODES, IRFunction, Op
 from repro.ifp.bounds import Bounds
 from repro.mem.layout import ADDRESS_MASK
 from repro.obs.events import BoundsSpillEvent, CheckEvent, PromoteEvent
+from repro.temporal import temporal_violation
 
 _SCHEME_NAMES = ("LEGACY", "LOCAL_OFFSET", "SUBHEAP", "GLOBAL_TABLE")
 
@@ -75,6 +76,10 @@ class Interpreter:
         self._timeout_seconds = 0.0
         self._no_promote = machine.config.no_promote
         self._mac_key = machine.config.mac_key
+        #: temporal lock registry (None when config.temporal == "off");
+        #: deref sites gate on ``bound.tkey`` — nonzero only when the
+        #: registry minted a key, so the probe below never sees None
+        self._temporal = machine.temporal
         # BIN/BINI codes are assigned at compile/load time (satellite of
         # the fastpath work): constructing thousands of Machines over one
         # program no longer re-walks every function.
@@ -267,6 +272,16 @@ class Interpreter:
                                 "load out of bounds", base_val,
                                 bound.lower, bound.upper,
                                 pc=(func.name, ip - 1))
+                        tkey = bound.tkey
+                        if tkey:
+                            stats.temporal_checks += 1
+                            t_entry = self._temporal.probe(bound.tbase)
+                            if (t_entry is None or not t_entry[1]
+                                    or t_entry[0] != tkey):
+                                stats.temporal_failures += 1
+                                raise temporal_violation(
+                                    "load", base_val, bound.tbase, tkey,
+                                    t_entry, pc=(func.name, ip - 1))
                     cycles += 1 + hierarchy.access_cycles(ea, size, False)
                     value = memory.load_int(ea, size, ins.signed)
                     regs[ins.dst] = value & U64
@@ -297,6 +312,16 @@ class Interpreter:
                                 "store out of bounds", base_val,
                                 bound.lower, bound.upper,
                                 pc=(func.name, ip - 1))
+                        tkey = bound.tkey
+                        if tkey:
+                            stats.temporal_checks += 1
+                            t_entry = self._temporal.probe(bound.tbase)
+                            if (t_entry is None or not t_entry[1]
+                                    or t_entry[0] != tkey):
+                                stats.temporal_failures += 1
+                                raise temporal_violation(
+                                    "store", base_val, bound.tbase, tkey,
+                                    t_entry, pc=(func.name, ip - 1))
                     cycles += 1 + hierarchy.access_cycles(ea, size, True)
                     memory.store_int(ea, regs[ins.b], size)
 
@@ -409,7 +434,14 @@ class Interpreter:
                             # Unit-level events (metadata fetch, MAC,
                             # narrowing) inherit this site attribution.
                             obs.site = (func.name, ip - 1)
-                        result = self.ifp.promote(value)
+                        try:
+                            result = self.ifp.promote(value)
+                        except TemporalViolation as trap:
+                            # The unit has no notion of guest pc; stamp
+                            # the promote site so forensics can anchor
+                            # the report.
+                            trap.pc = (func.name, ip - 1)
+                            raise
                         cycles += result.cycles
                         regs[ins.dst] = result.pointer
                         bnds[ins.dst] = result.bounds

@@ -38,6 +38,12 @@ class MachineConfig:
     #: wall-clock watchdog for one run (seconds; None disables).  Checked
     #: coarsely by the interpreter; raises WorkloadTimeout, not a trap.
     wall_clock_timeout: Optional[float] = None
+    #: temporal lock-and-key policy (repro.temporal): "off" reserves no
+    #: tag bits and builds no registry (zero cost); "check" arms
+    #: promote/deref/free lock==key checks while allocators reuse
+    #: addresses normally; "quarantine" additionally suppresses address
+    #: reuse in the allocators so stale keys can never alias fresh ones
+    temporal: str = "off"
     #: execution engine: "auto" picks the closure-compiled fastpath —
     #: including under an armed tracer/observer/fault injector, for
     #: which it compiles an instrumented variant with inline emit sites
@@ -81,8 +87,25 @@ class Machine:
         self.layout = config.layout
         self.memory = Memory()
         self.hierarchy = config.hierarchy.build()
-        self.ifp = IFPUnit(self.memory, self.hierarchy, config.ifp,
+        if config.temporal not in ("off", "check", "quarantine"):
+            raise ReproError(
+                f"unknown temporal policy {config.temporal!r} "
+                "(expected off|check|quarantine)")
+        ifp_config = config.ifp
+        if config.temporal != "off":
+            from repro.temporal import TemporalRegistry
+            if ifp_config.temporal_key_bits == 0:
+                from dataclasses import replace as _replace
+                ifp_config = _replace(ifp_config, temporal_key_bits=2)
+            #: allocation-lock registry; allocator builtins mint/release
+            #: through it and both engines probe it at deref sites
+            self.temporal = TemporalRegistry(
+                key_bits=ifp_config.temporal_key_bits)
+        else:
+            self.temporal = None
+        self.ifp = IFPUnit(self.memory, self.hierarchy, ifp_config,
                            mac_key=config.mac_key)
+        self.ifp.temporal = self.temporal
         self.stats = RunStats()
         self.image: LoadedImage = load_program(program, self.memory,
                                                self.layout)

@@ -40,6 +40,10 @@ class RunStats:
     # -- checks ------------------------------------------------------------------
     implicit_checks: int = 0
     check_failures: int = 0
+    #: deref-site lock==key comparisons (repro.temporal); only bounds
+    #: registers carrying a temporal fact are probed
+    temporal_checks: int = 0
+    temporal_failures: int = 0
 
     # -- object instrumentation (Table 4) -----------------------------------------
     local_objects: int = 0

@@ -283,6 +283,50 @@ class TestDriverSmoke:
 
 
 # ---------------------------------------------------------------------------
+# temporal attack classes (lock-and-key policy armed)
+# ---------------------------------------------------------------------------
+
+class TestTemporalFuzz:
+    def test_temporal_attacks_are_opt_in(self):
+        """A default campaign draws no temporal attacks, so historical
+        corpus digests and iteration streams stay byte-identical."""
+        from repro.fuzz.attacks import TEMPORAL_KINDS, attacks_for
+        from repro.fuzz.generator import generate_program
+        program = generate_program(11, 0)
+        for site in program.sites:
+            kinds = {a.kind for a in attacks_for(site)}
+            assert not kinds & set(TEMPORAL_KINDS)
+            if site.temporal_ok:
+                armed = {a.kind for a in
+                         attacks_for(site, include_temporal=True)}
+                assert set(TEMPORAL_KINDS) <= armed
+
+    def test_armed_campaign_detects_temporal_attacks(self, tmp_path):
+        stats = run_fuzz(10, seed=11, corpus_dir=str(tmp_path),
+                         temporal="check", log=lambda m: None,
+                         progress_every=0)
+        assert stats.ok, stats.summary()
+        assert stats.temporal == "check"
+        temporal_traps = sum(
+            count for (_config, trap), count
+            in stats.trap_histogram.items()
+            if trap == "TemporalViolation")
+        assert temporal_traps > 0
+        assert "temporal=check" in stats.summary()
+
+    def test_temporal_stats_round_trip_with_back_compat(self):
+        from repro.fuzz.driver import FuzzStats
+        stats = FuzzStats(seed=1, configs=["baseline"],
+                          temporal="check")
+        again = FuzzStats.from_dict(stats.to_dict())
+        assert again.temporal == "check"
+        # records written before the policy existed lack the key
+        old = stats.to_dict()
+        del old["temporal"]
+        assert FuzzStats.from_dict(old).temporal == "off"
+
+
+# ---------------------------------------------------------------------------
 # Harness satellites: typed errors + generalized agreement check
 # ---------------------------------------------------------------------------
 

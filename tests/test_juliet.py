@@ -73,6 +73,33 @@ class TestRunner:
         assert "detection" in text and "false positives" in text
 
 
+class TestTemporalFamilies:
+    def test_lifetime_families_are_opt_in(self):
+        from repro.juliet.cases import generate_temporal_cases
+        default = {c.name for c in generate_cases()}
+        temporal = {c.name for c in generate_temporal_cases()}
+        assert temporal and not default & temporal
+        assert all(c.cwe in ("CWE-415", "CWE-416")
+                   for c in generate_temporal_cases())
+
+    def test_lifetime_families_detect_under_check(self):
+        from repro.juliet.cases import generate_temporal_cases
+        cases = generate_temporal_cases(flows=["01", "02"])
+        for options in (CompilerOptions.wrapped(),
+                        CompilerOptions.subheap()):
+            report = run_suite(options, cases, temporal="check")
+            assert report.all_passed, report.summary()
+            assert report.detected == report.bad_total
+            assert report.false_positives == 0
+
+    def test_big_variants_detect_under_check(self):
+        from repro.juliet.cases import generate_temporal_cases
+        cases = generate_temporal_cases(flows=["01"], big=True)
+        report = run_suite(CompilerOptions.wrapped(), cases,
+                           temporal="check")
+        assert report.all_passed, report.summary()
+
+
 @pytest.mark.slow
 class TestFullSuite:
     def test_full_suite_paper_result(self):

@@ -399,6 +399,74 @@ class TestTraceCorrelation:
 
 
 # ---------------------------------------------------------------------------
+# temporal trap forensics: lock-and-key anatomy + correlation
+# ---------------------------------------------------------------------------
+
+UAF_SOURCE = """
+int main(void) {
+    int *p = (int*)malloc(16 * sizeof(int));
+    p[0] = 1;
+    free(p);
+    printf("x = %d\\n", p[0]);
+    return 0;
+}
+"""
+
+
+class TestTemporalForensics:
+    def _trap_machine(self):
+        from repro.vm.machine import MachineConfig
+        program = compile_source(UAF_SOURCE, CompilerOptions.wrapped())
+        return Machine(program, MachineConfig(temporal="check"))
+
+    def test_temporal_trap_report_has_lock_anatomy(self):
+        machine = self._trap_machine()
+        obs = attach_observer(machine, profile=False, forensics=True)
+        result = machine.run()
+        assert type(result.trap).__name__ == "TemporalViolation"
+        report = obs.last_report
+        assert report is not None
+        assert report.trap_type == "TemporalViolation"
+        assert report.tag_fields["kind"] == "freed_lock"
+        assert report.tag_fields["lock"] == 0
+        assert report.tag_fields["temporal_key"] >= 1
+        assert report.pointer is not None
+        rendered = report.render()
+        assert "temporal registry lock" in rendered
+        assert "lock is DEAD" in rendered
+        record = report.to_dict()
+        assert json.loads(json.dumps(record)) == record
+
+    def test_temporal_trap_carries_bus_context(self):
+        from repro.obs import TraceContext
+        machine = self._trap_machine()
+        obs = attach_observer(machine, profile=False, forensics=True)
+        obs.bus.context = TraceContext(tenant="acme", job_id="job-t",
+                                       shard_id=1, seed=5)
+        result = machine.run()
+        assert result.trap is not None
+        report = obs.last_report
+        assert report.context == {"tenant": "acme", "job_id": "job-t",
+                                  "shard_id": 1, "seed": 5}
+        assert "tenant=acme" in report.render()
+        # every event feeding the report is stamped too, including the
+        # TrapEvent itself (emitted at the shared on_trap seam)
+        trap_events = [line for line in report.recent_events
+                       if "trap_type=TemporalViolation" in line]
+        assert trap_events and "'tenant': 'acme'" in trap_events[0]
+
+    def test_fuzz_temporal_forensics_accepts_trace(self):
+        from repro.fuzz.oracle import capture_trap_forensics
+        trace = {"tenant": "acme", "job_id": "job-3",
+                 "shard_id": 0, "seed": 9}
+        report = capture_trap_forensics(UAF_SOURCE, "wrapped",
+                                        trace=trace, temporal="check")
+        assert report is not None
+        assert report.trap_type == "TemporalViolation"
+        assert report.context == trace
+
+
+# ---------------------------------------------------------------------------
 # metrics schema v2: correlation/engine labels
 # ---------------------------------------------------------------------------
 

@@ -362,6 +362,51 @@ class TestMergeDeterminism:
             assert (par_dir / path.name).read_bytes() \
                 == path.read_bytes(), path.name
 
+    def test_temporal_plans_keep_old_fingerprints(self, tmp_path):
+        """Back-compat: plans built before the temporal policy existed
+        carry no ``temporal`` params key, and planning with the default
+        policy must reproduce them byte-for-byte (same fingerprint) so
+        old checkpoint manifests keep verifying."""
+        default = plan_fuzz(4, 7, configs=["baseline"],
+                            corpus_dir=str(tmp_path / "c"), jobs=2)
+        assert "temporal" not in default.params
+        # a pre-temporal manifest round-trips to the same fingerprint
+        old_manifest = json.loads(json.dumps(default.to_dict()))
+        assert "temporal" not in old_manifest["params"]
+        assert ShardPlan.from_dict(old_manifest).fingerprint() \
+            == default.fingerprint()
+        # arming the policy is recorded and changes the fingerprint
+        armed = plan_fuzz(4, 7, configs=["baseline"],
+                          corpus_dir=str(tmp_path / "c"), jobs=2,
+                          temporal="check")
+        assert armed.params["temporal"] == "check"
+        assert armed.fingerprint() != default.fingerprint()
+
+    def test_old_manifest_without_temporal_key_still_executes(
+            self, tmp_path):
+        plan = plan_fuzz(2, 3, configs=["baseline"],
+                         corpus_dir=str(tmp_path / "c"), jobs=1,
+                         inject=False)
+        revived = ShardPlan.from_dict(
+            json.loads(json.dumps(plan.to_dict())))
+        merged, outcome = parallel_fuzz(revived, jobs=1)
+        assert outcome.ok
+        assert merged.temporal == "off"
+
+    def test_armed_juliet_plan_covers_temporal_cases(self):
+        from repro.juliet.cases import generate_cases, \
+            generate_temporal_cases
+        from repro.par.engine import plan_juliet
+        default = plan_juliet(jobs=2)
+        armed = plan_juliet(jobs=2, temporal="check")
+        assert "temporal" not in default.params
+        assert armed.params["temporal"] == "check"
+        spatial, temporal = len(generate_cases()), \
+            len(generate_temporal_cases())
+        assert sum(len(s.items) for s in default.shards) == spatial
+        assert sum(len(s.items) for s in armed.shards) \
+            == spatial + temporal
+
     def test_parallel_resil_matches_sequential(self):
         from repro.resil.matrix import SCHEMES, run_campaign
         kwargs = dict(workloads=("treeadd",), schemes=SCHEMES,
@@ -753,6 +798,9 @@ class TestErrorSerialization:
                 "slow", workload="tsp", config="subheap", seconds=1.5,
                 executed=100),
             "GuestExit": errors_mod.GuestExit(3),
+            "TemporalViolation": errors_mod.TemporalViolation(
+                "stale key", pointer=0x1010, address=0x1000,
+                key=1, lock=2, kind="stale_key", origin="load"),
             "ResourceExhausted": errors_mod.ResourceExhausted("table"),
             "ServiceError": errors_mod.ServiceError("boom"),
             "InvalidJobSpec": errors_mod.InvalidJobSpec(

@@ -356,7 +356,8 @@ class TestFuzzDriverRetry:
         calls = []
 
         def flaky_check_clean(source, configs, name="", \
-                              timeout_seconds=None, engine="auto"):
+                              timeout_seconds=None, engine="auto",
+                              temporal="off"):
             calls.append(source)
             if len(calls) <= fail_first_n:
                 raise WorkloadTimeout("simulated hang")
@@ -419,6 +420,46 @@ class TestCampaign:
         doc = metrics_document("resil", {"seed": 1}, campaign.metrics())
         assert validate_document(doc) == []
         assert "treeadd" in campaign.render()
+
+    def test_temporal_lock_corrupt_cells_never_diverge_silently(self):
+        """Satellite gate: a corrupted lock generation must surface as
+        the typed TemporalViolation (or be harmless) — registry
+        corruption only changes check outcomes, never guest data."""
+        from repro.resil.matrix import CampaignRunner
+
+        runner = CampaignRunner(timeout_seconds=60.0)
+        campaign = runner.run(
+            workload_names=("treeadd",),
+            schemes=("local_offset", "subheap", "global_table"),
+            faults=("temporal_lock_corrupt",), seed=1234)
+        assert campaign.ok
+        assert campaign.temporal_silent_corruptions() == []
+        assert campaign.metrics()["temporal_silent_corruption"] == 0
+        outcomes = {cell.outcome for cell in campaign.cells}
+        assert outcomes <= {"detected_by_temporal", "unaffected"}, \
+            campaign.render()
+        assert "detected_by_temporal" in outcomes
+        assert any(cell.injections > 0 for cell in campaign.cells)
+        assert "temporal lock corruption: zero silent corruption" \
+            in campaign.render()
+
+    def test_temporal_fault_is_noop_with_policy_off(self):
+        """Arming the fault on a machine without the temporal policy
+        leaves it untouched (nothing to corrupt)."""
+        from repro.compiler import CompilerOptions, compile_source
+        from repro.resil.faults import FaultInjector, FaultPlan
+        from repro.vm import Machine
+
+        source = "int main(void) { int *p = (int*)malloc(8); " \
+                 "p[0] = 1; free(p); return 0; }"
+        program = compile_source(source, CompilerOptions.wrapped())
+        machine = Machine(program)
+        injector = FaultInjector(FaultPlan.single(
+            "temporal_lock_corrupt", seed=3, period=1))
+        injector.arm(machine)
+        result = machine.run()
+        assert result.trap is None
+        assert injector.injections == []
 
     def test_cell_seeds_are_deterministic(self):
         from repro.resil.matrix import CampaignRunner

@@ -72,6 +72,27 @@ class TestValidateSpec:
         assert params["iterations"] == 20
         assert params["configs"] == ["baseline", "wrapped"]
         assert params["engine"] == "auto"
+        assert params["temporal"] == "off"
+
+    @pytest.mark.parametrize("kind", ["fuzz", "juliet"])
+    def test_temporal_param_validates(self, kind):
+        _, _, _, params = validate_spec(
+            _spec(kind=kind, temporal="check"))
+        assert params["temporal"] == "check"
+        with pytest.raises(InvalidJobSpec) as info:
+            validate_spec(_spec(kind=kind, temporal="paranoid"))
+        assert info.value.field == "params.temporal"
+
+    def test_temporal_spec_builds_an_armed_plan(self):
+        _, kind, workers, params = validate_spec(
+            _spec(kind="fuzz", iterations=4, temporal="check"))
+        armed = build_plan(kind, params, workers)
+        assert armed.params["temporal"] == "check"
+        # the default policy stays absent from plan params, so
+        # pre-temporal checkpoint fingerprints keep verifying
+        _, kind, workers, params = validate_spec(
+            _spec(kind="fuzz", iterations=4))
+        assert "temporal" not in build_plan(kind, params, workers).params
 
     @pytest.mark.parametrize("body,field", [
         ({"kind": "selftest"}, "tenant"),
