@@ -3,13 +3,19 @@
 For every selected ``(workload, config)`` cell this script
 
 1. compiles the workload once,
-2. runs it under **both** engines and asserts byte-identical
+2. runs it under **all three** engines (reference, block-fused
+   fastpath, whole-function superblock) and asserts byte-identical
    observables (guest output, exit code, trap, and every ``RunStats``
    field including the IFP unit's cache counters) — the differential
-   gate that backs the fastpath's equivalence contract, and
+   gate that backs the compiled engines' equivalence contract, and
 3. times each engine over ``--repeats`` fresh runs (best-of), reporting
    simulated guest instructions per host second (guest-MIPS) and the
-   fastpath/reference speedup.
+   per-engine speedup over the reference.
+
+Timed subheap cells additionally get ``subheap_vs_baseline_ratio`` —
+baseline-config MIPS over subheap-config MIPS for the same workload
+under the best compiled engine, the host-side cost factor of subheap
+protection.  ``--max-subheap-gap`` turns that ratio into a gate.
 
 Results land in ``BENCH_host_throughput.json`` (repro.obs schema v1).
 With ``--baseline`` the run is additionally gated against a committed
@@ -65,23 +71,38 @@ def _run_once(program, machine_config, engine: str):
     return result, elapsed
 
 
+#: compiled engines timed and differentially verified per cell
+_FAST_ENGINES = ("fastpath", "superblock")
+
+
 def bench_cell(workload: str, config: str, scale: int, repeats: int,
-               verify_only: bool) -> Dict:
+               verify_only: bool, temporal: str = "off") -> Dict:
     """Verify and time one (workload, config) cell.
+
+    Both compiled engines ("fastpath" — block-fused only — and
+    "superblock" — whole-function translation) are verified against the
+    reference and timed; the cell is ``identical`` only when every
+    engine agrees byte-for-byte.
 
     All cell fields are numeric (the repro.obs schema forbids strings
     in metrics); the "<workload>/<config>" key carries the identity.
     """
     program = compile_source(WORKLOADS[workload].source(scale),
                              build_options(config))
-    machine_config = build_machine_config(config)
+    machine_config = replace(build_machine_config(config),
+                             temporal=temporal)
 
-    # Differential gate: one verified pair per cell, always.
+    # Differential gate: one verified run per engine per cell, always.
     ref_result, ref_seconds = _run_once(program, machine_config,
                                         "reference")
-    fast_result, fast_seconds = _run_once(program, machine_config,
-                                          "fastpath")
-    identical = _observables(ref_result) == _observables(fast_result)
+    expected = _observables(ref_result)
+    seconds = {"reference": ref_seconds}
+    identical = True
+    for engine in _FAST_ENGINES:
+        result, elapsed = _run_once(program, machine_config, engine)
+        seconds[engine] = elapsed
+        if _observables(result) != expected:
+            identical = False
     cell = {
         "identical": 1 if identical else 0,
         "instructions": ref_result.stats.total_instructions,
@@ -92,19 +113,42 @@ def bench_cell(workload: str, config: str, scale: int, repeats: int,
     # Timing: best-of over fresh machines (each pays translation once,
     # like every real harness run does).
     for _ in range(max(0, repeats - 1)):
-        _, seconds = _run_once(program, machine_config, "reference")
-        ref_seconds = min(ref_seconds, seconds)
-        _, seconds = _run_once(program, machine_config, "fastpath")
-        fast_seconds = min(fast_seconds, seconds)
+        for engine in ("reference",) + _FAST_ENGINES:
+            _, elapsed = _run_once(program, machine_config, engine)
+            seconds[engine] = min(seconds[engine], elapsed)
     instructions = cell["instructions"]
-    cell.update({
-        "reference_seconds": round(ref_seconds, 6),
-        "fastpath_seconds": round(fast_seconds, 6),
-        "reference_mips": round(instructions / ref_seconds / 1e6, 4),
-        "fastpath_mips": round(instructions / fast_seconds / 1e6, 4),
-        "speedup": round(ref_seconds / fast_seconds, 4),
-    })
+    for engine in ("reference",) + _FAST_ENGINES:
+        cell[f"{engine}_seconds"] = round(seconds[engine], 6)
+        cell[f"{engine}_mips"] = round(
+            instructions / seconds[engine] / 1e6, 4)
+    cell["speedup"] = round(seconds["reference"] / seconds["fastpath"], 4)
+    cell["superblock_speedup"] = round(
+        seconds["reference"] / seconds["superblock"], 4)
     return cell
+
+
+def add_subheap_ratios(cells: Dict[str, Dict]) -> List[float]:
+    """Stamp ``subheap_vs_baseline_ratio`` into every timed subheap cell.
+
+    The ratio is baseline-config MIPS over subheap-config MIPS for the
+    same workload under the best compiled engine — the host-side cost
+    factor of subheap protection the ISSUE's gap gate bounds.  Returns
+    the ratios stamped.
+    """
+    ratios: List[float] = []
+    for key, cell in cells.items():
+        workload, _, config = key.partition("/")
+        if config != "subheap" or "superblock_mips" not in cell:
+            continue
+        base = cells.get(f"{workload}/baseline")
+        if not base or "superblock_mips" not in base:
+            continue
+        best_sub = max(cell["superblock_mips"], cell["fastpath_mips"])
+        best_base = max(base["superblock_mips"], base["fastpath_mips"])
+        ratio = round(best_base / best_sub, 4)
+        cell["subheap_vs_baseline_ratio"] = ratio
+        ratios.append(ratio)
+    return ratios
 
 
 def check_baseline(cells: Dict[str, Dict], baseline_path: str,
@@ -112,22 +156,24 @@ def check_baseline(cells: Dict[str, Dict], baseline_path: str,
     """Compare cell speedups against a committed baseline record."""
     with open(baseline_path) as handle:
         document = json.load(handle)
-    baseline = {key: cell["speedup"]
-                for key, cell in document["metrics"]["cells"].items()
-                if "speedup" in cell}
+    baseline_cells = document["metrics"]["cells"]
     failures = []
-    for key, cell in cells.items():
-        if "speedup" not in cell:
-            continue
-        expected = baseline.get(key)
-        if expected is None:
-            continue
-        floor = expected * (1.0 - max_regression)
-        if cell["speedup"] < floor:
-            failures.append(
-                f"{key}: speedup {cell['speedup']:.2f}x fell below "
-                f"{floor:.2f}x (baseline {expected:.2f}x - "
-                f"{max_regression:.0%})")
+    for metric in ("speedup", "superblock_speedup"):
+        baseline = {key: cell[metric]
+                    for key, cell in baseline_cells.items()
+                    if metric in cell}
+        for key, cell in cells.items():
+            if metric not in cell:
+                continue
+            expected = baseline.get(key)
+            if expected is None:
+                continue
+            floor = expected * (1.0 - max_regression)
+            if cell[metric] < floor:
+                failures.append(
+                    f"{key}: {metric} {cell[metric]:.2f}x fell below "
+                    f"{floor:.2f}x (baseline {expected:.2f}x - "
+                    f"{max_regression:.0%})")
     return failures
 
 
@@ -147,6 +193,10 @@ def main(argv=None) -> int:
     parser.add_argument("--verify-only", action="store_true",
                         help="run the byte-identity differential gate "
                              "only; skip timing")
+    parser.add_argument("--temporal", default="off",
+                        choices=("off", "check", "quarantine"),
+                        help="temporal lock-and-key policy armed on "
+                             "every cell's machine (default off)")
     parser.add_argument("--out-dir", default=None,
                         help="directory for BENCH_host_throughput.json "
                              "(default: $REPRO_BENCH_DIR or cwd)")
@@ -156,6 +206,13 @@ def main(argv=None) -> int:
     parser.add_argument("--max-regression", type=float, default=0.20,
                         help="allowed fractional speedup drop vs the "
                              "baseline (default 0.20)")
+    parser.add_argument("--max-subheap-gap", type=float, default=None,
+                        metavar="RATIO",
+                        help="fail when any workload's subheap-config "
+                             "MIPS falls more than RATIO times below "
+                             "its baseline-config MIPS (the paper-"
+                             "parity target is 1.5; unset disables "
+                             "the gate)")
     args = parser.parse_args(argv)
 
     workloads = [w.strip() for w in args.workloads.split(",")
@@ -173,7 +230,8 @@ def main(argv=None) -> int:
     for workload in workloads:
         for config in configs:
             cell = bench_cell(workload, config, args.scale,
-                              args.repeats, args.verify_only)
+                              args.repeats, args.verify_only,
+                              temporal=args.temporal)
             key = f"{workload}/{config}"
             cells[key] = cell
             if not cell["identical"]:
@@ -185,25 +243,43 @@ def main(argv=None) -> int:
             else:
                 print(f"  {key:24s} ref {cell['reference_mips']:6.2f} "
                       f"MIPS  fast {cell['fastpath_mips']:6.2f} MIPS  "
-                      f"speedup {cell['speedup']:5.2f}x")
+                      f"super {cell['superblock_mips']:6.2f} MIPS  "
+                      f"speedup {cell['speedup']:5.2f}x/"
+                      f"{cell['superblock_speedup']:5.2f}x")
 
+    ratios = add_subheap_ratios(cells)
     speedups = [c["speedup"] for c in cells.values() if "speedup" in c]
+    super_speedups = [c["superblock_speedup"] for c in cells.values()
+                      if "superblock_speedup" in c]
     summary: Dict[str, object] = {
         "cells_verified": sum(1 for c in cells.values()
                               if c["identical"]),
         "cells_divergent": len(divergent),
     }
+
+    def _geomean(values: List[float]) -> float:
+        return round(math.exp(sum(math.log(v) for v in values)
+                              / len(values)), 4)
+
     if speedups:
         summary.update({
-            "geomean_speedup": round(
-                math.exp(sum(math.log(s) for s in speedups)
-                         / len(speedups)), 4),
+            "geomean_speedup": _geomean(speedups),
             "min_speedup": min(speedups),
             "max_speedup": max(speedups),
+            "geomean_superblock_speedup": _geomean(super_speedups),
+            "min_superblock_speedup": min(super_speedups),
+            "max_superblock_speedup": max(super_speedups),
         })
         print(f"geomean speedup {summary['geomean_speedup']:.2f}x "
               f"(min {summary['min_speedup']:.2f}x, "
-              f"max {summary['max_speedup']:.2f}x)")
+              f"max {summary['max_speedup']:.2f}x); superblock "
+              f"{summary['geomean_superblock_speedup']:.2f}x")
+    if ratios:
+        summary["max_subheap_gap"] = max(ratios)
+        summary["geomean_subheap_gap"] = _geomean(ratios)
+        print(f"subheap/baseline MIPS gap: geomean "
+              f"{summary['geomean_subheap_gap']:.2f}x, max "
+              f"{summary['max_subheap_gap']:.2f}x")
 
     if args.out_dir:
         os.makedirs(args.out_dir, exist_ok=True)
@@ -211,7 +287,8 @@ def main(argv=None) -> int:
         "host_throughput",
         {"workloads": ",".join(workloads), "configs": ",".join(configs),
          "scale": str(args.scale), "repeats": str(args.repeats),
-         "verify_only": str(args.verify_only)},
+         "verify_only": str(args.verify_only),
+         "temporal": args.temporal},
         {"cells": cells, "summary": summary},
         directory=args.out_dir)
     print(f"bench record written to {path}")
@@ -220,6 +297,19 @@ def main(argv=None) -> int:
         print(f"DIFFERENTIAL GATE FAILED: {', '.join(divergent)}",
               file=sys.stderr)
         return 1
+    if args.max_subheap_gap is not None and ratios:
+        over = [f"{key}: gap "
+                f"{cell['subheap_vs_baseline_ratio']:.2f}x"
+                for key, cell in cells.items()
+                if cell.get("subheap_vs_baseline_ratio", 0.0)
+                > args.max_subheap_gap]
+        if over:
+            print(f"SUBHEAP GAP GATE FAILED (limit "
+                  f"{args.max_subheap_gap:.2f}x): {', '.join(over)}",
+                  file=sys.stderr)
+            return 1
+        print(f"subheap gap gate passed "
+              f"(limit {args.max_subheap_gap:.2f}x)")
     if args.baseline and speedups:
         failures = check_baseline(cells, args.baseline,
                                   args.max_regression)

@@ -87,7 +87,7 @@ def main(argv=None) -> int:
     parser.add_argument("--shard-retries", type=int, default=2,
                         help="requeues per failed shard (default 2)")
     parser.add_argument("--engine", type=str, default="auto",
-                        choices=("auto", "fastpath", "reference"),
+                        choices=("auto", "fastpath", "superblock", "reference"),
                         help="execution engine for oracle runs; engines "
                              "are byte-identical in every simulated "
                              "observable (default auto)")

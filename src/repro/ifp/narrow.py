@@ -45,8 +45,9 @@ _OUT_OF_RANGE = 0   #: subobject index outside the table
 _MALFORMED = 1      #: malformed entry at depth ``payload``
 _CHAIN = 2          #: valid chain in ``payload``
 
-#: clear-on-full cap bounding host memory for the walk cache
-_WALK_CACHE_CAPACITY = 1 << 12
+#: clear-on-full cap bounding host memory for the walk cache (entries
+#: are tiny — a fetch trace plus a chain tuple — so the cap is generous)
+_WALK_CACHE_CAPACITY = 1 << 14
 
 
 def _fetch_chain(port, config: IFPConfig, layout_ptr: int,

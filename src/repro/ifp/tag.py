@@ -169,14 +169,22 @@ def pack_pointer(address: int, tag: PointerTag) -> int:
     return ((tag.encode() << TAG_SHIFT) | (address & ADDRESS_MASK)) & U64_MASK
 
 
+#: decoded-tag memo: PointerTag is frozen and depends only on the 16 tag
+#: bits, so each distinct tag value decodes once (bounded at 65536)
+_TAG_CACHE: dict = {}
+
+
 def unpack_tag(pointer: int) -> PointerTag:
     """Decode the tag fields of a 64-bit pointer."""
     tag_bits = (pointer >> TAG_SHIFT) & 0xFFFF
-    return PointerTag(
-        poison=Poison.from_bits(tag_bits >> 14),
-        scheme=Scheme((tag_bits >> 12) & 0b11),
-        payload=tag_bits & _PAYLOAD_MASK,
-    )
+    tag = _TAG_CACHE.get(tag_bits)
+    if tag is None:
+        tag = _TAG_CACHE[tag_bits] = PointerTag(
+            poison=Poison.from_bits(tag_bits >> 14),
+            scheme=Scheme((tag_bits >> 12) & 0b11),
+            payload=tag_bits & _PAYLOAD_MASK,
+        )
+    return tag
 
 
 def address_of(pointer: int) -> int:

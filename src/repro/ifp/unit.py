@@ -14,7 +14,7 @@ adds to CVA6's execute stage.  It owns:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.errors import ResourceExhausted
@@ -149,6 +149,13 @@ class MetadataPort:
             outer[1] += extra
         return loads, extra
 
+    def trace_mark(self):
+        """Snapshot ``(loads so far, extra so far)`` of the current
+        recording frame; the promote engine uses it to split a recorded
+        trace at the metadata/layout phase boundary."""
+        frame = self._trace_stack[-1]
+        return len(frame[0]), frame[1]
+
     def replay(self, trace, extra: int) -> None:
         """Re-apply a recorded fetch sequence without touching memory.
 
@@ -205,6 +212,13 @@ class IFPUnitStats:
     layout_cache_misses: int = 0
     promote_cache_hits: int = 0
     promote_cache_misses: int = 0
+    #: promotes served straight from the last-promote memo — the check
+    #: elision path (dynamic memo hits plus statically proven sites)
+    promote_elisions: int = 0
+    #: entries discarded at a generation swap (capacity pressure)
+    promote_cache_evictions: int = 0
+    #: entries dropped because a guest store hit their metadata lines
+    promote_cache_invalidations: int = 0
 
     @property
     def promotes_bypassed(self) -> int:
@@ -219,17 +233,22 @@ _CACHE_COUNTER_FIELDS = frozenset((
     "mac_cache_hits", "mac_cache_misses",
     "layout_cache_hits", "layout_cache_misses",
     "promote_cache_hits", "promote_cache_misses",
+    "promote_elisions", "promote_cache_evictions",
+    "promote_cache_invalidations",
 ))
 
-#: stat fields captured as deltas by the promote-result cache;
-#: ``promote_cycles`` is excluded because a replay recomputes it from the
-#: live metadata-port cycle delta (line-buffer state differs per replay)
-_PROMOTE_DELTA_FIELDS = tuple(
-    f.name for f in fields(IFPUnitStats)
-    if f.name != "promote_cycles" and f.name not in _CACHE_COUNTER_FIELDS)
+#: stat fields *excluded* from the promote-result cache's replayed
+#: deltas: ``promote_cycles`` because a replay recomputes it from the
+#: live metadata-port cycle delta (line-buffer state differs per
+#: replay), and the cache counters because a replayed promote performs
+#: no MAC/layout-cache queries
+_PROMOTE_DELTA_EXCLUDED = _CACHE_COUNTER_FIELDS | {"promote_cycles"}
 
-#: clear-on-full capacity bounding host memory under adversarial inputs
-_PROMOTE_CACHE_CAPACITY = 1 << 15
+#: per-generation capacity bounding host memory under adversarial
+#: inputs; eviction is generational (the full current generation becomes
+#: the previous one, whose entries are still hit-able until the *next*
+#: swap discards them), so there is no clear-on-full cliff
+_PROMOTE_CACHE_CAPACITY = 1 << 16
 
 
 class IFPUnit:
@@ -261,11 +280,27 @@ class IFPUnit:
         # Host-side result caches.  Both are active under *both* execution
         # engines (reference and fastpath), which is what keeps RunStats /
         # IFPUnitStats trivially identical across engines; they are
-        # bypassed whenever a fault injector or observer is armed.
-        self._promote_cache = {}      # (pointer, control.version) -> entry
-        self._promote_deps = {}       # 64-byte line number -> {cache keys}
+        # bypassed whenever a fault injector is armed.  An armed observer
+        # no longer bypasses them: each entry carries a phase-split trace
+        # plus the static facts of its emissions, so a replay re-emits the
+        # exact event sequence a recomputed promote would.
+        self._promote_cache = {}      # version-vector key -> entry (current)
+        self._promote_prev = {}       # previous generation, still hit-able
+        self._promote_deps = {}       # 64-byte line -> {keys} (current gen)
+        self._promote_deps_prev = {}  # same, for the previous generation
         self._layout_cache = {}       # (layout_ptr, subobject_index) -> walk
         self._layout_env = (0, 0)     # [base, end) of compile-time tables
+        #: unmap generation — joins the cache key, so an unmap is an O(1)
+        #: version bump instead of a full flush
+        self._mem_epoch = 0
+        # Last-promote memo (the check-elision fast path): valid while
+        # no entry has been dropped since it was set.  ``_inval_epoch``
+        # bumps whenever any cached promote is discarded (store snoop,
+        # generation swap, unmap), which over-approximates "this memo's
+        # entry died" safely.
+        self._memo = None             # (key, entry) of the last promote
+        self._memo_epoch = -1
+        self._inval_epoch = 0
         # The unit must see every guest store (line-buffer staleness +
         # cache invalidation), so it claims the memory's snoop hooks.
         memory.watcher = self.snoop_store
@@ -301,21 +336,31 @@ class IFPUnit:
             lo, hi = self._layout_env
             if address < hi and address + size > lo:
                 self._layout_cache.clear()
-        deps = self._promote_deps
-        if deps:
-            cache = self._promote_cache
+        dropped = 0
+        cache = self._promote_cache
+        prev = self._promote_prev
+        for deps in (self._promote_deps, self._promote_deps_prev):
+            if not deps:
+                continue
             for line in range(first, last + 1):
                 keys = deps.pop(line, None)
                 if keys:
                     for key in keys:
-                        cache.pop(key, None)
+                        if cache.pop(key, None) is not None:
+                            dropped += 1
+                        if prev and prev.pop(key, None) is not None:
+                            dropped += 1
+        if dropped:
+            self.stats.promote_cache_invalidations += dropped
+            self._inval_epoch += 1
 
     def on_unmap(self, base: int, size: int) -> None:
-        """Unmap snoop (installed as ``Memory.unmap_watcher``): drop every
-        cached result — unmapped metadata must fault again on promote."""
-        if self._promote_cache:
-            self._promote_cache.clear()
-            self._promote_deps.clear()
+        """Unmap snoop (installed as ``Memory.unmap_watcher``): bump the
+        memory epoch so every cached promote key goes stale — unmapped
+        metadata must fault again on promote.  Stale entries age out at
+        the next generation swaps instead of being scanned here."""
+        self._mem_epoch += 1
+        self._inval_epoch += 1
         if self._layout_cache:
             self._layout_cache.clear()
 
@@ -324,77 +369,172 @@ class IFPUnit:
     def promote(self, pointer: int) -> PromoteResult:
         """Execute one promote; returns the resulting IFPR.
 
-        When no instrument is armed, results are served from / recorded
-        into the promote cache keyed ``(pointer, control.version)``; a
+        Unless a fault injector is armed, results are served from /
+        recorded into the promote cache keyed by the version vector
+        ``(pointer, control.version, mem_epoch[, registry.version])``; a
         replay re-applies the recorded stat deltas and fetch trace through
         the live metadata port, so every simulated observable (cycles,
         loads, L1 state, counters) matches a recomputed promote exactly.
+        With an observer armed the replay additionally re-emits the
+        recorded event script with live-recomputed cycle payloads.
         """
-        if (self.faults is None and self.obs is None
-                and self.port.faults is None):
+        if self.faults is None and self.port.faults is None:
             stats = self.stats
             registry = self.temporal
             # the registry version joins the key so a free/realloc (or an
             # injected lock corruption) can never replay a cached bounds
             # register whose temporal fact is stale
-            key = ((pointer, self.control.version) if registry is None
-                   else (pointer, self.control.version, registry.version))
+            key = ((pointer, self.control.version, self._mem_epoch)
+                   if registry is None
+                   else (pointer, self.control.version, self._mem_epoch,
+                         registry.version))
+            memo = self._memo
+            if memo is not None and self._memo_epoch == self._inval_epoch \
+                    and memo[0] == key:
+                stats.promote_elisions += 1
+                return self._replay_promote(memo[1])
             cached = self._promote_cache.get(key)
+            if cached is None and self._promote_prev:
+                cached = self._promote_prev.get(key)
+                if cached is not None:
+                    # resurrect into the current generation so it outlives
+                    # the next swap; its line deps re-register with it
+                    self._insert_promote(key, cached)
             if cached is not None:
                 stats.promote_cache_hits += 1
+                self._memo = (key, cached)
+                self._memo_epoch = self._inval_epoch
                 return self._replay_promote(cached)
             stats.promote_cache_misses += 1
-            snapshot = [getattr(stats, name)
-                        for name in _PROMOTE_DELTA_FIELDS]
+            before = stats.__dict__.copy()
             port = self.port
             port.begin_trace()
+            rec: list = []
             try:
-                result = self._promote_execute(pointer)
+                result = self._promote_execute(pointer, rec)
             finally:
                 trace, extra = port.end_trace()
-            deltas = []
-            for name, before in zip(_PROMOTE_DELTA_FIELDS, snapshot):
-                after = getattr(stats, name)
-                if after != before:
-                    deltas.append((name, after - before))
-            self._remember_promote(key, result, trace, extra, deltas)
+            after = stats.__dict__
+            excluded = _PROMOTE_DELTA_EXCLUDED
+            deltas = [(name, after[name] - value)
+                      for name, value in before.items()
+                      if after[name] != value and name not in excluded]
+            self._remember_promote(key, result, trace, extra, deltas, rec)
             return result
         return self._promote_execute(pointer)
 
+    def elide_promote(self, pointer: int) -> PromoteResult:
+        """Promote at a statically proven memo-resident site.
+
+        The translator calls this instead of :meth:`promote` only where
+        its elision pass proved that, on every path reaching the site, an
+        earlier promote in the same basic block set the memo and nothing
+        since could have changed the version vector (no store, no bounds
+        spill, no call).  Under that proof a pointer match plus an
+        unchanged invalidation epoch implies the full key would match
+        too, so the key tuple is never built and the cache dict is never
+        probed.  Observably identical to :meth:`promote` in all cases —
+        whenever the guard fires here, the memo compare in ``promote``
+        would have fired for the same entry.
+        """
+        if self.faults is None and self.port.faults is None:
+            memo = self._memo
+            if memo is not None and self._memo_epoch == self._inval_epoch \
+                    and memo[0][0] == pointer:
+                self.stats.promote_elisions += 1
+                return self._replay_promote(memo[1])
+        return self.promote(pointer)
+
     def _replay_promote(self, entry) -> PromoteResult:
         (pointer, bounds, outcome, narrowed, narrow_attempted,
-         trace, extra, deltas) = entry
+         trace, extra, deltas, script) = entry
         stats = self.stats
         for name, delta in deltas:
             setattr(stats, name, getattr(stats, name) + delta)
         port = self.port
         start = port.cycles
-        port.replay(trace, extra)
+        obs = self.obs
+        if obs is None or script is None:
+            port.replay(trace, extra)
+        else:
+            # Re-emit the recorded event script at the reference sites:
+            # metadata_fetch after the metadata-phase fetches (cycle
+            # payload recomputed from the live line-buffer state, exactly
+            # as an uncached promote would observe it), then mac_verify,
+            # then the layout-phase fetches, then the narrow verdict.
+            (meta_trace, meta_extra, post_trace, post_extra,
+             scheme, metadata_ok, mac_checked, narrow) = script
+            port.replay(meta_trace, meta_extra)
+            obs.metadata_fetch(scheme, len(meta_trace),
+                               port.cycles - start, metadata_ok)
+            if mac_checked:
+                obs.mac_verify(scheme, metadata_ok)
+            if post_trace or post_extra:
+                port.replay(post_trace, post_extra)
+            if narrow is not None:
+                obs.narrow(narrow)
         cycles = self.config.promote_base_cycles + (port.cycles - start)
         stats.promote_cycles += cycles
         return PromoteResult(pointer, bounds, outcome, narrowed=narrowed,
                              narrow_attempted=narrow_attempted, cycles=cycles)
 
     def _remember_promote(self, key, result: PromoteResult, trace,
-                          extra: int, deltas) -> None:
+                          extra: int, deltas, rec) -> None:
+        if rec:
+            # split the trace at the metadata/layout phase boundary and
+            # keep the static emission facts, so the entry can replay
+            # under an armed observer as well as a disarmed one
+            meta_len, meta_extra, scheme, metadata_ok, mac_checked, \
+                narrow = rec
+            script = (tuple(trace[:meta_len]), meta_extra,
+                      tuple(trace[meta_len:]), extra - meta_extra,
+                      scheme, metadata_ok, mac_checked, narrow)
+        else:
+            script = None  # bypass outcome: no fetches, no emissions
+        entry = (result.pointer, result.bounds, result.outcome,
+                 result.narrowed, result.narrow_attempted,
+                 trace, extra, tuple(deltas), script)
+        self._insert_promote(key, entry)
+        self._memo = (key, entry)
+        self._memo_epoch = self._inval_epoch
+
+    def _insert_promote(self, key, entry) -> None:
         cache = self._promote_cache
         if len(cache) >= _PROMOTE_CACHE_CAPACITY:
-            cache.clear()
-            self._promote_deps.clear()
-        cache[key] = (result.pointer, result.bounds, result.outcome,
-                      result.narrowed, result.narrow_attempted,
-                      trace, extra, tuple(deltas))
+            # Generation swap: the current generation stays hit-able as
+            # the previous one; what was previous is discarded along with
+            # its dependency index.  The memo may reference a discarded
+            # entry, so the invalidation epoch must advance.
+            discarded = self._promote_prev
+            self._promote_prev = cache
+            self._promote_deps_prev = self._promote_deps
+            self._promote_cache = cache = {}
+            self._promote_deps = {}
+            if discarded:
+                self.stats.promote_cache_evictions += len(discarded)
+            self._inval_epoch += 1
+        cache[key] = entry
         deps = self._promote_deps
-        for address, size in trace:
-            for line in range(address >> 6, ((address + size - 1) >> 6) + 1):
-                bucket = deps.get(line)
-                if bucket is None:
-                    deps[line] = {key}
-                else:
-                    bucket.add(key)
+        lines = set()
+        for address, size in entry[5]:
+            first = address >> 6
+            last = (address + size - 1) >> 6
+            lines.add(first)
+            if last != first:
+                lines.update(range(first + 1, last + 1))
+        for line in lines:
+            bucket = deps.get(line)
+            if bucket is None:
+                deps[line] = {key}
+            else:
+                bucket.add(key)
 
-    def _promote_execute(self, pointer: int) -> PromoteResult:
-        """The uncached promote path (paper Figure 5, exactly as before)."""
+    def _promote_execute(self, pointer: int, rec=None) -> PromoteResult:
+        """The uncached promote path (paper Figure 5, exactly as before).
+
+        ``rec``, when a list, collects the cache-entry script: the
+        metadata-phase trace mark plus the static facts of every observer
+        emission, in emission order."""
         stats = self.stats
         config = self.config
         stats.promotes_total += 1
@@ -443,6 +583,11 @@ class IFPUnit:
                 address, tag, self.port, self.control)
         self.port.phase = None
 
+        if rec is not None:
+            mark = self.port.trace_mark()
+            rec += (mark[0], mark[1], tag.scheme.name,
+                    metadata is not None, mac_checked)
+
         obs = self.obs
         if obs is not None:
             obs.metadata_fetch(tag.scheme.name,
@@ -456,6 +601,8 @@ class IFPUnit:
             stats.promotes_metadata_invalid += 1
             if mac_checked:
                 stats.mac_failures += 1
+            if rec is not None:
+                rec.append(None)  # no narrow emission on this path
             cycles = (config.promote_base_cycles
                       + (self.port.cycles - start_cycles))
             stats.promote_cycles += cycles
@@ -490,15 +637,17 @@ class IFPUnit:
                             "promote", pointer, tbase, tkey, t_entry)
 
         # 4. Subobject narrowing.
+        narrow_event = None
         subobject_index = tag.subobject_index(config)
         if subobject_index != 0:
             narrow_attempted = True
             stats.narrow_attempts += 1
             if not config.narrowing_enabled or metadata.layout_ptr == 0:
                 stats.narrow_no_layout_table += 1
+                narrow_event = ("disabled" if not config.narrowing_enabled
+                                else "no_layout_table")
                 if obs is not None:
-                    obs.narrow("disabled" if not config.narrowing_enabled
-                               else "no_layout_table")
+                    obs.narrow(narrow_event)
             else:
                 walk_cache = None
                 if self.faults is None and self.port.faults is None:
@@ -517,8 +666,12 @@ class IFPUnit:
                 else:
                     stats.narrow_walk_failures += 1
                 bounds = result.bounds
+                narrow_event = "ok" if result.exact else "walk_failure"
                 if obs is not None:
-                    obs.narrow("ok" if result.exact else "walk_failure")
+                    obs.narrow(narrow_event)
+
+        if rec is not None:
+            rec.append(narrow_event)
 
         # 5. Re-attach the temporal fact to whatever bounds narrowing
         # produced, so implicit deref checks keep comparing lock == key.

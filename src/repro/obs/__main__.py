@@ -9,6 +9,9 @@ Examples::
     python -m repro.obs report --workload ft --metrics-out ft.json \\
         --prometheus
 
+    # rank workload cells by IFP-unit cache hit/miss/elision counters
+    python -m repro.obs report --workload treeadd,coremark --hotpath
+
     # trap forensics demo: a forced intra-object overflow
     python -m repro.obs forensics
 
@@ -164,7 +167,81 @@ def render_pool_events(records) -> str:
     return "\n".join(lines)
 
 
+def render_hotpath(cells: "dict[str, object]") -> str:
+    """Rank workload cells by residual promote-path host work.
+
+    ``cells`` maps ``"<workload>/<config>"`` to that run's
+    :class:`~repro.ifp.unit.IFPUnitStats`.  Cells are ranked by
+    promote-cache misses — the promotes that still walk metadata on the
+    host after the promote-result cache and the check-elision memo have
+    taken their share — so the top row is where IFP-unit host time
+    concentrates.
+    """
+    def rate(hits: int, misses: int) -> str:
+        total = hits + misses
+        return f"{100.0 * hits / total:5.1f}%" if total else "    —"
+
+    ranked = sorted(cells.items(),
+                    key=lambda item: item[1].promote_cache_misses,
+                    reverse=True)
+    header = (f"{'cell':24s} {'promotes':>9s} {'elided':>7s} "
+              f"{'cache':>6s} {'mac':>6s} {'walk':>6s} "
+              f"{'miss':>8s} {'inval':>6s}")
+    lines = [header, "-" * len(header)]
+    for key, ifp in ranked:
+        valid = ifp.promotes_valid or 0
+        elided = (f"{100.0 * ifp.promote_elisions / valid:5.1f}%"
+                  if valid else "    —")
+        lines.append(
+            f"{key:24s} {valid:9d} {elided:>7s} "
+            f"{rate(ifp.promote_cache_hits, ifp.promote_cache_misses):>6s} "
+            f"{rate(ifp.mac_cache_hits, ifp.mac_cache_misses):>6s} "
+            f"{rate(ifp.layout_cache_hits, ifp.layout_cache_misses):>6s} "
+            f"{ifp.promote_cache_misses:8d} "
+            f"{ifp.promote_cache_invalidations:6d}")
+    lines.append(
+        "elided = promotes served by the check-elision memo; cache/mac/"
+        "walk = hit rates of the promote-result, MAC, and layout-walk "
+        "caches; miss = promotes still walking metadata on the host; "
+        "inval = store-snoop invalidations")
+    return "\n".join(lines)
+
+
+def _cmd_hotpath(args) -> int:
+    from repro.eval.harness import run_workload
+    from repro.workloads import WORKLOADS
+    workloads = [w.strip() for w in args.workload.split(",")
+                 if w.strip()]
+    configs = [c.strip() for c in args.hotpath.split(",") if c.strip()]
+    unknown = [w for w in workloads if w not in WORKLOADS]
+    if unknown:
+        print(f"unknown workload(s): {', '.join(unknown)} "
+              f"(available: {', '.join(sorted(WORKLOADS))})",
+              file=sys.stderr)
+        return 2
+    unknown = [c for c in configs if c not in CONFIG_NAMES]
+    if unknown:
+        print(f"unknown configuration(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        return 2
+    cells = {}
+    for name in workloads:
+        for config in configs:
+            try:
+                run = run_workload(WORKLOADS[name], config,
+                                   scale=args.scale)
+            except WorkloadTrapped as exc:
+                print(f"workload trapped: {exc}", file=sys.stderr)
+                return 1
+            cells[f"{name}/{config}"] = run.stats.ifp
+    print(f"IFP-unit promote-path cache ranking (scale={args.scale})")
+    print(render_hotpath(cells))
+    return 0
+
+
 def _cmd_report(args) -> int:
+    if args.hotpath:
+        return _cmd_hotpath(args)
     if args.par_events:
         try:
             with open(args.par_events) as handle:
@@ -271,6 +348,13 @@ def main(argv=None) -> int:
                         help="instead of running a workload, render "
                              "per-worker utilization from a repro.par "
                              "events.jsonl stream")
+    report.add_argument("--hotpath", metavar="CONFIGS", nargs="?",
+                        const="baseline,subheap",
+                        help="instead of the hot-site profile, run "
+                             "--workload (comma list allowed) under "
+                             "these configs (default baseline,subheap) "
+                             "and rank the cells by IFP-unit promote-"
+                             "path cache hit/miss/elision counters")
     report.set_defaults(func=_cmd_report)
 
     forensics = sub.add_parser(

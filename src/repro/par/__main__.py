@@ -227,7 +227,7 @@ def main(argv=None) -> int:
                        help="comma-separated configuration list")
     bench.add_argument("--scale", type=int, default=1)
     bench.add_argument("--engine", default="auto",
-                       choices=("auto", "fastpath", "reference"),
+                       choices=("auto", "fastpath", "superblock", "reference"),
                        help="execution engine; byte-identical results "
                             "either way (default auto)")
     bench.add_argument("--out", metavar="JSON",

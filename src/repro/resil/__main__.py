@@ -89,7 +89,7 @@ def main(argv=None) -> int:
     parser.add_argument("--shard-retries", type=int, default=2,
                         help="requeues per failed shard (default 2)")
     parser.add_argument("--engine", type=str, default="auto",
-                        choices=("auto", "fastpath", "reference"),
+                        choices=("auto", "fastpath", "superblock", "reference"),
                         help="execution engine; 'auto' runs clean "
                              "reference runs on the fastpath and "
                              "fault-injected runs on the reference "

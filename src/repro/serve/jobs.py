@@ -150,7 +150,7 @@ def _fuzz_params(params: Dict[str, Any]) -> Dict[str, Any]:
             "params.backoff_base", params.get("backoff_base", 0.1)),
         "engine": _require_str(
             "params.engine", params.get("engine", "auto"),
-            ("auto", "fastpath", "reference")),
+            ("auto", "fastpath", "superblock", "reference")),
         "temporal": _require_str(
             "params.temporal", params.get("temporal", "off"),
             ("off", "check", "quarantine")),

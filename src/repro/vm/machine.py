@@ -49,11 +49,14 @@ class MachineConfig:
     #: which it compiles an instrumented variant with inline emit sites
     #: (see repro.vm.fastpath) — falling back to the reference
     #: interpreter only when :meth:`Machine.fastpath_reasons` reports an
-    #: instrument the compiler cannot honour.  "reference" forces the
-    #: reference interpreter; "fastpath" forces the fastpath (and errors
-    #: when a fastpath_reasons fallback applies).  Both engines are
-    #: byte-identical in every simulated observable, including the
-    #: emitted event stream — see DESIGN.md.
+    #: instrument the compiler cannot honour; uninstrumented hot
+    #: functions additionally graduate to the whole-function superblock
+    #: tier.  "reference" forces the reference interpreter; "fastpath"
+    #: forces the block-fused fastpath with the superblock tier off;
+    #: "superblock" forces whole-function translation on first call
+    #: (and errors when a fastpath_reasons fallback applies).  All
+    #: engines are byte-identical in every simulated observable,
+    #: including the emitted event stream — see DESIGN.md §8.
     engine: str = "auto"
 
 
@@ -121,7 +124,8 @@ class Machine:
         #: optional observer (see repro.obs.attach_observer); None keeps
         #: every instrumented site on its zero-cost disabled path
         self.obs = None
-        #: engine the last ``run`` resolved to ("fastpath"|"reference");
+        #: engine the last ``run`` resolved to
+        #: ("fastpath"|"superblock"|"reference");
         #: None before the first run.  Telemetry labels use this.
         self.engine_used: Optional[str] = None
 
@@ -223,19 +227,19 @@ class Machine:
         engine = self.config.engine
         if engine == "reference":
             return self.interp
-        if engine == "auto" or engine == "fastpath":
+        if engine in ("auto", "fastpath", "superblock"):
             reasons = self.fastpath_reasons()
             if reasons:
-                if engine == "fastpath":
+                if engine != "auto":
                     raise ReproError(
-                        "engine='fastpath' cannot honour the armed "
+                        f"engine={engine!r} cannot honour the armed "
                         "instruments: " + "; ".join(reasons)
                         + " — use engine='auto' (it falls back to the "
                         "reference interpreter) or detach the instrument")
                 return self.interp
             return self._fastpath()
         raise ReproError(f"unknown engine {engine!r} "
-                         "(expected auto|fastpath|reference)")
+                         "(expected auto|fastpath|superblock|reference)")
 
     def _fastpath(self):
         if self._fast is None:
@@ -258,8 +262,12 @@ class Machine:
         timeout = (timeout_seconds if timeout_seconds is not None
                    else self.config.wall_clock_timeout)
         interp = self.select_interp()
-        self.engine_used = "reference" if interp is self.interp \
-            else "fastpath"
+        if interp is self.interp:
+            self.engine_used = "reference"
+        elif self.config.engine == "superblock":
+            self.engine_used = "superblock"
+        else:
+            self.engine_used = "fastpath"
         if self.obs is not None:
             # let observability consumers label everything they export
             # with the engine that actually produced it
